@@ -1,0 +1,76 @@
+// fpvm-analyze runs the static value-set analysis of §4.2 on a program and
+// reports its sources, sinks, and the correctness-trap patch plan — the
+// angr + e9patch step of the hybrid FPVM pipeline.
+//
+// Usage:
+//
+//	fpvm-analyze -workload "Enzo"
+//	fpvm-analyze prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpvm/internal/asm"
+	"fpvm/internal/isa"
+	"fpvm/internal/patch"
+	"fpvm/internal/vsa"
+	"fpvm/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "named workload to analyze")
+		verbose  = flag.Bool("v", false, "also list sources and externals")
+	)
+	flag.Parse()
+
+	var prog *isa.Program
+	var err error
+	switch {
+	case *workload != "":
+		w, ok := workloads.Get(*workload)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *workload))
+		}
+		prog, err = w.Build()
+	case flag.NArg() == 1:
+		var src []byte
+		src, err = os.ReadFile(flag.Arg(0))
+		if err == nil {
+			prog, err = asm.Assemble(string(src))
+		}
+	default:
+		err = fmt.Errorf("usage: fpvm-analyze [-workload name | prog.s]")
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	rep, err := vsa.Analyze(prog, 0)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := patch.Apply(prog, rep)
+	if err != nil {
+		fatal(err)
+	}
+	p.Summary(os.Stdout)
+	if *verbose {
+		fmt.Println("sources:")
+		for _, s := range rep.Sources {
+			fmt.Printf("  %#06x  %v\n", s.Addr, s.Inst)
+		}
+		fmt.Println("externals:")
+		for _, s := range rep.Externals {
+			fmt.Printf("  %#06x  %v\n", s.Addr, s.Inst)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpvm-analyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// fpvm-asm assembles a text assembly source into an encoded program image
+// and can disassemble one back for inspection.
+//
+// Usage:
+//
+//	fpvm-asm -o prog.fpvm prog.s
+//	fpvm-asm -d prog.fpvm
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"fpvm/internal/asm"
+	"fpvm/internal/isa"
+)
+
+// imageHeader is the serialized program container (a stand-in for ELF).
+type imageHeader struct {
+	Magic    string            `json:"magic"`
+	Entry    uint64            `json:"entry"`
+	DataBase uint64            `json:"dataBase"`
+	CodeLen  int               `json:"codeLen"`
+	DataLen  int               `json:"dataLen"`
+	Symbols  map[string]uint64 `json:"symbols,omitempty"`
+}
+
+const magic = "FPVM1"
+
+// WriteImage serializes a program: JSON header, newline, code, data.
+func WriteImage(path string, p *isa.Program) error {
+	hdr, err := json.Marshal(imageHeader{
+		Magic: magic, Entry: p.Entry, DataBase: p.DataBase,
+		CodeLen: len(p.Code), DataLen: len(p.Data), Symbols: p.Symbols,
+	})
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hdr)))
+	buf = append(buf, hdr...)
+	buf = append(buf, p.Code...)
+	buf = append(buf, p.Data...)
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// ReadImage deserializes a program image.
+func ReadImage(path string) (*isa.Program, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("truncated image")
+	}
+	hl := binary.LittleEndian.Uint32(raw)
+	raw = raw[4:]
+	if uint32(len(raw)) < hl {
+		return nil, fmt.Errorf("truncated header")
+	}
+	var hdr imageHeader
+	if err := json.Unmarshal(raw[:hl], &hdr); err != nil {
+		return nil, err
+	}
+	if hdr.Magic != magic {
+		return nil, fmt.Errorf("bad magic %q", hdr.Magic)
+	}
+	raw = raw[hl:]
+	if len(raw) != hdr.CodeLen+hdr.DataLen {
+		return nil, fmt.Errorf("image size mismatch")
+	}
+	return &isa.Program{
+		Code:     raw[:hdr.CodeLen],
+		Data:     raw[hdr.CodeLen:],
+		DataBase: hdr.DataBase,
+		Entry:    hdr.Entry,
+		Symbols:  hdr.Symbols,
+	}, nil
+}
+
+func main() {
+	var (
+		out = flag.String("o", "a.fpvm", "output image path")
+		dis = flag.String("d", "", "disassemble an image instead of assembling")
+	)
+	flag.Parse()
+
+	if *dis != "" {
+		p, err := ReadImage(*dis)
+		if err != nil {
+			fatal(err)
+		}
+		insts, err := p.Disassemble()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("; entry %#x, %d bytes code, %d bytes data at %#x\n",
+			p.Entry, len(p.Code), len(p.Data), p.DataBase)
+		for _, in := range insts {
+			fmt.Printf("%#06x\t%v\n", in.Addr, in)
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("usage: fpvm-asm [-o out.fpvm] prog.s | fpvm-asm -d image"))
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if err := WriteImage(*out, p); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d bytes code, %d bytes data\n", *out, len(p.Code), len(p.Data))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpvm-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fpvm/internal/asm"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	prog := asm.MustAssemble(`
+	.data
+	x: .f64 1.5
+	.text
+	.entry main
+	main:
+		movsd f0, [x]
+		addsd f0, f0
+		outf f0
+		halt
+	`)
+	path := filepath.Join(t.TempDir(), "prog.fpvm")
+	if err := WriteImage(path, prog); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadImage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Code) != string(prog.Code) {
+		t.Error("code differs")
+	}
+	if string(got.Data) != string(prog.Data) {
+		t.Error("data differs")
+	}
+	if got.Entry != prog.Entry || got.DataBase != prog.DataBase {
+		t.Error("metadata differs")
+	}
+	if got.Symbols["main"] != prog.Symbols["main"] || got.Symbols["x"] != prog.Symbols["x"] {
+		t.Error("symbols differ")
+	}
+	// The reloaded image must disassemble identically.
+	a, _ := prog.Disassemble()
+	b, err := got.Disassemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("instruction counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Errorf("inst %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReadImageErrors(t *testing.T) {
+	dir := t.TempDir()
+	// Truncated file.
+	short := filepath.Join(dir, "short")
+	os.WriteFile(short, []byte{1, 2}, 0o644)
+	if _, err := ReadImage(short); err == nil {
+		t.Error("truncated image should fail")
+	}
+	// Bad magic.
+	bad := filepath.Join(dir, "bad")
+	hdr := `{"magic":"NOPE","entry":0,"dataBase":0,"codeLen":0,"dataLen":0}`
+	buf := []byte{byte(len(hdr)), 0, 0, 0}
+	buf = append(buf, hdr...)
+	os.WriteFile(bad, buf, 0o644)
+	if _, err := ReadImage(bad); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Missing file.
+	if _, err := ReadImage(filepath.Join(dir, "absent")); err == nil {
+		t.Error("missing file should fail")
+	}
+	// Size mismatch.
+	mis := filepath.Join(dir, "mis")
+	hdr2 := `{"magic":"FPVM1","entry":0,"dataBase":0,"codeLen":10,"dataLen":0}`
+	buf2 := []byte{byte(len(hdr2)), 0, 0, 0}
+	buf2 = append(buf2, hdr2...)
+	buf2 = append(buf2, 1, 2, 3) // only 3 bytes, header claims 10
+	os.WriteFile(mis, buf2, 0o644)
+	if _, err := ReadImage(mis); err == nil {
+		t.Error("size mismatch should fail")
+	}
+}

@@ -1,0 +1,71 @@
+// fpvm-bench regenerates the tables and figures of the FPVM paper's
+// evaluation (§5). Each experiment prints a plain-text table shaped like
+// the corresponding figure.
+//
+// Usage:
+//
+//	fpvm-bench                 # run every experiment
+//	fpvm-bench -exp fig12      # one experiment
+//	fpvm-bench -exp fig9 -prec 512 -quick
+//	fpvm-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fpvm/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "comma-separated experiment ids (empty = all)")
+		prec  = flag.Uint("prec", 200, "MPFR precision in bits")
+		quick = flag.Bool("quick", false, "smaller configurations for a fast pass")
+		list  = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "" {
+		for _, e := range experiments.Registry {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	for i, id := range ids {
+		e, ok := experiments.Lookup(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fpvm-bench: unknown experiment %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+			fmt.Println(strings.Repeat("=", 100))
+			fmt.Println()
+		}
+		start := time.Now()
+		err := e.Run(experiments.Options{
+			W:     os.Stdout,
+			Prec:  *prec,
+			Quick: *quick,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fpvm-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,180 @@
+// fpvm-run executes a program binary (or named workload) on the machine
+// simulator, natively or under FPVM with a chosen alternative arithmetic
+// system — the equivalent of LD_PRELOADing the FPVM library under an
+// existing binary (§4.1).
+//
+// Usage:
+//
+//	fpvm-run -workload "Lorenz Attractor" -arith mpfr -prec 200
+//	fpvm-run -bin prog.fpvm -arith posit32
+//	fpvm-run -asm prog.s -arith vanilla -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/asm"
+	"fpvm/internal/fpvm"
+	"fpvm/internal/isa"
+	"fpvm/internal/machine"
+	"fpvm/internal/patch"
+	"fpvm/internal/posit"
+	"fpvm/internal/trap"
+	"fpvm/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "", "named workload to run (see -list)")
+		asmFile   = flag.String("asm", "", "assembly source file to assemble and run")
+		arithName = flag.String("arith", "", "arithmetic system: vanilla, mpfr, adaptive, interval, bfloat16, posit8/16/32/64 (empty = native, no FPVM)")
+		prec      = flag.Uint("prec", 200, "MPFR precision in bits")
+		noPatch   = flag.Bool("no-patch", false, "skip static analysis and correctness patching")
+		patchMode = flag.Bool("patch-mode", false, "use trap-and-patch instead of trap-and-emulate (§3.2)")
+		delivery  = flag.String("delivery", "user-signal", "trap delivery model: user-signal, kernel, user-to-user")
+		stats     = flag.Bool("stats", false, "print execution statistics")
+		list      = flag.Bool("list", false, "list available workloads")
+		maxInst   = flag.Uint64("max-inst", 0, "instruction budget (0 = unlimited)")
+		spyMode   = flag.Bool("spy", false, "FPSpy mode: record FP events without changing results")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workloads.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	prog, err := loadProgram(*workload, *asmFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	m, err := machine.New(prog, os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	switch *delivery {
+	case "user-signal":
+	case "kernel":
+		m.Delivery, m.CorrectnessDelivery = trap.DeliverKernel, trap.DeliverKernel
+	case "user-to-user":
+		m.Delivery, m.CorrectnessDelivery = trap.DeliverUserToUser, trap.DeliverUserToUser
+	default:
+		fatal(fmt.Errorf("unknown delivery model %q", *delivery))
+	}
+
+	if *spyMode {
+		spy := fpvm.AttachSpy(m)
+		if err := m.Run(*maxInst); err != nil {
+			fatal(err)
+		}
+		spy.Report(os.Stderr, 10)
+		return
+	}
+
+	var vm *fpvm.VM
+	if *arithName != "" {
+		sys, err := selectArith(*arithName, *prec)
+		if err != nil {
+			fatal(err)
+		}
+		if !*noPatch {
+			p, err := patch.Apply(prog, nil)
+			if err != nil {
+				fatal(fmt.Errorf("static analysis: %w", err))
+			}
+			p.Install(m)
+			if *stats {
+				p.Summary(os.Stderr)
+			}
+		}
+		vm = fpvm.Attach(m, fpvm.Config{System: sys})
+		if *patchMode {
+			vm.PatchAllFPArith()
+		}
+	}
+
+	if err := m.Run(*maxInst); err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "instructions: %d (fp: %d)\n",
+			m.Stats.Instructions, m.Stats.FPInstructions)
+		fmt.Fprintf(os.Stderr, "cycles:       %d\n", m.Cycles)
+		if vm != nil {
+			s := vm.Stats
+			fmt.Fprintf(os.Stderr, "fp traps:     %d (decode cache hit rate %.4f)\n",
+				s.Traps, hitRate(s.DecodeHits, s.DecodeMisses))
+			fmt.Fprintf(os.Stderr, "emulated:     %d scalars (promotions %d, unboxings %d)\n",
+				s.Emulated, s.Promotions, s.Unboxings)
+			fmt.Fprintf(os.Stderr, "correctness:  %d traps, %d demotions\n",
+				s.CorrectTraps, s.Demotions)
+			fmt.Fprintf(os.Stderr, "gc:           %d passes, %d freed, %d alive\n",
+				s.GC.Passes, s.GC.TotalFreed, vm.Arena.Live())
+			fmt.Fprintf(os.Stderr, "trap delivery: %d cycles over %d traps\n",
+				m.Stats.Trap.TotalCycles(), m.Stats.Trap.Delivered)
+		}
+	}
+}
+
+func loadProgram(workload, asmFile string) (*isa.Program, error) {
+	switch {
+	case workload != "":
+		w, ok := workloads.Get(workload)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q (try -list)", workload)
+		}
+		return w.Build()
+	case asmFile != "":
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			return nil, err
+		}
+		return asm.Assemble(string(src))
+	default:
+		return nil, fmt.Errorf("one of -workload or -asm is required")
+	}
+}
+
+func selectArith(name string, prec uint) (arith.System, error) {
+	switch name {
+	case "vanilla":
+		return arith.Vanilla{}, nil
+	case "mpfr":
+		return arith.NewMPFR(prec), nil
+	case "adaptive":
+		return arith.NewAdaptiveMPFR(prec, 16*prec), nil
+	case "interval":
+		return arith.IntervalSystem{}, nil
+	case "bfloat16":
+		return arith.BFloat16System{}, nil
+	case "posit8":
+		return arith.NewPosit(posit.Posit8), nil
+	case "posit16":
+		return arith.NewPosit(posit.Posit16), nil
+	case "posit32":
+		return arith.NewPosit(posit.Posit32), nil
+	case "posit64":
+		return arith.NewPosit(posit.Posit64), nil
+	default:
+		return nil, fmt.Errorf("unknown arithmetic system %q", name)
+	}
+}
+
+func hitRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpvm-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,185 @@
+// The errorbounds example runs unmodified binaries under FPVM with the
+// interval arithmetic system: every floating point value becomes a rigorous
+// enclosure of its exact counterpart, so the width of the printed intervals
+// certifies how much rounding error the binary accumulates — a use of
+// floating point virtualization the paper's introduction motivates (error
+// analysis tools built on shadow arithmetic).
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/asm"
+	"fpvm/internal/fpvm"
+	"fpvm/internal/machine"
+)
+
+// kahanDemo compares naive and compensated (Kahan) summation of 10000
+// copies of 0.1 — a classic: same mathematical task, very different error.
+const kahanDemo = `
+.data
+n: .i64 10000
+.text
+	; naive: acc += 0.1, n times
+	movsd f0, =0.0
+	mov r0, $0
+naive:
+	addsd f0, =0.1
+	inc r0
+	cmp r0, [n]
+	jl naive
+	outf f0
+
+	; Kahan: compensated summation of the same series
+	movsd f1, =0.0     ; sum
+	movsd f2, =0.0     ; compensation
+	mov r0, $0
+kahan:
+	movsd f3, =0.1
+	subsd f3, f2       ; y = x - c
+	movsd f4, f1
+	addsd f4, f3       ; t = sum + y
+	movsd f5, f4
+	subsd f5, f1       ; (t - sum)
+	subsd f5, f3       ; c = (t - sum) - y
+	movsd f2, f5
+	movsd f1, f4
+	inc r0
+	cmp r0, [n]
+	jl kahan
+	outf f1
+	halt
+`
+
+// lorenzShort integrates Lorenz briefly: chaos inflates intervals fast.
+const lorenzShort = `
+.data
+x: .f64 1.0
+y: .f64 1.0
+z: .f64 1.0
+.text
+	mov r0, $0
+step:
+	movsd f0, [x]
+	movsd f1, [y]
+	movsd f2, [z]
+	movsd f3, f1
+	subsd f3, f0
+	mulsd f3, =10.0
+	movsd f4, =28.0
+	subsd f4, f2
+	mulsd f4, f0
+	subsd f4, f1
+	movsd f5, f0
+	mulsd f5, f1
+	movsd f6, f2
+	mulsd f6, =2.66666666666666666
+	subsd f5, f6
+	mulsd f3, =0.01
+	addsd f0, f3
+	mulsd f4, =0.01
+	addsd f1, f4
+	mulsd f5, =0.01
+	addsd f2, f5
+	movsd [x], f0
+	movsd [y], f1
+	movsd [z], f2
+	inc r0
+	cmp r0, $30
+	jl step
+	outf f0
+	mov r1, $0
+more:
+	; another 30 steps, then print again (watch the width grow)
+	mov r0, $0
+inner:
+	movsd f0, [x]
+	movsd f1, [y]
+	movsd f2, [z]
+	movsd f3, f1
+	subsd f3, f0
+	mulsd f3, =10.0
+	movsd f4, =28.0
+	subsd f4, f2
+	mulsd f4, f0
+	subsd f4, f1
+	movsd f5, f0
+	mulsd f5, f1
+	movsd f6, f2
+	mulsd f6, =2.66666666666666666
+	subsd f5, f6
+	mulsd f3, =0.01
+	addsd f0, f3
+	mulsd f4, =0.01
+	addsd f1, f4
+	mulsd f5, =0.01
+	addsd f2, f5
+	movsd [x], f0
+	movsd [y], f1
+	movsd [z], f2
+	inc r0
+	cmp r0, $30
+	jl inner
+	outf f0
+	inc r1
+	cmp r1, $3
+	jl more
+	halt
+`
+
+func runInterval(src string) ([]string, error) {
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	m, err := machine.New(prog, &out)
+	if err != nil {
+		return nil, err
+	}
+	fpvm.Attach(m, fpvm.Config{System: arith.IntervalSystem{}})
+	if err := m.Run(0); err != nil {
+		return nil, err
+	}
+	return strings.Split(strings.TrimSpace(out.String()), "\n"), nil
+}
+
+func main() {
+	fmt.Println("FPVM + interval arithmetic: the binary certifies its own rounding error.")
+	fmt.Println()
+
+	lines, err := runInterval(kahanDemo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(lines) != 2 {
+		log.Fatalf("expected 2 outputs, got %v", lines)
+	}
+	fmt.Println("Summing 0.1 ten thousand times (exact answer: 1000):")
+	fmt.Printf("  naive summation:  %s\n", lines[0])
+	fmt.Printf("  Kahan summation:  %s\n", lines[1])
+	fmt.Println()
+	fmt.Println("The naive sum gets a tight certified bound (the exact value provably")
+	fmt.Println("lies inside). Kahan summation, famously, defeats naive interval")
+	fmt.Println("arithmetic: its compensation term is anti-correlated with the sum, a")
+	fmt.Println("dependency intervals cannot see, so the enclosure explodes even though")
+	fmt.Println("the actual Kahan error is tiny — the classic dependency problem.")
+	fmt.Println()
+
+	lines, err = runInterval(lorenzShort)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Lorenz attractor, x coordinate enclosure every 30 steps:")
+	for i, l := range lines {
+		fmt.Printf("  t=%0.1f  %s\n", float64((i+1)*30)*0.01, l)
+	}
+	fmt.Println()
+	fmt.Println("Chaos inflates the enclosure exponentially: interval arithmetic proves")
+	fmt.Println("(not merely suggests) that long double-precision Lorenz trajectories")
+	fmt.Println("carry no certified digits — the quantitative face of Figure 13.")
+}

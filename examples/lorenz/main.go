@@ -1,0 +1,72 @@
+// The lorenz example reproduces Figure 13: the same Lorenz-system binary
+// run under IEEE doubles, FPVM+Vanilla (identical), and FPVM+MPFR
+// (divergent), with an ASCII rendering of the x-coordinate trajectories.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"fpvm/internal/experiments"
+)
+
+func main() {
+	res, err := experiments.Fig13Data(experiments.Options{W: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Lorenz attractor, x(t): '·' IEEE, 'o' FPVM+MPFR, '#' both (Figure 13)")
+	fmt.Println()
+
+	// ASCII plot: time on the vertical axis, x in [-25, 25] horizontally.
+	const width = 72
+	col := func(x float64) int {
+		c := int((x + 25) / 50 * float64(width))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	step := len(res.IEEE) / 40
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(res.IEEE); i += step {
+		row := make([]byte, width)
+		for j := range row {
+			row[j] = ' '
+		}
+		ci, cm := col(res.IEEE[i][0]), col(res.MPFR[i][0])
+		row[ci] = '.'
+		if cm == ci {
+			row[cm] = '#'
+		} else {
+			row[cm] = 'o'
+		}
+		fmt.Printf("t=%5.2f |%s|\n", float64(i)*25*0.02, row)
+	}
+
+	last := len(res.IEEE) - 1
+	fmt.Println()
+	fmt.Printf("final IEEE state:        (%+.6f, %+.6f, %+.6f)\n",
+		res.IEEE[last][0], res.IEEE[last][1], res.IEEE[last][2])
+	fmt.Printf("final FPVM-Vanilla:      (%+.6f, %+.6f, %+.6f)  identical: %v\n",
+		res.Vanilla[last][0], res.Vanilla[last][1], res.Vanilla[last][2],
+		res.IEEE[last] == res.Vanilla[last])
+	fmt.Printf("final FPVM-MPFR(200):    (%+.6f, %+.6f, %+.6f)\n",
+		res.MPFR[last][0], res.MPFR[last][1], res.MPFR[last][2])
+	if res.DivergenceStep >= 0 {
+		fmt.Printf("\ntrajectories separate beyond 1.0 at t = %.2f: every rounding event\n",
+			float64(res.DivergenceStep)*25*0.02)
+		fmt.Println("is a perturbation, and the chaotic dynamics amplify it exponentially (§5.4).")
+	}
+	d := math.Hypot(math.Hypot(res.IEEE[last][0]-res.MPFR[last][0],
+		res.IEEE[last][1]-res.MPFR[last][1]), res.IEEE[last][2]-res.MPFR[last][2])
+	fmt.Printf("final-state distance: %.3f\n", d)
+}

@@ -1,0 +1,117 @@
+// The precision example sweeps MPFR precision and watches two quantities:
+//
+//  1. For the Lorenz system: how long the FPVM trajectory tracks a very
+//     high precision (4096-bit) reference before chaos separates them —
+//     the paper's §5.4 divergence, quantified as a function of precision.
+//  2. The Figure 11 tradeoff: measured per-operation cost of this
+//     repository's from-scratch MPFR at each precision, against the
+//     fixed per-trap virtualization budget.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/asm"
+	"fpvm/internal/fpvm"
+	"fpvm/internal/machine"
+	"fpvm/internal/mpfr"
+	"fpvm/internal/workloads"
+)
+
+// trajectory runs Lorenz under FPVM at the given precision and returns the
+// sampled x coordinates.
+func trajectory(prec uint) ([]float64, error) {
+	prog, err := asm.Assemble(workloads.LorenzSource(2500, 25, 0.02))
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	m, err := machine.New(prog, &out)
+	if err != nil {
+		return nil, err
+	}
+	fpvm.Attach(m, fpvm.Config{System: arith.NewMPFR(prec)})
+	if err := m.Run(0); err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(out.String())
+	var xs []float64
+	for i := 0; i+2 < len(fields); i += 3 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, v)
+	}
+	return xs, nil
+}
+
+func main() {
+	fmt.Println("Tracking horizon of the Lorenz system vs working precision")
+	fmt.Println("(reference: FPVM + MPFR 4096-bit; dt=0.02, 2500 steps)")
+	fmt.Println()
+
+	ref, err := trajectory(4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%12s %18s\n", "prec (bits)", "tracks until t =")
+	for _, prec := range []uint{53, 64, 96, 128, 192, 256, 384, 512} {
+		xs, err := trajectory(prec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		horizon := len(xs)
+		for i := range xs {
+			if i < len(ref) && math.Abs(xs[i]-ref[i]) > 1.0 {
+				horizon = i
+				break
+			}
+		}
+		fmt.Printf("%12d %17.2fs\n", prec, float64(horizon)*25*0.02)
+	}
+	fmt.Println()
+	fmt.Println("Each extra bit of precision buys ~constant extra tracking time —")
+	fmt.Println("the Lyapunov exponent converts precision into prediction horizon.")
+
+	fmt.Println()
+	fmt.Println("Per-operation cost of the from-scratch MPFR (measured on this host):")
+	fmt.Printf("%12s %12s %12s %14s\n", "prec (bits)", "add (ns)", "div (ns)", "vs 12k-cycle trap")
+	for _, prec := range []uint{64, 256, 1024, 4096, 16384} {
+		x, y, z := mpfr.New(prec), mpfr.New(prec), mpfr.New(prec)
+		x.SetUint64(2, mpfr.RoundNearestEven)
+		x.Sqrt(x, mpfr.RoundNearestEven)
+		y.SetUint64(3, mpfr.RoundNearestEven)
+		y.Sqrt(y, mpfr.RoundNearestEven)
+		iters := 200000
+		if prec > 2048 {
+			iters = 5000
+		}
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			z.Add(x, y, mpfr.RoundNearestEven)
+		}
+		addNs := float64(time.Since(t0).Nanoseconds()) / float64(iters)
+		t0 = time.Now()
+		for i := 0; i < iters; i++ {
+			z.Div(x, y, mpfr.RoundNearestEven)
+		}
+		divNs := float64(time.Since(t0).Nanoseconds()) / float64(iters)
+		verdict := "virtualization dominates"
+		if divNs*2.1 > 12000 {
+			verdict = "arithmetic dominates"
+		}
+		fmt.Printf("%12d %12.0f %12.0f   %s\n", prec, addNs, divNs, verdict)
+	}
+	fmt.Println()
+	fmt.Println("This is the Figure 11 crossover: once an operation costs more than the")
+	fmt.Println("~12,000-cycle trap budget, FPVM's overhead no longer matters (§5.3).")
+}

@@ -1,0 +1,3 @@
+module fpvm
+
+go 1.22

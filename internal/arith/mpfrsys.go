@@ -1,0 +1,208 @@
+package arith
+
+import (
+	"fmt"
+
+	"fpvm/internal/fpu"
+	"fpvm/internal/mpfr"
+)
+
+// MPFRSystem plugs the arbitrary-precision mpfr package into FPVM, the
+// analog of the paper's GNU MPFR port. Precision is selected at
+// construction, like the paper's compile-time/environment parameter
+// (200 bits in the evaluation).
+type MPFRSystem struct {
+	prec uint
+	rnd  mpfr.RoundingMode
+}
+
+var _ System = (*MPFRSystem)(nil)
+
+// NewMPFR returns an MPFR arithmetic system with the given precision in
+// bits (the paper's evaluation uses 200).
+func NewMPFR(prec uint) *MPFRSystem {
+	return &MPFRSystem{prec: prec, rnd: mpfr.RoundNearestEven}
+}
+
+// Name returns "mpfr<prec>".
+func (s *MPFRSystem) Name() string { return fmt.Sprintf("mpfr%d", s.prec) }
+
+// Prec returns the working precision in bits.
+func (s *MPFRSystem) Prec() uint { return s.prec }
+
+func (s *MPFRSystem) get(v Value) *mpfr.Float { return v.(*mpfr.Float) }
+
+func (s *MPFRSystem) new() *mpfr.Float { return mpfr.New(s.prec) }
+
+// Apply evaluates op at the configured precision.
+func (s *MPFRSystem) Apply(op Op, args ...Value) Value {
+	z := s.new()
+	a := func(i int) *mpfr.Float { return s.get(args[i]) }
+	switch op {
+	case OpAdd:
+		z.Add(a(0), a(1), s.rnd)
+	case OpSub:
+		z.Sub(a(0), a(1), s.rnd)
+	case OpMul:
+		z.Mul(a(0), a(1), s.rnd)
+	case OpDiv:
+		z.Div(a(0), a(1), s.rnd)
+	case OpSqrt:
+		z.Sqrt(a(0), s.rnd)
+	case OpFMA:
+		z.FMA(a(0), a(1), a(2), s.rnd)
+	case OpMin:
+		// x64 semantics: NaN or tie → second operand.
+		if !a(0).IsNaN() && !a(1).IsNaN() && a(0).Cmp(a(1)) < 0 {
+			z.Set(a(0), s.rnd)
+		} else {
+			z.Set(a(1), s.rnd)
+		}
+	case OpMax:
+		if !a(0).IsNaN() && !a(1).IsNaN() && a(0).Cmp(a(1)) > 0 {
+			z.Set(a(0), s.rnd)
+		} else {
+			z.Set(a(1), s.rnd)
+		}
+	case OpAbs:
+		z.Abs(a(0), s.rnd)
+	case OpNeg:
+		z.Neg(a(0), s.rnd)
+	case OpSin:
+		z.Sin(a(0), s.rnd)
+	case OpCos:
+		z.Cos(a(0), s.rnd)
+	case OpTan:
+		z.Tan(a(0), s.rnd)
+	case OpAsin:
+		z.Asin(a(0), s.rnd)
+	case OpAcos:
+		z.Acos(a(0), s.rnd)
+	case OpAtan:
+		z.Atan(a(0), s.rnd)
+	case OpAtan2:
+		z.Atan2(a(0), a(1), s.rnd)
+	case OpExp:
+		z.Exp(a(0), s.rnd)
+	case OpLog:
+		z.Log(a(0), s.rnd)
+	case OpLog2:
+		z.Log2(a(0), s.rnd)
+	case OpLog10:
+		z.Log10(a(0), s.rnd)
+	case OpPow:
+		z.Pow(a(0), a(1), s.rnd)
+	case OpMod:
+		s.mod(z, a(0), a(1))
+	case OpHypot:
+		z.Hypot(a(0), a(1), s.rnd)
+	case OpFloor:
+		z.Floor(a(0))
+	case OpCeil:
+		z.Ceil(a(0))
+	case OpRound:
+		z.Round(a(0))
+	case OpTrunc:
+		z.Trunc(a(0))
+	default:
+		panic("mpfr system: bad op " + op.String())
+	}
+	return z
+}
+
+// mod computes the truncated remainder a − trunc(a/b)·b.
+func (s *MPFRSystem) mod(z, a, b *mpfr.Float) {
+	if a.IsNaN() || b.IsNaN() || a.IsInf() || b.IsZero() {
+		z.SetNaN()
+		return
+	}
+	if b.IsInf() || a.IsZero() {
+		z.Set(a, s.rnd)
+		return
+	}
+	q := mpfr.New(s.prec + 64)
+	q.Div(a, b, mpfr.RoundTowardZero)
+	q.Trunc(q)
+	t := mpfr.New(s.prec + 64)
+	t.Mul(q, b, mpfr.RoundNearestEven)
+	z.Sub(a, t, s.rnd)
+}
+
+// FromFloat64 promotes an IEEE double exactly (prec >= 53 loses nothing).
+func (s *MPFRSystem) FromFloat64(v float64) Value {
+	z := s.new()
+	z.SetFloat64(v, s.rnd)
+	return z
+}
+
+// ToFloat64 demotes with correct rounding to binary64.
+func (s *MPFRSystem) ToFloat64(v Value) float64 {
+	return s.get(v).Float64(mpfr.RoundNearestEven)
+}
+
+// FromInt64 promotes an integer.
+func (s *MPFRSystem) FromInt64(i int64) Value {
+	z := s.new()
+	z.SetInt64(i, s.rnd)
+	return z
+}
+
+// ToInt64 converts with the given rounding control.
+func (s *MPFRSystem) ToInt64(v Value, rc fpu.RoundingControl) (int64, bool) {
+	var m mpfr.RoundingMode
+	switch rc {
+	case fpu.RCDown:
+		m = mpfr.RoundTowardNegative
+	case fpu.RCUp:
+		m = mpfr.RoundTowardPositive
+	case fpu.RCZero:
+		m = mpfr.RoundTowardZero
+	default:
+		m = mpfr.RoundNearestEven
+	}
+	return s.get(v).Int64(m)
+}
+
+// Compare orders two values; NaNs are unordered.
+func (s *MPFRSystem) Compare(a, b Value) (int, bool) {
+	x, y := s.get(a), s.get(b)
+	if x.IsNaN() || y.IsNaN() {
+		return 0, true
+	}
+	return x.Cmp(y), false
+}
+
+// IsNaN reports whether v is NaN.
+func (s *MPFRSystem) IsNaN(v Value) bool { return s.get(v).IsNaN() }
+
+// Format renders the shadow value at full precision for hijacked output.
+func (s *MPFRSystem) Format(v Value) string { return s.get(v).Text(0) }
+
+// OpCycles estimates per-op cost in cycles as a function of precision,
+// calibrated so the 200-bit points match the paper's §5.3 measurements
+// (add ≈ 93 cycles, divide ≈ 2175 cycles) and the growth shapes match
+// Figure 11 (linear add, quadratic mul/div at large precision).
+func (s *MPFRSystem) OpCycles(op Op) uint64 {
+	l := uint64((s.prec + 63) / 64) // limb count
+	add := 45 + 12*l
+	mul := 55 + 12*l*l
+	div := 90 + 130*l*l
+	switch op {
+	case OpAdd, OpSub, OpAbs, OpNeg, OpMin, OpMax, OpFloor, OpCeil, OpRound, OpTrunc:
+		return add
+	case OpMul:
+		return mul
+	case OpFMA:
+		return mul + add
+	case OpDiv, OpMod:
+		return div
+	case OpSqrt:
+		return 2 * div
+	case OpSin, OpCos, OpTan, OpAsin, OpAcos, OpAtan, OpAtan2,
+		OpExp, OpLog, OpLog2, OpLog10, OpPow, OpHypot:
+		// Series evaluation: O(prec) multiplications of guarded precision.
+		return 10 * div
+	default:
+		return add
+	}
+}

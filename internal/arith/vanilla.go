@@ -1,0 +1,143 @@
+package arith
+
+import (
+	"math"
+	"strconv"
+
+	"fpvm/internal/fpu"
+)
+
+// Vanilla is the validation arithmetic system of §4.3: it re-implements
+// IEEE binary64 semantics using the host's float64. Running a program under
+// FPVM with Vanilla plugged in must produce bit-identical results to native
+// execution — the §5.2 validation experiment.
+type Vanilla struct{}
+
+var _ System = Vanilla{}
+
+// Name returns "vanilla".
+func (Vanilla) Name() string { return "vanilla" }
+
+// Apply evaluates op in IEEE binary64.
+func (Vanilla) Apply(op Op, args ...Value) Value {
+	a := func(i int) float64 { return args[i].(float64) }
+	switch op {
+	case OpAdd:
+		return a(0) + a(1)
+	case OpSub:
+		return a(0) - a(1)
+	case OpMul:
+		return a(0) * a(1)
+	case OpDiv:
+		return a(0) / a(1)
+	case OpSqrt:
+		return math.Sqrt(a(0))
+	case OpFMA:
+		return math.FMA(a(0), a(1), a(2))
+	case OpMin:
+		// x64 semantics: NaN or tie yields the second operand.
+		if a(0) < a(1) {
+			return a(0)
+		}
+		return a(1)
+	case OpMax:
+		if a(0) > a(1) {
+			return a(0)
+		}
+		return a(1)
+	case OpAbs:
+		return math.Abs(a(0))
+	case OpNeg:
+		return -a(0)
+	case OpSin:
+		return math.Sin(a(0))
+	case OpCos:
+		return math.Cos(a(0))
+	case OpTan:
+		return math.Tan(a(0))
+	case OpAsin:
+		return math.Asin(a(0))
+	case OpAcos:
+		return math.Acos(a(0))
+	case OpAtan:
+		return math.Atan(a(0))
+	case OpAtan2:
+		return math.Atan2(a(0), a(1))
+	case OpExp:
+		return math.Exp(a(0))
+	case OpLog:
+		return math.Log(a(0))
+	case OpLog2:
+		return math.Log2(a(0))
+	case OpLog10:
+		return math.Log10(a(0))
+	case OpPow:
+		return math.Pow(a(0), a(1))
+	case OpMod:
+		return math.Mod(a(0), a(1))
+	case OpHypot:
+		return math.Hypot(a(0), a(1))
+	case OpFloor:
+		return math.Floor(a(0))
+	case OpCeil:
+		return math.Ceil(a(0))
+	case OpRound:
+		return math.Round(a(0))
+	case OpTrunc:
+		return math.Trunc(a(0))
+	default:
+		panic("vanilla: bad op " + op.String())
+	}
+}
+
+// FromFloat64 promotes an IEEE double (identity for Vanilla).
+func (Vanilla) FromFloat64(v float64) Value { return v }
+
+// ToFloat64 demotes to an IEEE double (identity for Vanilla).
+func (Vanilla) ToFloat64(v Value) float64 { return v.(float64) }
+
+// FromInt64 converts an integer.
+func (Vanilla) FromInt64(i int64) Value { return float64(i) }
+
+// ToInt64 converts to an integer with x64 cvtsd2si semantics.
+func (Vanilla) ToInt64(v Value, rc fpu.RoundingControl) (int64, bool) {
+	r := fpu.Cvtsd2si(v.(float64), rc)
+	return r.Value, r.Flags&fpu.FlagInvalid == 0
+}
+
+// Compare orders two doubles; NaNs are unordered.
+func (Vanilla) Compare(a, b Value) (int, bool) {
+	x, y := a.(float64), b.(float64)
+	if math.IsNaN(x) || math.IsNaN(y) {
+		return 0, true
+	}
+	switch {
+	case x < y:
+		return -1, false
+	case x > y:
+		return 1, false
+	default:
+		return 0, false
+	}
+}
+
+// IsNaN reports whether v is a NaN.
+func (Vanilla) IsNaN(v Value) bool { return math.IsNaN(v.(float64)) }
+
+// Format renders the value like printf %g.
+func (Vanilla) Format(v Value) string {
+	return strconv.FormatFloat(v.(float64), 'g', -1, 64)
+}
+
+// OpCycles reports the (small) cost of host-double emulation.
+func (Vanilla) OpCycles(op Op) uint64 {
+	switch op {
+	case OpDiv, OpSqrt, OpMod:
+		return 30
+	case OpSin, OpCos, OpTan, OpAsin, OpAcos, OpAtan, OpAtan2,
+		OpExp, OpLog, OpLog2, OpLog10, OpPow, OpHypot:
+		return 130
+	default:
+		return 12
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/mpfr"
+)
+
+// Fig11Row holds measured and modeled MPFR operation costs at one precision.
+type Fig11Row struct {
+	PrecBits  uint
+	AddCycles float64 // measured on the host, converted at 2.1 GHz
+	SubCycles float64
+	MulCycles float64
+	DivCycles float64
+	ModelAdd  uint64 // the simulator cost model's value
+	ModelMul  uint64
+	ModelDiv  uint64
+}
+
+// Fig11Data sweeps precision and measures our mpfr implementation, the
+// analog of the paper's Figure 11 (which sweeps 2^5..2^30 bits and marks
+// where the operands spill out of L1/L2/L3).
+func Fig11Data(o Options) ([]Fig11Row, error) {
+	o.defaults()
+	maxLog := 14
+	if o.Quick {
+		maxLog = 11
+	}
+	var rows []Fig11Row
+	for lg := 5; lg <= maxLog; lg++ {
+		prec := uint(1) << lg
+		x := mpfr.New(prec)
+		y := mpfr.New(prec)
+		z := mpfr.New(prec)
+		// Full-precision operands (irrational square roots).
+		x.SetUint64(2, mpfr.RoundNearestEven)
+		x.Sqrt(x, mpfr.RoundNearestEven)
+		y.SetUint64(3, mpfr.RoundNearestEven)
+		y.Sqrt(y, mpfr.RoundNearestEven)
+
+		iters := 2000000 >> lg // keep each measurement ~comparable work
+		if iters < 8 {
+			iters = 8
+		}
+		measure := func(op func()) float64 {
+			// Best of three: the minimum is the noise-robust estimator.
+			best := math.Inf(1)
+			for rep := 0; rep < 3; rep++ {
+				start := time.Now()
+				for i := 0; i < iters; i++ {
+					op()
+				}
+				ns := float64(time.Since(start).Nanoseconds()) / float64(iters)
+				if ns < best {
+					best = ns
+				}
+			}
+			return best * 2.1 // cycles at 2.1 GHz
+		}
+		sys := arith.NewMPFR(prec)
+		row := Fig11Row{
+			PrecBits:  prec,
+			AddCycles: measure(func() { z.Add(x, y, mpfr.RoundNearestEven) }),
+			SubCycles: measure(func() { z.Sub(x, y, mpfr.RoundNearestEven) }),
+			MulCycles: measure(func() { z.Mul(x, y, mpfr.RoundNearestEven) }),
+			DivCycles: measure(func() { z.Div(x, y, mpfr.RoundNearestEven) }),
+			ModelAdd:  sys.OpCycles(arith.OpAdd),
+			ModelMul:  sys.OpCycles(arith.OpMul),
+			ModelDiv:  sys.OpCycles(arith.OpDiv),
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig11 prints MPFR operation cost as a function of precision. The paper's
+// analysis point: with a ~12,000-cycle virtualization cost, MPFR begins to
+// dominate at 2^13 bits (divide) to 2^18 bits (add); with the §6
+// optimizations (~4,000 cycles), at 2^8 to 2^16 bits.
+func Fig11(o Options) error {
+	o.defaults()
+	rows, err := Fig11Data(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(o.W, "Figure 11: Performance of MPFR operations vs precision (cycles/op)")
+	fmt.Fprintf(o.W, "%10s %12s %12s %12s %12s | %10s %10s %10s\n",
+		"prec(bits)", "add", "sub", "mul", "div", "model-add", "model-mul", "model-div")
+	for _, r := range rows {
+		fmt.Fprintf(o.W, "%10d %12.0f %12.0f %12.0f %12.0f | %10d %10d %10d\n",
+			r.PrecBits, r.AddCycles, r.SubCycles, r.MulCycles, r.DivCycles,
+			r.ModelAdd, r.ModelMul, r.ModelDiv)
+	}
+	// Crossover analysis against the measured per-trap cost.
+	fmt.Fprintln(o.W, "\nCrossover vs virtualization cost (arithmetic dominates when op cost > per-trap cost):")
+	for _, budget := range []float64{12000, 4000} {
+		addX, divX := "-", "-"
+		for _, r := range rows {
+			if addX == "-" && r.AddCycles > budget {
+				addX = fmt.Sprintf("2^%d", log2u(r.PrecBits))
+			}
+			if divX == "-" && r.DivCycles > budget {
+				divX = fmt.Sprintf("2^%d", log2u(r.PrecBits))
+			}
+		}
+		fmt.Fprintf(o.W, "  budget %6.0f cycles: div dominates from %s bits, add from %s bits\n",
+			budget, divX, addX)
+	}
+	return nil
+}
+
+func log2u(v uint) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/trap"
+	"fpvm/internal/workloads"
+)
+
+// Fig12Row is one benchmark's slowdown on the three machine profiles.
+type Fig12Row struct {
+	Name      string
+	Specifics string
+	Slowdown  map[string]float64 // profile name → slowdown factor
+	Traps     uint64
+	FPFrac    float64 // dynamic FP instruction fraction (native)
+}
+
+// fig12Workloads mirrors the paper's Figure 12 row set. As in the paper,
+// the larger configurations (miniAero, CG Class A, Enzo) are run only on
+// the primary R815 profile.
+var fig12OnlyR815 = map[string]bool{
+	"miniAero": true, "Enzo": true,
+}
+
+// Fig12Data runs every benchmark natively and under FPVM+MPFR and computes
+// cycle-count slowdowns for the three machine profiles. One simulation per
+// benchmark suffices: the dynamic trace is machine-independent and only the
+// trap delivery cost varies across profiles (see RunResult.SlowdownOn).
+func Fig12Data(o Options) ([]Fig12Row, error) {
+	o.defaults()
+	var rows []Fig12Row
+	for _, w := range allFig12(o) {
+		r, err := runPair(w, arith.NewMPFR(o.Prec), o)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig12Row{
+			Name:      w.Name,
+			Specifics: w.Specifics,
+			Slowdown:  map[string]float64{},
+			Traps:     r.VM.Stats.Traps,
+			FPFrac:    float64(r.Native.Stats.FPInstructions) / float64(r.Native.Stats.Instructions),
+		}
+		for _, p := range trap.Profiles() {
+			if p.Name != "R815" && (fig12OnlyR815[w.Name] || w.Specifics == "Class A") {
+				continue
+			}
+			row.Slowdown[p.Name] = r.SlowdownOn(p, trap.DeliverUserSignal)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func allFig12(o Options) []workloads.Workload {
+	var out []workloads.Workload
+	for _, w := range workloads.All() {
+		if o.Quick && (w.Specifics == "Class A") {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// Fig12 prints the benchmark slowdown summary (paper Figure 12: 204× for
+// IS up to ~12,000× for CG, similar across the three machines).
+func Fig12(o Options) error {
+	o.defaults()
+	rows, err := Fig12Data(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.W, "Figure 12: Summary of benchmark slowdowns (FPVM + MPFR %d-bit)\n", o.Prec)
+	fmt.Fprintf(o.W, "%-18s %-14s %10s %10s %10s %9s %7s\n",
+		"benchmark", "specifics", "R815", "7220", "R730xd", "traps", "fp%")
+	for _, r := range rows {
+		cell := func(p string) string {
+			if v, ok := r.Slowdown[p]; ok {
+				return fmt.Sprintf("%9.0fx", v)
+			}
+			return fmt.Sprintf("%10s", "—")
+		}
+		fmt.Fprintf(o.W, "%-18s %-14s %s %s %s %9d %6.1f%%\n",
+			r.Name, r.Specifics, cell("R815"), cell("7220"), cell("R730xd"),
+			r.Traps, 100*r.FPFrac)
+	}
+	fmt.Fprintln(o.W, "\nSlowdowns are deterministic cycle-count ratios; the dynamic FP fraction and")
+	fmt.Fprintln(o.W, "per-op emulation cost drive the spread, as in the paper (IS lowest, CG/LU/MG highest).")
+	return nil
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/asm"
+	"fpvm/internal/fpvm"
+	"fpvm/internal/machine"
+	"fpvm/internal/workloads"
+)
+
+// Fig13Result holds the three Lorenz trajectories of the paper's Figure 13.
+type Fig13Result struct {
+	// Each trajectory is a sequence of (x, y, z) samples; the last entry
+	// is the final state.
+	IEEE, Vanilla, MPFR [][3]float64
+	// DivergenceStep is the first sample index at which the MPFR and IEEE
+	// trajectories differ by more than 1.0 in any coordinate.
+	DivergenceStep int
+}
+
+// lorenzTrajectory runs the Lorenz workload under the given system (nil =
+// native IEEE) and parses the printed trajectory samples.
+func lorenzTrajectory(sys arith.System, o Options) ([][3]float64, error) {
+	src := workloads.LorenzSource(workloads.LorenzSteps, 25, 0.02)
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	m, err := machine.New(prog, &out)
+	if err != nil {
+		return nil, err
+	}
+	if sys != nil {
+		fpvm.Attach(m, fpvm.Config{System: sys})
+	}
+	if err := m.Run(0); err != nil {
+		return nil, err
+	}
+	return parseTriples(out.String())
+}
+
+func parseTriples(s string) ([][3]float64, error) {
+	fields := strings.Fields(s)
+	if len(fields)%3 != 0 {
+		return nil, fmt.Errorf("trajectory output not in triples: %d values", len(fields))
+	}
+	var out [][3]float64
+	for i := 0; i+2 < len(fields); i += 3 {
+		var t [3]float64
+		for j := 0; j < 3; j++ {
+			v, err := strconv.ParseFloat(fields[i+j], 64)
+			if err != nil {
+				return nil, err
+			}
+			t[j] = v
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig13Data produces the three trajectories and the divergence point.
+func Fig13Data(o Options) (*Fig13Result, error) {
+	o.defaults()
+	ieee, err := lorenzTrajectory(nil, o)
+	if err != nil {
+		return nil, fmt.Errorf("IEEE run: %w", err)
+	}
+	van, err := lorenzTrajectory(arith.Vanilla{}, o)
+	if err != nil {
+		return nil, fmt.Errorf("vanilla run: %w", err)
+	}
+	mp, err := lorenzTrajectory(arith.NewMPFR(o.Prec), o)
+	if err != nil {
+		return nil, fmt.Errorf("mpfr run: %w", err)
+	}
+	res := &Fig13Result{IEEE: ieee, Vanilla: van, MPFR: mp, DivergenceStep: -1}
+	for i := range ieee {
+		if i >= len(mp) {
+			break
+		}
+		for j := 0; j < 3; j++ {
+			if math.Abs(ieee[i][j]-mp[i][j]) > 1.0 {
+				res.DivergenceStep = i
+				break
+			}
+		}
+		if res.DivergenceStep >= 0 {
+			break
+		}
+	}
+	return res, nil
+}
+
+// Fig13 reproduces the Lorenz divergence study: IEEE and FPVM-Vanilla are
+// identical (validating the emulator), while FPVM-MPFR diverges because its
+// rounding events differ — chaotic sensitivity amplifies them (§5.4).
+func Fig13(o Options) error {
+	o.defaults()
+	res, err := Fig13Data(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.W, "Figure 13: Lorenz system, %d steps, sampled every 25 steps (x coordinate)\n",
+		workloads.LorenzSteps)
+	fmt.Fprintf(o.W, "%8s %14s %14s %14s %12s\n", "sample", "IEEE", "FPVM-Vanilla", "FPVM-MPFR", "|IEEE-MPFR|")
+	for i := 0; i < len(res.IEEE); i += 8 {
+		d := math.Abs(res.IEEE[i][0] - res.MPFR[i][0])
+		fmt.Fprintf(o.W, "%8d %14.6f %14.6f %14.6f %12.3g\n",
+			i*25, res.IEEE[i][0], res.Vanilla[i][0], res.MPFR[i][0], d)
+	}
+	last := len(res.IEEE) - 1
+	fmt.Fprintf(o.W, "\nfinal state   IEEE: (%.6f, %.6f, %.6f)\n",
+		res.IEEE[last][0], res.IEEE[last][1], res.IEEE[last][2])
+	fmt.Fprintf(o.W, "final state   MPFR: (%.6f, %.6f, %.6f)\n",
+		res.MPFR[last][0], res.MPFR[last][1], res.MPFR[last][2])
+	identical := len(res.IEEE) == len(res.Vanilla)
+	for i := range res.IEEE {
+		if res.IEEE[i] != res.Vanilla[i] {
+			identical = false
+			break
+		}
+	}
+	fmt.Fprintf(o.W, "IEEE == FPVM-Vanilla (validation): %v\n", identical)
+	if res.DivergenceStep >= 0 {
+		fmt.Fprintf(o.W, "IEEE vs MPFR trajectories diverge beyond 1.0 at sample %d (step %d)\n",
+			res.DivergenceStep, res.DivergenceStep*25)
+	} else {
+		fmt.Fprintln(o.W, "IEEE vs MPFR trajectories did not diverge (unexpected)")
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/posit"
+)
+
+// SystemsRow is one arithmetic system's outcome on the comparison workload.
+type SystemsRow struct {
+	Name       string
+	FinalX     string // first final output value
+	Identical  bool   // bit-identical to native IEEE
+	Traps      uint64
+	PerTrapCyc float64
+}
+
+// SystemsData runs the three-body workload under every arithmetic system in
+// the repository — the paper's three ports (Vanilla, MPFR, posit) plus this
+// reproduction's extensions (adaptive MPFR, interval, bfloat16) — and
+// summarizes results and costs.
+func SystemsData(o Options) ([]SystemsRow, error) {
+	o.defaults()
+	systems := []arith.System{
+		arith.Vanilla{},
+		arith.NewMPFR(o.Prec),
+		arith.NewAdaptiveMPFR(64, 16*o.Prec),
+		arith.NewPosit(posit.Posit32),
+		arith.NewPosit(posit.Posit16),
+		arith.IntervalSystem{},
+		arith.BFloat16System{},
+	}
+	ws, err := selectWorkloads([]string{"Three-Body/"})
+	if err != nil {
+		return nil, err
+	}
+	var rows []SystemsRow
+	for _, sys := range systems {
+		r, err := runPair(ws[0], sys, o)
+		if err != nil {
+			return nil, err
+		}
+		perTrap := 0.0
+		if r.VM.Stats.Traps > 0 {
+			c := r.VM.Stats.Cycles
+			perTrap = float64(r.Virt.Stats.Trap.TotalCycles()+c.Decode+c.Bind+c.Emulate+c.GC) /
+				float64(r.VM.Stats.Traps)
+		}
+		firstLine := r.VirtOut
+		if i := strings.IndexByte(firstLine, '\n'); i > 0 {
+			firstLine = firstLine[:i]
+		}
+		rows = append(rows, SystemsRow{
+			Name:       sys.Name(),
+			FinalX:     firstLine,
+			Identical:  r.VirtOut == r.NativeOut,
+			Traps:      r.VM.Stats.Traps,
+			PerTrapCyc: perTrap,
+		})
+	}
+	return rows, nil
+}
+
+// Systems prints the arithmetic-system comparison: the same binary under
+// every pluggable arithmetic, demonstrating the §4.3 interface's breadth.
+func Systems(o Options) error {
+	o.defaults()
+	rows, err := SystemsData(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(o.W, "One binary (Three-Body), every arithmetic system (§4.3 interface):")
+	fmt.Fprintf(o.W, "%-22s %-42s %-10s %8s %12s\n",
+		"system", "body-0 x (first output)", "==IEEE", "traps", "cycles/trap")
+	for _, r := range rows {
+		x := r.FinalX
+		if len(x) > 40 {
+			x = x[:37] + "..."
+		}
+		fmt.Fprintf(o.W, "%-22s %-42s %-10v %8d %12.0f\n",
+			r.Name, x, r.Identical, r.Traps, r.PerTrapCyc)
+	}
+	fmt.Fprintln(o.W, "\nVanilla validates (bit-identical); high-precision systems agree among")
+	fmt.Fprintln(o.W, "themselves; narrow formats (posit16, bfloat16) visibly distort the orbit;")
+	fmt.Fprintln(o.W, "the interval system's output carries its own error certificate.")
+	return nil
+}

@@ -1,0 +1,293 @@
+package fpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSubFlags(t *testing.T) {
+	if r := Sub(5, 3); r.Value != 2 || r.Flags != 0 {
+		t.Errorf("5-3: %v %v", r.Value, r.Flags)
+	}
+	if r := Sub(math.Inf(1), math.Inf(1)); r.Flags&FlagInvalid == 0 {
+		t.Error("Inf - Inf should be IE")
+	}
+	if r := Sub(math.Inf(1), math.Inf(-1)); !math.IsInf(r.Value, 1) || r.Flags&FlagInvalid != 0 {
+		t.Error("Inf - -Inf should be +Inf without IE")
+	}
+	if r := Sub(1, 1e-30); r.Flags&FlagInexact == 0 {
+		t.Error("1 - 1e-30 should round")
+	}
+	if r := Sub(math.NaN(), 1); !math.IsNaN(r.Value) || r.Flags&FlagInvalid != 0 {
+		t.Error("qNaN propagates quietly")
+	}
+}
+
+func TestMulDivInfinities(t *testing.T) {
+	if r := Mul(math.Inf(1), 2); !math.IsInf(r.Value, 1) || r.Flags != 0 {
+		t.Error("Inf * 2")
+	}
+	if r := Mul(math.Inf(1), -2); !math.IsInf(r.Value, -1) {
+		t.Error("Inf * -2")
+	}
+	if r := Div(math.Inf(1), 2); !math.IsInf(r.Value, 1) {
+		t.Error("Inf / 2")
+	}
+	if r := Div(2, math.Inf(1)); r.Value != 0 {
+		t.Error("2 / Inf")
+	}
+	if r := Div(math.Inf(1), math.Inf(1)); r.Flags&FlagInvalid == 0 {
+		t.Error("Inf/Inf should be IE")
+	}
+	if r := Div(0, 5); r.Value != 0 || r.Flags != 0 {
+		t.Error("0/5")
+	}
+}
+
+func TestSqrtInfAndNaN(t *testing.T) {
+	if r := Sqrt(math.Inf(1)); !math.IsInf(r.Value, 1) || r.Flags != 0 {
+		t.Error("sqrt(+Inf)")
+	}
+	if r := Sqrt(math.NaN()); !math.IsNaN(r.Value) || r.Flags&FlagInvalid != 0 {
+		t.Error("sqrt(qNaN) propagates quietly")
+	}
+	snan := math.Float64frombits(0x7FF0000000000002)
+	if r := Sqrt(snan); r.Flags&FlagInvalid == 0 {
+		t.Error("sqrt(sNaN) should be IE")
+	}
+}
+
+func TestFMAddMore(t *testing.T) {
+	if r := FMAdd(math.NaN(), 1, 1); !math.IsNaN(r.Value) || r.Flags&FlagInvalid != 0 {
+		t.Error("fma(qNaN,..) propagates quietly")
+	}
+	if r := FMAdd(math.Inf(1), 2, 3); !math.IsInf(r.Value, 1) {
+		t.Error("fma(Inf,2,3)")
+	}
+	if r := FMAdd(0.1, 0.1, 0.1); r.Flags&FlagInexact == 0 {
+		t.Error("fma(0.1,0.1,0.1) rounds")
+	}
+	if r := FMAdd(2, 2, 1); r.Value != 5 || r.Flags != 0 {
+		t.Error("fma(2,2,1) exact")
+	}
+	// Huge product overflows: OE+PE.
+	if r := FMAdd(1e300, 1e300, 0); r.Flags&FlagOverflow == 0 {
+		t.Error("fma overflow")
+	}
+}
+
+func TestTranscendentalBranches(t *testing.T) {
+	if r := Fcos(math.Inf(-1)); r.Flags&FlagInvalid == 0 {
+		t.Error("cos(-Inf) IE")
+	}
+	if r := Ftan(math.Inf(1)); r.Flags&FlagInvalid == 0 {
+		t.Error("tan(Inf) IE")
+	}
+	if r := Ftan(0); r.Value != 0 || r.Flags != 0 {
+		t.Error("tan(0) exact")
+	}
+	if r := Fasin(0); r.Value != 0 || r.Flags != 0 {
+		t.Error("asin(0) exact")
+	}
+	if r := Facos(0.5); r.Flags&FlagInexact == 0 {
+		t.Error("acos rounds")
+	}
+	if r := Facos(math.NaN()); !math.IsNaN(r.Value) {
+		t.Error("acos(NaN)")
+	}
+	if r := Fatan(0); r.Value != 0 || r.Flags != 0 {
+		t.Error("atan(0) exact")
+	}
+	if r := Fatan(math.Inf(1)); math.Abs(r.Value-math.Pi/2) > 1e-15 {
+		t.Error("atan(Inf) = pi/2")
+	}
+	if r := Fexp(math.Inf(1)); !math.IsInf(r.Value, 1) {
+		t.Error("exp(Inf)")
+	}
+	if r := Fexp(math.Inf(-1)); r.Value != 0 {
+		t.Error("exp(-Inf) = 0")
+	}
+	if r := Fexp(math.NaN()); !math.IsNaN(r.Value) {
+		t.Error("exp(NaN)")
+	}
+	if r := Flog(math.Inf(1)); !math.IsInf(r.Value, 1) || r.Flags != 0 {
+		t.Error("log(Inf)")
+	}
+	if r := Flog(math.NaN()); !math.IsNaN(r.Value) {
+		t.Error("log(NaN)")
+	}
+	if r := Flog10(1000); r.Value != 3 {
+		t.Error("log10(1000)")
+	}
+	if r := Flog2(1); r.Value != 0 || r.Flags&FlagInexact != 0 {
+		t.Error("log2(1) exact 0")
+	}
+	if r := Fsin(1); r.Flags&FlagInexact == 0 {
+		t.Error("sin(1) rounds")
+	}
+}
+
+func TestPowBranchesMore(t *testing.T) {
+	if r := Fpow(math.NaN(), 0); r.Value != 1 {
+		t.Error("pow(NaN,0) = 1 (IEEE)")
+	}
+	if r := Fpow(1, math.NaN()); r.Value != 1 {
+		t.Error("pow(1,NaN) = 1 (IEEE)")
+	}
+	if r := Fpow(math.NaN(), 2); !math.IsNaN(r.Value) || r.Flags&FlagInvalid != 0 {
+		t.Error("pow(qNaN,2) quiet propagate")
+	}
+	if r := Fpow(2, 0.5); r.Flags&FlagInexact == 0 {
+		t.Error("pow(2,0.5) rounds")
+	}
+	if r := Fpow(4, 0.5); r.Value != 2 || r.Flags&FlagInexact != 0 {
+		t.Error("pow(4,0.5) exact")
+	}
+	if r := Fpow(3, 2); r.Value != 9 || r.Flags&FlagInexact != 0 {
+		t.Error("pow(3,2) exact via FMA check")
+	}
+	if r := Fpow(math.Inf(1), 2); !math.IsInf(r.Value, 1) {
+		t.Error("pow(Inf,2)")
+	}
+	if r := Fpow(0, 0); r.Value != 1 {
+		t.Error("pow(0,0)=1")
+	}
+}
+
+func TestAtan2HypotBranches(t *testing.T) {
+	if r := Fatan2(math.NaN(), 1); !math.IsNaN(r.Value) {
+		t.Error("atan2(NaN,1)")
+	}
+	if r := Fatan2(0, 1); r.Value != 0 || r.Flags&FlagInexact != 0 {
+		t.Error("atan2(0,1) exact 0")
+	}
+	if r := Fhypot(math.Inf(1), math.NaN()); !math.IsInf(r.Value, 1) {
+		t.Error("hypot(Inf,NaN) = Inf per IEEE")
+	}
+	if r := Fhypot(math.NaN(), 2); !math.IsNaN(r.Value) {
+		t.Error("hypot(NaN,2)")
+	}
+	if r := Fhypot(0, 5); r.Value != 5 || r.Flags&FlagInexact != 0 {
+		t.Error("hypot(0,5) exact")
+	}
+	if r := Fhypot(1.5e308, 1.5e308); r.Flags&FlagOverflow == 0 {
+		t.Error("hypot overflow")
+	}
+}
+
+func TestFmodBranches(t *testing.T) {
+	if r := Fmod(math.NaN(), 2); !math.IsNaN(r.Value) {
+		t.Error("fmod(NaN,2)")
+	}
+	if r := Fmod(math.Inf(1), 2); r.Flags&FlagInvalid == 0 {
+		t.Error("fmod(Inf,2) IE")
+	}
+	if r := Fmod(5, math.Inf(1)); r.Value != 5 {
+		t.Error("fmod(5,Inf) = 5")
+	}
+	if r := Fmod(-7.5, 2); r.Value != -1.5 {
+		t.Error("fmod(-7.5,2)")
+	}
+}
+
+func TestRoundLikeBranches(t *testing.T) {
+	if r := Fceil(math.NaN()); !math.IsNaN(r.Value) {
+		t.Error("ceil(NaN)")
+	}
+	if r := Fround(2.5); r.Value != 3 || r.Flags&FlagInexact == 0 {
+		t.Error("round(2.5) away from zero")
+	}
+	if r := Ftrunc(-0.5); r.Value != 0 || !math.Signbit(r.Value) {
+		t.Error("trunc(-0.5) = -0")
+	}
+	if r := Ffloor(math.Inf(1)); !math.IsInf(r.Value, 1) || r.Flags&FlagInexact != 0 {
+		t.Error("floor(Inf) exact")
+	}
+}
+
+func TestFabsFnegSpecials(t *testing.T) {
+	if r := Fabs(math.Inf(-1)); !math.IsInf(r.Value, 1) {
+		t.Error("fabs(-Inf)")
+	}
+	if r := Fneg(math.Copysign(0, -1)); math.Signbit(r.Value) {
+		t.Error("-(−0) = +0")
+	}
+	snan := math.Float64frombits(0x7FF0000000000003)
+	if r := Fabs(snan); r.Flags&FlagInvalid == 0 {
+		t.Error("fabs(sNaN) IE in this ISA (arith path)")
+	}
+}
+
+func TestConversionEdges(t *testing.T) {
+	// Boundary: exactly -2^63 converts fine; 2^63 does not.
+	if r := Cvtsd2si(-9.223372036854775808e18, RCNearest); r.Value != math.MinInt64 || r.Flags&FlagInvalid != 0 {
+		t.Error("cvt(-2^63) should be exact MinInt64")
+	}
+	if r := Cvtsd2si(9.223372036854775808e18, RCNearest); r.Flags&FlagInvalid == 0 {
+		t.Error("cvt(2^63) overflows")
+	}
+	if r := Cvtsd2si(math.Inf(-1), RCZero); r.Flags&FlagInvalid == 0 {
+		t.Error("cvt(-Inf)")
+	}
+	if r := Cvtsi2sd(-42); r.Value != -42 || r.Flags != 0 {
+		t.Error("cvtsi2sd(-42)")
+	}
+	// Subnormal operand flag on conversion source? (doubles only)
+	sub := math.Float64frombits(5)
+	if r := Cvtsd2si(sub, RCNearest); r.Value != 0 || r.Flags&FlagDenormal == 0 {
+		t.Error("cvt(subnormal) should flag DE and give 0")
+	}
+}
+
+func TestMinMaxEqualOperands(t *testing.T) {
+	// x64 min/max with equal operands return the second operand, which
+	// distinguishes ±0.
+	nz, pz := math.Copysign(0, -1), 0.0
+	if r := Min(pz, nz); !math.Signbit(r.Value) {
+		t.Error("min(+0,-0) = -0 (second operand)")
+	}
+	if r := Max(nz, pz); math.Signbit(r.Value) {
+		t.Error("max(-0,+0) = +0 (second operand)")
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	if FlagAll.String() == "" || Flags(0).String() != "-" {
+		t.Error("flag formatting")
+	}
+	f := FlagInvalid | FlagInexact
+	s := f.String()
+	if s != "IE|PE" {
+		t.Errorf("flags = %q", s)
+	}
+}
+
+func TestQNaNConstant(t *testing.T) {
+	if !IsQNaN(QNaN()) {
+		t.Error("QNaN() must be quiet")
+	}
+}
+
+func TestPowNegativeIntegerExponents(t *testing.T) {
+	// 2^-3 = 0.125: exact (power of two base).
+	if r := Fpow(2, -3); r.Value != 0.125 || r.Flags&FlagInexact != 0 {
+		t.Errorf("pow(2,-3) = %v flags %v, want exact 0.125", r.Value, r.Flags)
+	}
+	// 3^-2 = 1/9: inexact (9 is not a power of two).
+	if r := Fpow(3, -2); r.Flags&FlagInexact == 0 {
+		t.Error("pow(3,-2) should round")
+	}
+	// 2^20 exact.
+	if r := Fpow(2, 20); r.Value != 1<<20 || r.Flags&FlagInexact != 0 {
+		t.Error("pow(2,20) exact")
+	}
+	// 10^3 exact.
+	if r := Fpow(10, 3); r.Value != 1000 || r.Flags&FlagInexact != 0 {
+		t.Error("pow(10,3) exact")
+	}
+	// 10^20 is not exactly representable (needs > 53 bits? 10^20 = 2^20·5^20;
+	// 5^20 ≈ 9.5e13 < 2^53 → exact!). Use 10^30 instead.
+	if r := Fpow(10, 30); r.Flags&FlagInexact == 0 {
+		t.Error("pow(10,30) should round")
+	}
+}

@@ -1,0 +1,85 @@
+package fpvm
+
+import "fpvm/internal/arith"
+
+// Arena is FPVM's shadow-value allocator: a slot table whose indices are the
+// keys carried in NaN-boxes. The paper stores raw pointers in the boxes;
+// since the usable payload is 51 bits either way, a key-indexed table is the
+// variant its footnote 4 describes for platforms without pointer-sized
+// payloads, and it gives the garbage collector its "simple data structure
+// alongside a marked bit" (§4.1).
+type Arena struct {
+	vals   []arith.Value
+	inUse  []bool
+	marked []bool
+	free   []uint64
+
+	allocs uint64 // lifetime allocations
+	live   int    // currently allocated cells
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Alloc stores v and returns its key.
+func (a *Arena) Alloc(v arith.Value) uint64 {
+	a.allocs++
+	a.live++
+	if n := len(a.free); n > 0 {
+		k := a.free[n-1]
+		a.free = a.free[:n-1]
+		a.vals[k] = v
+		a.inUse[k] = true
+		return k
+	}
+	a.vals = append(a.vals, v)
+	a.inUse = append(a.inUse, true)
+	a.marked = append(a.marked, false)
+	return uint64(len(a.vals) - 1)
+}
+
+// Get returns the shadow value for key, if allocated.
+func (a *Arena) Get(key uint64) (arith.Value, bool) {
+	if key >= uint64(len(a.vals)) || !a.inUse[key] {
+		return nil, false
+	}
+	return a.vals[key], true
+}
+
+// Live returns the number of currently allocated cells.
+func (a *Arena) Live() int { return a.live }
+
+// Allocs returns the lifetime allocation count.
+func (a *Arena) Allocs() uint64 { return a.allocs }
+
+// Mark flags key as reachable during a GC pass; it reports whether the key
+// named a live cell (the conservative scanner probes arbitrary bit
+// patterns, so misses are expected and harmless).
+func (a *Arena) Mark(key uint64) bool {
+	if key >= uint64(len(a.vals)) || !a.inUse[key] {
+		return false
+	}
+	a.marked[key] = true
+	return true
+}
+
+// Sweep frees every unmarked cell and clears all marks, returning the number
+// of cells freed and the number still alive.
+func (a *Arena) Sweep() (freed, alive int) {
+	for k := range a.vals {
+		if !a.inUse[k] {
+			continue
+		}
+		if a.marked[k] {
+			a.marked[k] = false
+			alive++
+			continue
+		}
+		a.vals[k] = nil
+		a.inUse[k] = false
+		a.free = append(a.free, uint64(k))
+		freed++
+	}
+	a.live = alive
+	return freed, alive
+}

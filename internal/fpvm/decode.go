@@ -1,0 +1,144 @@
+package fpvm
+
+import (
+	"fpvm/internal/arith"
+	"fpvm/internal/isa"
+)
+
+// instKind classifies a decoded FP instruction for the emulator.
+type instKind uint8
+
+const (
+	kindArith   instKind = iota // result is a shadow value written to dst
+	kindCompare                 // writes RFLAGS, no destination value
+	kindToInt                   // double → integer conversion
+	kindFromInt                 // integer → double conversion
+)
+
+// decodedInst is FPVM's decoder-independent instruction representation: the
+// Go analog of the paper's `struct instruction` — a simplified op code, the
+// operand slots in emulation order, and any special details. Entries live
+// in the decode cache keyed by code address.
+type decodedInst struct {
+	inst  isa.Inst
+	kind  instKind
+	aop   arith.Op      // for kindArith
+	lanes int           // 1 for scalar, 2 for packed
+	srcs  []isa.Operand // source operand descriptors, emulation order
+	dst   isa.Operand   // destination operand
+
+	signalQuiet bool // comisd (signal on quiet NaN)
+	truncate    bool // cvttsd2si
+}
+
+// decode translates a machine instruction into FPVM's representation,
+// consulting the decode cache first (§4.1: "this decode cache is critical
+// to lowering latencies").
+func (vm *VM) decode(in isa.Inst) *decodedInst {
+	if !vm.cfg.DisableDecodeCache {
+		if d, ok := vm.dcache[in.Addr]; ok {
+			vm.Stats.DecodeHits++
+			vm.Stats.Cycles.Decode += vm.costs.DecodeHit
+			vm.M.Cycles += vm.costs.DecodeHit
+			return d
+		}
+	}
+	vm.Stats.DecodeMisses++
+	vm.Stats.Cycles.Decode += vm.costs.DecodeMiss
+	vm.M.Cycles += vm.costs.DecodeMiss
+
+	d := translate(in)
+	if !vm.cfg.DisableDecodeCache {
+		vm.dcache[in.Addr] = d
+	}
+	return d
+}
+
+// bind charges the operand-binding cost. The actual address resolution
+// happens lazily through the machine's operand accessors, but the paper's
+// binder pre-resolves pointers; the cost is what matters for Figure 9.
+func (vm *VM) bind(d *decodedInst) {
+	vm.Stats.Cycles.Bind += vm.costs.Bind
+	vm.M.Cycles += vm.costs.Bind
+}
+
+// arithBinOps maps two-operand x64-style instructions (dst = dst op src)
+// to their scalar arithmetic operation.
+var arithBinOps = map[isa.Op]arith.Op{
+	isa.OpAddsd: arith.OpAdd, isa.OpAddpd: arith.OpAdd,
+	isa.OpSubsd: arith.OpSub, isa.OpSubpd: arith.OpSub,
+	isa.OpMulsd: arith.OpMul, isa.OpMulpd: arith.OpMul,
+	isa.OpDivsd: arith.OpDiv, isa.OpDivpd: arith.OpDiv,
+	isa.OpMinsd: arith.OpMin, isa.OpMaxsd: arith.OpMax,
+}
+
+// arithUnaryOps maps dst = op(src) instructions.
+var arithUnaryOps = map[isa.Op]arith.Op{
+	isa.OpSqrtsd: arith.OpSqrt, isa.OpSqrtpd: arith.OpSqrt,
+	isa.OpFabs: arith.OpAbs, isa.OpFneg: arith.OpNeg,
+	isa.OpFsin: arith.OpSin, isa.OpFcos: arith.OpCos, isa.OpFtan: arith.OpTan,
+	isa.OpFasin: arith.OpAsin, isa.OpFacos: arith.OpAcos, isa.OpFatan: arith.OpAtan,
+	isa.OpFexp: arith.OpExp, isa.OpFlog: arith.OpLog,
+	isa.OpFlog2: arith.OpLog2, isa.OpFlog10: arith.OpLog10,
+	isa.OpFfloor: arith.OpFloor, isa.OpFceil: arith.OpCeil,
+	isa.OpFround: arith.OpRound, isa.OpFtrunc: arith.OpTrunc,
+}
+
+// arithTernaryOps maps dst = op(a, b) three-operand instructions.
+var arithTernaryOps = map[isa.Op]arith.Op{
+	isa.OpFatan2: arith.OpAtan2, isa.OpFpow: arith.OpPow,
+	isa.OpFmod: arith.OpMod, isa.OpFhypot: arith.OpHypot,
+}
+
+// translate is the slow path of the decoder: it flattens the ISA's FP
+// instructions down to the ~two dozen abstract operation types.
+func translate(in isa.Inst) *decodedInst {
+	d := &decodedInst{inst: in, lanes: 1}
+	if in.Op.IsPacked() {
+		d.lanes = 2
+	}
+	if a, ok := arithBinOps[in.Op]; ok {
+		d.kind = kindArith
+		d.aop = a
+		d.srcs = []isa.Operand{in.Ops[0], in.Ops[1]}
+		d.dst = in.Ops[0]
+		return d
+	}
+	if a, ok := arithUnaryOps[in.Op]; ok {
+		d.kind = kindArith
+		d.aop = a
+		d.srcs = []isa.Operand{in.Ops[1]}
+		d.dst = in.Ops[0]
+		return d
+	}
+	if a, ok := arithTernaryOps[in.Op]; ok {
+		d.kind = kindArith
+		d.aop = a
+		d.srcs = []isa.Operand{in.Ops[1], in.Ops[2]}
+		d.dst = in.Ops[0]
+		return d
+	}
+	switch in.Op {
+	case isa.OpFmaddsd:
+		d.kind = kindArith
+		d.aop = arith.OpFMA
+		d.srcs = []isa.Operand{in.Ops[1], in.Ops[2], in.Ops[0]}
+		d.dst = in.Ops[0]
+	case isa.OpUcomisd, isa.OpComisd:
+		d.kind = kindCompare
+		d.srcs = []isa.Operand{in.Ops[0], in.Ops[1]}
+		d.signalQuiet = in.Op == isa.OpComisd
+	case isa.OpCvtsi2sd:
+		d.kind = kindFromInt
+		d.srcs = []isa.Operand{in.Ops[1]}
+		d.dst = in.Ops[0]
+	case isa.OpCvtsd2si, isa.OpCvttsd2si:
+		d.kind = kindToInt
+		d.srcs = []isa.Operand{in.Ops[1]}
+		d.dst = in.Ops[0]
+		d.truncate = in.Op == isa.OpCvttsd2si
+	default:
+		panic("fpvm: decoder fed non-FP instruction " + in.Op.String())
+	}
+	return d
+}

@@ -1,0 +1,99 @@
+package fpvm
+
+import (
+	"fpvm/internal/arith"
+	"fpvm/internal/fpu"
+	"fpvm/internal/machine"
+)
+
+// emulate executes one decoded instruction in the alternative arithmetic
+// system and retires it: results are boxed into the destination, compares
+// write RFLAGS, conversions cross the IEEE/shadow boundary, and RIP
+// advances past the instruction. This is §4.1's emulator: one scalar
+// function per abstract operation, invoked once per vector lane.
+func (vm *VM) emulate(f *machine.TrapFrame, d *decodedInst) error {
+	m := f.M
+	vm.Stats.Cycles.Emulate += vm.costs.EmulateBase
+	m.Cycles += vm.costs.EmulateBase
+
+	switch d.kind {
+	case kindArith:
+		for lane := 0; lane < d.lanes; lane++ {
+			args := make([]arith.Value, len(d.srcs))
+			for i, s := range d.srcs {
+				bits, err := m.ReadOperandFP(s, lane)
+				if err != nil {
+					return err
+				}
+				args[i] = vm.value(bits)
+			}
+			res := vm.Sys.Apply(d.aop, args...)
+			vm.Stats.Emulated++
+			opCycles := vm.Sys.OpCycles(d.aop)
+			vm.Stats.Cycles.Emulate += opCycles
+			m.Cycles += opCycles
+			if err := m.WriteOperandFP(d.dst, lane, vm.boxResult(res)); err != nil {
+				return err
+			}
+		}
+
+	case kindCompare:
+		abits, err := m.ReadOperandFP(d.srcs[0], 0)
+		if err != nil {
+			return err
+		}
+		bbits, err := m.ReadOperandFP(d.srcs[1], 0)
+		if err != nil {
+			return err
+		}
+		a, b := vm.value(abits), vm.value(bbits)
+		vm.Stats.Emulated++
+		cmpCycles := vm.Sys.OpCycles(arith.OpSub) // comparisons cost like a subtract
+		vm.Stats.Cycles.Emulate += cmpCycles
+		m.Cycles += cmpCycles
+		ord, unordered := vm.Sys.Compare(a, b)
+		switch {
+		case unordered:
+			m.SetCompareFlags(true, true, true)
+		case ord > 0:
+			m.SetCompareFlags(false, false, false)
+		case ord < 0:
+			m.SetCompareFlags(false, false, true)
+		default:
+			m.SetCompareFlags(true, false, false)
+		}
+
+	case kindToInt:
+		bits, err := m.ReadOperandFP(d.srcs[0], 0)
+		if err != nil {
+			return err
+		}
+		v := vm.value(bits)
+		vm.Stats.Emulated++
+		rc := m.MXCSR.RC()
+		if d.truncate {
+			rc = fpu.RCZero
+		}
+		i, ok := vm.Sys.ToInt64(v, rc)
+		if !ok {
+			i = -1 << 63 // integer indefinite, as the hardware would produce
+		}
+		if err := m.WriteOperandInt(d.dst, i); err != nil {
+			return err
+		}
+
+	case kindFromInt:
+		iv, err := m.ReadOperandInt(d.srcs[0])
+		if err != nil {
+			return err
+		}
+		res := vm.Sys.FromInt64(iv)
+		vm.Stats.Emulated++
+		if err := m.WriteOperandFP(d.dst, 0, vm.boxResult(res)); err != nil {
+			return err
+		}
+	}
+
+	m.Advance(d.inst)
+	return nil
+}

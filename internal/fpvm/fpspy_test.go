@@ -1,0 +1,157 @@
+package fpvm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/asm"
+	"fpvm/internal/machine"
+	"fpvm/internal/workloads"
+)
+
+// TestSpyTransparent: FPSpy must observe events without changing a single
+// output bit — its defining property ("allowing it to be executed as
+// normal").
+func TestSpyTransparent(t *testing.T) {
+	for _, key := range []string{"Lorenz Attractor/", "FBench/", "NAS EP/Class S"} {
+		w, ok := workloads.Get(key)
+		if !ok {
+			t.Fatalf("missing workload %s", key)
+		}
+		prog, err := w.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nativeOut bytes.Buffer
+		nm, _ := machine.New(prog, &nativeOut)
+		if err := nm.Run(0); err != nil {
+			t.Fatal(err)
+		}
+
+		prog2, _ := w.Build()
+		var spyOut bytes.Buffer
+		sm, _ := machine.New(prog2, &spyOut)
+		spy := AttachSpy(sm)
+		if err := sm.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if nativeOut.String() != spyOut.String() {
+			t.Fatalf("%s: FPSpy changed output", key)
+		}
+		if spy.Stats.Events == 0 {
+			t.Fatalf("%s: no events recorded", key)
+		}
+		if spy.Stats.Executed != spy.Stats.Events {
+			t.Fatalf("%s: executed %d != events %d", key, spy.Stats.Executed, spy.Stats.Events)
+		}
+	}
+}
+
+// TestSpyRecordsCauses: the recorded flags must reflect the actual events.
+func TestSpyRecordsCauses(t *testing.T) {
+	prog := asm.MustAssemble(`
+	.data
+	z: .f64 0.0
+	.text
+		movsd f0, =1.0
+		movsd f1, =3.0
+		divsd f0, f1        ; PE (rounds)
+		movsd f2, [z]
+		movsd f3, =1.0
+		divsd f3, f2        ; ZE (divide by zero)
+		sqrtsd f4, =2.0     ; hmm: sqrt with mem operand, PE
+		halt
+	`)
+	m, _ := machine.New(prog, nil)
+	spy := AttachSpy(m)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	foundPE, foundZE := false, false
+	for flag := range spy.Stats.ByFlag {
+		if strings.Contains(flag, "PE") {
+			foundPE = true
+		}
+		if strings.Contains(flag, "ZE") {
+			foundZE = true
+		}
+	}
+	if !foundPE || !foundZE {
+		t.Fatalf("recorded flags %v missing PE or ZE", spy.Stats.ByFlag)
+	}
+	if spy.Stats.ByOp["divsd"] != 2 {
+		t.Errorf("divsd events = %d, want 2", spy.Stats.ByOp["divsd"])
+	}
+}
+
+// TestSpyDivideByZeroProducesInf: the masked IEEE response must appear.
+func TestSpyDivideByZeroProducesInf(t *testing.T) {
+	prog := asm.MustAssemble(`
+	.data
+	z: .f64 0.0
+	.text
+		movsd f0, =1.0
+		divsd f0, [z]
+		outf f0
+		halt
+	`)
+	var out bytes.Buffer
+	m, _ := machine.New(prog, &out)
+	AttachSpy(m)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Inf") && !strings.Contains(out.String(), "inf") {
+		t.Fatalf("1/0 under FPSpy printed %q, want +Inf", out.String())
+	}
+}
+
+// TestSpyReport renders without error and includes the hot site.
+func TestSpyReport(t *testing.T) {
+	w, _ := workloads.Get("Lorenz Attractor/")
+	prog, _ := w.Build()
+	m, _ := machine.New(prog, nil)
+	spy := AttachSpy(m)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	spy.Report(&buf, 5)
+	out := buf.String()
+	for _, want := range []string{"events observed", "by condition", "hottest"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSpyCountsBoundFPVM: FPVM's trap count dominates FPSpy's event count
+// on the same binary (boxed-operand traps add to the hardware events).
+func TestSpyCountsMatchFPVM(t *testing.T) {
+	w, _ := workloads.Get("Three-Body/")
+	prog, _ := w.Build()
+	m1, _ := machine.New(prog, nil)
+	spy := AttachSpy(m1)
+	if err := m1.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	prog2, _ := w.Build()
+	m2, _ := machine.New(prog2, nil)
+	vm := Attach(m2, Config{System: arith.Vanilla{}})
+	if err := m2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// FPVM must trap at least as often as FPSpy observes events: FPSpy only
+	// sees hardware conditions (rounding etc.), while FPVM additionally
+	// traps whenever a NaN-boxed value is consumed, even by an operation
+	// that would have been exact.
+	if spy.Stats.Events > vm.Stats.Traps {
+		t.Fatalf("FPSpy saw %d events > FPVM %d traps", spy.Stats.Events, vm.Stats.Traps)
+	}
+	if spy.Stats.Events == 0 {
+		t.Fatal("no events")
+	}
+}

@@ -1,0 +1,335 @@
+// Package fpvm implements the paper's primary contribution: the hybrid
+// floating point virtual machine of §4. It attaches to a machine the way
+// the real prototype attaches to a process via LD_PRELOAD — installing
+// itself as the FP exception (SIGFPE) handler, unmasking every MXCSR
+// exception, hijacking output, and handling the correctness traps installed
+// by the static patcher. The runtime is organized exactly as §4.1 describes:
+// trapping, decoding (with a decode cache), binding, emulating, and garbage
+// collecting.
+package fpvm
+
+import (
+	"math"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/isa"
+	"fpvm/internal/machine"
+	"fpvm/internal/nanbox"
+)
+
+// Costs models the cycle cost of FPVM's own runtime components, the upper
+// bars of the Figure 9 stacks. The delivery (hardware + kernel) costs live
+// in the machine's trap profile.
+type Costs struct {
+	DecodeMiss  uint64 // full decode via the disassembler
+	DecodeHit   uint64 // decode-cache lookup
+	Bind        uint64 // operand binding / address resolution
+	EmulateBase uint64 // emulator dispatch overhead per instruction
+	BoxAlloc    uint64 // shadow cell allocation + NaN-box encode
+	GCPerWord   uint64 // conservative scan, cycles per 16 words
+	GCPerCell   uint64 // sweep cost per arena cell
+	Demote      uint64 // demotion of one located NaN-box
+	CorrectBase uint64 // correctness-handler entry overhead
+}
+
+// DefaultCosts returns component costs calibrated to the §5.3 discussion
+// (decode amortizes to near zero via the cache; emulation ~hundreds of
+// cycles plus the arithmetic system's own cost).
+func DefaultCosts() Costs {
+	return Costs{
+		DecodeMiss:  950,
+		DecodeHit:   22,
+		Bind:        70,
+		EmulateBase: 260,
+		BoxAlloc:    45,
+		GCPerWord:   1,
+		GCPerCell:   9,
+		Demote:      120,
+		CorrectBase: 90,
+	}
+}
+
+// Config selects FPVM's arithmetic system and tuning knobs.
+type Config struct {
+	// System is the alternative arithmetic system (required).
+	System arith.System
+	// GCEveryNAllocs triggers a mark-and-sweep pass each time this many
+	// shadow cells have been allocated since the last pass. The paper uses
+	// a 1-second wall-clock epoch; an allocation budget is the
+	// deterministic analog. 0 means the default (200k).
+	GCEveryNAllocs uint64
+	// DisableDecodeCache forces a full decode on every trap (ablation).
+	DisableDecodeCache bool
+	// DisableGC turns garbage collection off entirely (ablation; memory
+	// grows without bound exactly as §4.1 warns).
+	DisableGC bool
+	// Costs overrides the component cost model (zero value = defaults).
+	Costs *Costs
+}
+
+// CycleBreakdown accumulates cycles per runtime component (Figure 9).
+type CycleBreakdown struct {
+	Decode      uint64
+	Bind        uint64
+	Emulate     uint64
+	GC          uint64
+	Correctness uint64
+}
+
+// Stats aggregates FPVM runtime counters.
+type Stats struct {
+	Traps        uint64 // FP exception traps handled
+	Emulated     uint64 // scalar emulations performed (lanes)
+	DecodeHits   uint64
+	DecodeMisses uint64
+	Promotions   uint64 // float64 → shadow conversions
+	Unboxings    uint64 // boxed operand lookups
+	Demotions    uint64 // shadow → float64 in-place demotions
+	CorrectTraps uint64 // correctness traps handled
+	ExtDemotions uint64 // demotions at external call sites
+	OutputHooks  uint64 // hijacked output conversions
+	UniversalNaN uint64 // sNaNs with no shadow cell (treated as true NaN)
+	GC           GCStats
+	Cycles       CycleBreakdown
+}
+
+// VM is an attached floating point virtual machine.
+type VM struct {
+	M     *machine.Machine
+	Sys   arith.System
+	Arena *Arena
+	Stats Stats
+
+	costs   Costs
+	cfg     Config
+	dcache  map[uint64]*decodedInst
+	gcEvery uint64
+	lastGC  uint64 // arena alloc count at last GC
+}
+
+// Attach installs FPVM underneath the program loaded in m: it unmasks all
+// MXCSR exceptions, installs the FP trap, correctness-trap, external-call,
+// and output hooks, and returns the VM. This is the moral equivalent of
+// LD_PRELOADing the FPVM shared library before starting the binary.
+func Attach(m *machine.Machine, cfg Config) *VM {
+	if cfg.System == nil {
+		panic("fpvm: Config.System is required")
+	}
+	costs := DefaultCosts()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+	gcEvery := cfg.GCEveryNAllocs
+	if gcEvery == 0 {
+		gcEvery = 200_000
+	}
+	vm := &VM{
+		M:       m,
+		Sys:     cfg.System,
+		Arena:   NewArena(),
+		costs:   costs,
+		cfg:     cfg,
+		dcache:  make(map[uint64]*decodedInst),
+		gcEvery: gcEvery,
+	}
+	m.MXCSR.SetMasks(0) // unmask everything: rounding, NaN, overflow, ...
+	m.FPTrap = vm.handleFPTrap
+	m.CorrectnessTrap = vm.handleCorrectnessTrap
+	m.ExternalTrap = vm.handleExternalCall
+	m.OutFilter = vm.outputFilter
+	return vm
+}
+
+// handleFPTrap is the SIGFPE-analog entry point: decode (cached), bind,
+// emulate, and occasionally collect garbage (§4.1).
+func (vm *VM) handleFPTrap(f *machine.TrapFrame) error {
+	vm.Stats.Traps++
+	// Read and clear the sticky condition flags, as the paper's handler
+	// does in preparation for the next instruction.
+	f.M.MXCSR.ClearFlags()
+
+	d := vm.decode(f.Inst)
+	vm.bind(d) // charge binding (address resolution happens per access)
+
+	if err := vm.emulate(f, d); err != nil {
+		return err
+	}
+
+	// Epoch GC, driven by allocation volume.
+	if !vm.cfg.DisableGC && vm.Arena.Allocs()-vm.lastGC >= vm.gcEvery {
+		vm.RunGC()
+	}
+	return nil
+}
+
+// outputFilter implements the §2 "printing problem" hijack: boxed values
+// print their shadow, others print normally.
+func (vm *VM) outputFilter(bits uint64) (string, bool) {
+	key, ok := nanbox.Unbox(bits)
+	if !ok {
+		return "", false
+	}
+	val, ok := vm.Arena.Get(key)
+	if !ok {
+		return "nan", true // universal NaN
+	}
+	vm.Stats.OutputHooks++
+	return vm.Sys.Format(val), true
+}
+
+// value materializes an operand lane as a shadow value: boxed operands are
+// looked up, plain doubles are promoted.
+func (vm *VM) value(bits uint64) arith.Value {
+	if key, ok := nanbox.Unbox(bits); ok {
+		if v, ok := vm.Arena.Get(key); ok {
+			vm.Stats.Unboxings++
+			return v
+		}
+		// A signaling NaN with no shadow: a universal NaN (§2).
+		vm.Stats.UniversalNaN++
+		return vm.Sys.FromFloat64(math.NaN())
+	}
+	vm.Stats.Promotions++
+	return vm.Sys.FromFloat64(math.Float64frombits(bits))
+}
+
+// boxResult allocates a shadow cell for v and returns the NaN-boxed bits.
+func (vm *VM) boxResult(v arith.Value) uint64 {
+	vm.M.Cycles += vm.costs.BoxAlloc
+	key := vm.Arena.Alloc(v)
+	return nanbox.Box(key)
+}
+
+// demoteBits converts a boxed pattern back to its IEEE double bits; plain
+// values pass through unchanged.
+func (vm *VM) demoteBits(bits uint64) (uint64, bool) {
+	key, ok := nanbox.Unbox(bits)
+	if !ok {
+		return bits, false
+	}
+	val, ok := vm.Arena.Get(key)
+	if !ok {
+		return math.Float64bits(math.NaN()), true // universal NaN demotes to qNaN
+	}
+	vm.Stats.Demotions++
+	vm.M.Cycles += vm.costs.Demote
+	return math.Float64bits(vm.Sys.ToFloat64(val)), true
+}
+
+// handleCorrectnessTrap services a site installed by the static patcher:
+// every operand location of the instruction about to execute is scanned for
+// NaN-boxes, which are demoted in place; the machine then re-executes the
+// original instruction natively (§4.2).
+func (vm *VM) handleCorrectnessTrap(f *machine.TrapFrame) error {
+	vm.Stats.CorrectTraps++
+	vm.Stats.Cycles.Correctness += vm.costs.CorrectBase
+	vm.M.Cycles += vm.costs.CorrectBase
+	for _, o := range f.Inst.Ops {
+		if err := vm.demoteOperand(f, o, f.Inst.Op.IsPacked()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// demoteOperand demotes NaN-boxes reachable through one operand.
+func (vm *VM) demoteOperand(f *machine.TrapFrame, o isa.Operand, packed bool) error {
+	lanes := 1
+	if packed {
+		lanes = 2
+	}
+	switch o.Kind {
+	case isa.KindFPReg:
+		for l := 0; l < lanes; l++ {
+			if nb, ok := vm.demoteBits(f.M.F[o.Reg][l]); ok {
+				f.M.F[o.Reg][l] = nb
+			}
+		}
+	case isa.KindIntReg:
+		if nb, ok := vm.demoteBits(uint64(f.M.R[o.Reg])); ok {
+			f.M.R[o.Reg] = int64(nb)
+		}
+	case isa.KindMem:
+		addr := vm.operandAddr(f.M, o)
+		for l := 0; l < lanes; l++ {
+			bits, err := f.M.ReadU64(addr + uint64(8*l))
+			if err != nil {
+				return nil // partial/unmapped operand: nothing to demote
+			}
+			if nb, ok := vm.demoteBits(bits); ok {
+				if err := f.M.WriteU64(addr+uint64(8*l), nb); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// operandAddr mirrors the machine's effective-address computation.
+func (vm *VM) operandAddr(m *machine.Machine, o isa.Operand) uint64 {
+	var addr int64
+	if o.Base != isa.RegNone {
+		addr = m.R[o.Base]
+	}
+	if o.Index != isa.RegNone {
+		addr += m.R[o.Index] * int64(o.Scale)
+	}
+	return uint64(addr + int64(o.Disp))
+}
+
+// handleExternalCall demotes all FP argument registers before an
+// un-analyzed external library is entered (§4.2: "we demote NaN-boxed
+// floating point registers at the call site").
+func (vm *VM) handleExternalCall(f *machine.TrapFrame) error {
+	for r := 0; r < isa.NumFPRegs; r++ {
+		for l := 0; l < 2; l++ {
+			if nb, ok := vm.demoteBits(f.M.F[r][l]); ok {
+				f.M.F[r][l] = nb
+				vm.Stats.ExtDemotions++
+			}
+		}
+	}
+	return nil
+}
+
+// DemoteAll demotes every NaN-box in registers and memory, converting the
+// program state back to pure IEEE doubles (used at program exit and by
+// tests to compare final states).
+func (vm *VM) DemoteAll() {
+	m := vm.M
+	for r := range m.F {
+		for l := 0; l < 2; l++ {
+			if nb, ok := vm.demoteBits(m.F[r][l]); ok {
+				m.F[r][l] = nb
+			}
+		}
+	}
+	for r := range m.R {
+		if nb, ok := vm.demoteBits(uint64(m.R[r])); ok {
+			m.R[r] = int64(nb)
+		}
+	}
+	for addr := 0; addr+8 <= len(m.Mem); addr += 8 {
+		bits := leU64(m.Mem[addr:])
+		if nb, ok := vm.demoteBits(bits); ok {
+			putLeU64(m.Mem[addr:], nb)
+		}
+	}
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLeU64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

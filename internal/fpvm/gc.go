@@ -1,0 +1,67 @@
+package fpvm
+
+import (
+	"time"
+
+	"fpvm/internal/nanbox"
+)
+
+// GCStats records garbage collector behavior, the data behind Figure 10.
+type GCStats struct {
+	Passes      uint64
+	TotalFreed  uint64
+	TotalMarked uint64
+	LastAlive   int
+	LastFreed   int
+	LastCycles  uint64        // modeled cost of the last pass
+	LastWall    time.Duration // measured wall time of the last pass
+}
+
+// RunGC performs one conservative mark-and-sweep pass over all writable
+// program state (§4.1): every FP register lane, every integer register, and
+// every aligned 8-byte word of memory is tested for the NaN-box pattern;
+// hits mark their arena cell, and unmarked cells are swept.
+//
+// The pointer graph is bipartite — program locations point at shadow cells,
+// never the reverse — so a single scan pass suffices; there is no
+// transitive marking.
+func (vm *VM) RunGC() {
+	start := time.Now()
+	m := vm.M
+	var scanned uint64
+
+	probe := func(bits uint64) {
+		if key, ok := nanbox.Unbox(bits); ok {
+			if vm.Arena.Mark(key) {
+				vm.Stats.GC.TotalMarked++
+			}
+		}
+	}
+
+	for r := range m.F {
+		probe(m.F[r][0])
+		probe(m.F[r][1])
+	}
+	for r := range m.R {
+		probe(uint64(m.R[r]))
+	}
+	mem := m.Mem
+	for off := 0; off+8 <= len(mem); off += 8 {
+		probe(leU64(mem[off:]))
+		scanned++
+	}
+
+	freed, alive := vm.Arena.Sweep()
+
+	cost := scanned/16*vm.costs.GCPerWord + uint64(freed+alive)*vm.costs.GCPerCell
+	m.Cycles += cost
+	vm.Stats.Cycles.GC += cost
+
+	vm.Stats.GC.Passes++
+	vm.Stats.GC.TotalFreed += uint64(freed)
+	vm.Stats.GC.LastAlive = alive
+	vm.Stats.GC.LastFreed = freed
+	vm.Stats.GC.LastCycles = cost
+	vm.Stats.GC.LastWall = time.Since(start)
+	vm.lastGC = vm.Arena.Allocs()
+}

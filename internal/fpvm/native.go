@@ -1,0 +1,74 @@
+package fpvm
+
+import (
+	"fpvm/internal/arith"
+	"fpvm/internal/fpu"
+)
+
+// nativeFlags runs one scalar operation through the soft FPU and returns
+// the exception flags it would raise — the patch handler's postcondition
+// check (§3.2) and the oracle for deciding whether native execution is
+// safe to retire.
+func nativeFlags(op arith.Op, args []arith.Value) fpu.Flags {
+	a := func(i int) float64 { return args[i].(float64) }
+	switch op {
+	case arith.OpAdd:
+		return fpu.Add(a(0), a(1)).Flags
+	case arith.OpSub:
+		return fpu.Sub(a(0), a(1)).Flags
+	case arith.OpMul:
+		return fpu.Mul(a(0), a(1)).Flags
+	case arith.OpDiv:
+		return fpu.Div(a(0), a(1)).Flags
+	case arith.OpSqrt:
+		return fpu.Sqrt(a(0)).Flags
+	case arith.OpFMA:
+		return fpu.FMAdd(a(0), a(1), a(2)).Flags
+	case arith.OpMin:
+		return fpu.Min(a(0), a(1)).Flags
+	case arith.OpMax:
+		return fpu.Max(a(0), a(1)).Flags
+	case arith.OpAbs:
+		return fpu.Fabs(a(0)).Flags
+	case arith.OpNeg:
+		return fpu.Fneg(a(0)).Flags
+	case arith.OpSin:
+		return fpu.Fsin(a(0)).Flags
+	case arith.OpCos:
+		return fpu.Fcos(a(0)).Flags
+	case arith.OpTan:
+		return fpu.Ftan(a(0)).Flags
+	case arith.OpAsin:
+		return fpu.Fasin(a(0)).Flags
+	case arith.OpAcos:
+		return fpu.Facos(a(0)).Flags
+	case arith.OpAtan:
+		return fpu.Fatan(a(0)).Flags
+	case arith.OpAtan2:
+		return fpu.Fatan2(a(0), a(1)).Flags
+	case arith.OpExp:
+		return fpu.Fexp(a(0)).Flags
+	case arith.OpLog:
+		return fpu.Flog(a(0)).Flags
+	case arith.OpLog2:
+		return fpu.Flog2(a(0)).Flags
+	case arith.OpLog10:
+		return fpu.Flog10(a(0)).Flags
+	case arith.OpPow:
+		return fpu.Fpow(a(0), a(1)).Flags
+	case arith.OpMod:
+		return fpu.Fmod(a(0), a(1)).Flags
+	case arith.OpHypot:
+		return fpu.Fhypot(a(0), a(1)).Flags
+	case arith.OpFloor:
+		return fpu.Ffloor(a(0)).Flags
+	case arith.OpCeil:
+		return fpu.Fceil(a(0)).Flags
+	case arith.OpRound:
+		return fpu.Fround(a(0)).Flags
+	case arith.OpTrunc:
+		return fpu.Ftrunc(a(0)).Flags
+	default:
+		return fpu.FlagInvalid
+	}
+}

@@ -1,0 +1,113 @@
+package fpvm
+
+import (
+	"math"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/machine"
+	"fpvm/internal/nanbox"
+)
+
+// EnablePatchMode converts the given FP instruction sites from
+// trap-and-emulate to trap-and-patch (§3.2): each site is replaced by an
+// inline patch whose custom handler performs a precondition check (are any
+// inputs NaN-boxed?) and a postcondition check (did the native result
+// round, overflow, underflow, or produce a NaN?). When both checks pass,
+// the original instruction's effect is applied at patch cost — no hardware
+// trap. When either fails, the handler calls directly into FPVM's
+// decode/bind/emulate internals, still avoiding trap delivery.
+func (vm *VM) EnablePatchMode(addrs []uint64) {
+	if vm.M.Patches == nil {
+		vm.M.Patches = make(map[uint64]machine.PatchHandler)
+	}
+	for _, a := range addrs {
+		vm.M.Patches[a] = vm.patchSiteHandler
+	}
+}
+
+// PatchAllFPArith installs patches on every FP arithmetic site in the
+// loaded program, the full trap-and-patch configuration.
+func (vm *VM) PatchAllFPArith() {
+	prog := vm.M.Prog
+	var addrs []uint64
+	for addr := uint64(0); addr < uint64(len(prog.Code)); {
+		in, ok := vm.M.InstAt(addr)
+		if !ok {
+			break
+		}
+		if in.Op.IsFPArith() {
+			addrs = append(addrs, addr)
+		}
+		addr += uint64(in.Len)
+	}
+	vm.EnablePatchMode(addrs)
+}
+
+// patchSiteHandler is the generated custom handler for a patched site.
+func (vm *VM) patchSiteHandler(f *machine.TrapFrame) (bool, error) {
+	d := vm.decode(f.Inst)
+
+	// Precondition: no NaN-boxed (or NaN) inputs.
+	boxed := false
+	for _, s := range d.srcs {
+		for lane := 0; lane < d.lanes; lane++ {
+			bits, err := f.M.ReadOperandFP(s, lane)
+			if err != nil {
+				return false, err
+			}
+			if nanbox.IsBoxed(bits) {
+				boxed = true
+			}
+		}
+	}
+
+	if !boxed && d.kind == kindArith {
+		// Execute the embedded original instruction natively and run the
+		// postcondition check on the FPU flags.
+		if ok, err := vm.tryNative(f, d); err != nil {
+			return false, err
+		} else if ok {
+			return true, nil
+		}
+	}
+
+	// Check failed: invoke FPVM internals directly (no trap delivery).
+	vm.Stats.Traps++
+	vm.bind(d)
+	if err := vm.emulate(f, d); err != nil {
+		return false, err
+	}
+	if !vm.cfg.DisableGC && vm.Arena.Allocs()-vm.lastGC >= vm.gcEvery {
+		vm.RunGC()
+	}
+	return true, nil
+}
+
+// tryNative executes an arithmetic instruction in IEEE doubles; it reports
+// ok=false (without side effects) if any postcondition event fired.
+func (vm *VM) tryNative(f *machine.TrapFrame, d *decodedInst) (bool, error) {
+	van := arith.Vanilla{}
+	var results [2]uint64
+	for lane := 0; lane < d.lanes; lane++ {
+		args := make([]arith.Value, len(d.srcs))
+		for i, s := range d.srcs {
+			bits, err := f.M.ReadOperandFP(s, lane)
+			if err != nil {
+				return false, err
+			}
+			args[i] = math.Float64frombits(bits)
+		}
+		flags := nativeFlags(d.aop, args)
+		if flags != 0 {
+			return false, nil // postcondition failed: emulate instead
+		}
+		results[lane] = math.Float64bits(van.Apply(d.aop, args...).(float64))
+	}
+	for lane := 0; lane < d.lanes; lane++ {
+		if err := f.M.WriteOperandFP(d.dst, lane, results[lane]); err != nil {
+			return false, err
+		}
+	}
+	f.M.Advance(d.inst)
+	return true, nil
+}

@@ -1,0 +1,295 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStringAndValid(t *testing.T) {
+	if OpInvalid.Valid() {
+		t.Error("OpInvalid should not be valid")
+	}
+	if !OpAddsd.Valid() || !OpHalt.Valid() {
+		t.Error("real opcodes should be valid")
+	}
+	if Op(250).Valid() {
+		t.Error("out-of-range opcode should be invalid")
+	}
+	if OpAddsd.String() != "addsd" || OpJmp.String() != "jmp" {
+		t.Error("opcode names wrong")
+	}
+	// Every valid opcode must have a name (completeness of the table).
+	for op := Op(1); op.Valid(); op++ {
+		if op.String() == "" || op.String()[0] == 'o' && op.String()[1] == 'p' {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+}
+
+func TestOpClassesDisjoint(t *testing.T) {
+	for op := Op(1); op.Valid(); op++ {
+		classes := 0
+		if op.IsFPArith() {
+			classes++
+		}
+		if op.IsFPBitwise() {
+			classes++
+		}
+		if op.IsFPMove() {
+			classes++
+		}
+		if op.IsBranch() {
+			classes++
+		}
+		if classes > 1 {
+			t.Errorf("%v belongs to %d classes", op, classes)
+		}
+	}
+	// The virtualization hole: these must NOT be FP arithmetic.
+	for _, op := range []Op{OpMovsd, OpMovapd, OpXorpd, OpAndpd, OpOrpd, OpMov} {
+		if op.IsFPArith() {
+			t.Errorf("%v must not be trapping FP arithmetic (the hole)", op)
+		}
+	}
+	// And these MUST trap.
+	for _, op := range []Op{OpAddsd, OpDivsd, OpSqrtsd, OpUcomisd, OpCvtsd2si, OpFsin} {
+		if !op.IsFPArith() {
+			t.Errorf("%v must be trapping FP arithmetic", op)
+		}
+	}
+}
+
+func TestPackedOps(t *testing.T) {
+	packed := []Op{OpAddpd, OpSubpd, OpMulpd, OpDivpd, OpSqrtpd, OpMovapd, OpXorpd, OpAndpd, OpOrpd}
+	for _, op := range packed {
+		if !op.IsPacked() {
+			t.Errorf("%v should be packed", op)
+		}
+	}
+	for _, op := range []Op{OpAddsd, OpMovsd, OpFsin} {
+		if op.IsPacked() {
+			t.Errorf("%v should be scalar", op)
+		}
+	}
+}
+
+func TestOperandConstructors(t *testing.T) {
+	r := Reg(3)
+	if r.Kind != KindIntReg || r.Reg != 3 {
+		t.Error("Reg")
+	}
+	f := FReg(7)
+	if f.Kind != KindFPReg || f.Reg != 7 {
+		t.Error("FReg")
+	}
+	im := Imm(-42)
+	if im.Kind != KindImm || im.Imm != -42 {
+		t.Error("Imm")
+	}
+	m := Mem(5, 16)
+	if m.Kind != KindMem || m.Base != 5 || m.Index != RegNone || m.Disp != 16 {
+		t.Error("Mem")
+	}
+	mi := MemIdx(1, 2, 8, -4)
+	if mi.Index != 2 || mi.Scale != 8 || mi.Disp != -4 {
+		t.Error("MemIdx")
+	}
+	ma := MemAbs(0x1000)
+	if ma.Base != RegNone || ma.Disp != 0x1000 {
+		t.Error("MemAbs")
+	}
+}
+
+// randInst builds a random valid instruction for round-trip testing.
+func randInst(r *rand.Rand) Inst {
+	var op Op
+	for {
+		op = Op(1 + r.Intn(int(opCount)-1))
+		if op.Valid() {
+			break
+		}
+	}
+	n := NumOperands(op)
+	in := Inst{Op: op}
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0:
+			in.Ops = append(in.Ops, Reg(uint8(r.Intn(NumIntRegs))))
+		case 1:
+			in.Ops = append(in.Ops, FReg(uint8(r.Intn(NumFPRegs))))
+		case 2:
+			in.Ops = append(in.Ops, Imm(r.Int63()-r.Int63()))
+		default:
+			scales := []uint8{1, 2, 4, 8}
+			o := Operand{
+				Kind:  KindMem,
+				Base:  uint8(r.Intn(NumIntRegs)),
+				Index: uint8(r.Intn(NumIntRegs)),
+				Scale: scales[r.Intn(4)],
+				Disp:  int32(r.Uint32()),
+			}
+			if r.Intn(3) == 0 {
+				o.Base = RegNone
+			}
+			if r.Intn(3) == 0 {
+				o.Index = RegNone
+			}
+			in.Ops = append(in.Ops, o)
+		}
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(50))
+	for i := 0; i < 5000; i++ {
+		in := randInst(r)
+		buf, err := Encode(nil, in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		if len(buf) != EncodedLen(in) {
+			t.Fatalf("EncodedLen(%v) = %d, encoded %d", in, EncodedLen(in), len(buf))
+		}
+		got, err := Decode(buf, 0)
+		if err != nil {
+			t.Fatalf("decode %v: %v", in, err)
+		}
+		if got.Op != in.Op || len(got.Ops) != len(in.Ops) {
+			t.Fatalf("round trip of %v gave %v", in, got)
+		}
+		for j := range in.Ops {
+			if got.Ops[j] != in.Ops[j] {
+				t.Fatalf("operand %d of %v: %v != %v", j, in, got.Ops[j], in.Ops[j])
+			}
+		}
+		if got.Len != len(buf) {
+			t.Fatalf("decoded length mismatch")
+		}
+	}
+}
+
+func TestEncodeStreamRoundTrip(t *testing.T) {
+	// A stream of instructions decodes back to the same sequence.
+	r := rand.New(rand.NewSource(51))
+	var insts []Inst
+	var code []byte
+	for i := 0; i < 200; i++ {
+		in := randInst(r)
+		var err error
+		code, err = Encode(code, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts = append(insts, in)
+	}
+	addr := uint64(0)
+	for i := 0; addr < uint64(len(code)); i++ {
+		got, err := Decode(code, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Op != insts[i].Op {
+			t.Fatalf("stream inst %d: %v != %v", i, got.Op, insts[i].Op)
+		}
+		addr += uint64(got.Len)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		{},                                    // empty
+		{0},                                   // invalid opcode
+		{255},                                 // out of range opcode
+		{byte(OpMov)},                         // truncated operands
+		{byte(OpMov), byte(KindIntReg)},       // truncated register
+		{byte(OpMov), byte(KindIntReg), 99},   // register out of range
+		{byte(OpMov), byte(KindImm), 1, 2, 3}, // truncated immediate
+		{byte(OpMov), byte(KindMem), 1, 2},    // truncated memory
+		{byte(OpMov), byte(KindMem), 1, 2, 3, 0, 0, 0, 0}, // bad scale 3
+		{byte(OpMov), 9, 0}, // bad operand kind
+	}
+	for i, c := range cases {
+		if _, err := Decode(c, 0); err == nil {
+			t.Errorf("case %d should fail to decode", i)
+		}
+	}
+	if _, err := Decode([]byte{byte(OpHalt)}, 5); err == nil {
+		t.Error("decode beyond end should fail")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode(nil, Inst{Op: OpInvalid}); err == nil {
+		t.Error("invalid opcode should fail")
+	}
+	if _, err := Encode(nil, Inst{Op: OpMov, Ops: []Operand{Reg(0)}}); err == nil {
+		t.Error("wrong operand count should fail")
+	}
+	if _, err := Encode(nil, Inst{Op: OpMov, Ops: []Operand{Reg(99), Reg(0)}}); err == nil {
+		t.Error("bad register should fail")
+	}
+	bad := Operand{Kind: KindMem, Base: 0, Index: RegNone, Scale: 3}
+	if _, err := Encode(nil, Inst{Op: OpMov, Ops: []Operand{bad, Reg(0)}}); err == nil {
+		t.Error("bad scale should fail")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	in := Inst{Op: OpAddsd, Ops: []Operand{FReg(0), FReg(1)}}
+	if in.String() != "addsd f0, f1" {
+		t.Errorf("String = %q", in.String())
+	}
+	in2 := Inst{Op: OpMov, Ops: []Operand{Reg(1), MemIdx(2, 3, 8, -16)}}
+	if in2.String() != "mov r1, [r2+r3*8-16]" {
+		t.Errorf("String = %q", in2.String())
+	}
+}
+
+func TestProgramCloneIndependence(t *testing.T) {
+	p := &Program{
+		Code:    []byte{1, 2, 3},
+		Data:    []byte{4, 5},
+		Entry:   7,
+		Symbols: map[string]uint64{"a": 1},
+	}
+	q := p.Clone()
+	q.Code[0] = 99
+	q.Data[0] = 99
+	q.Symbols["a"] = 2
+	if p.Code[0] != 1 || p.Data[0] != 4 || p.Symbols["a"] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestImmediateQuick(t *testing.T) {
+	// Property: any int64 immediate survives the encoding.
+	f := func(v int64) bool {
+		buf, err := Encode(nil, Inst{Op: OpPush, Ops: []Operand{Imm(v)}})
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf, 0)
+		return err == nil && got.Ops[0].Imm == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDispQuick(t *testing.T) {
+	// Property: any int32 displacement survives the encoding.
+	f := func(d int32, base, idx uint8) bool {
+		o := Operand{Kind: KindMem, Base: base % NumIntRegs, Index: idx % NumIntRegs, Scale: 4, Disp: d}
+		buf, err := Encode(nil, Inst{Op: OpLea, Ops: []Operand{Reg(0), o}})
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf, 0)
+		return err == nil && got.Ops[1].Disp == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

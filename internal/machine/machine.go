@@ -1,0 +1,280 @@
+// Package machine implements the CPU + memory simulator that stands in for
+// the paper's x64 hardware and Linux kernel (see DESIGN.md §2). It executes
+// isa.Program images with a software FPU (package fpu) that honors %mxcsr
+// exception masks and delivers precise faults — without retiring the
+// faulting instruction — through configurable trap-delivery cost models
+// (package trap). FPVM installs itself as the machine's FP trap handler
+// exactly as the real prototype installs a SIGFPE handler.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"fpvm/internal/fpu"
+	"fpvm/internal/isa"
+	"fpvm/internal/trap"
+)
+
+// Default memory geometry. The data segment loads at DataBase; the stack
+// grows down from the top of memory.
+const (
+	DefaultMemSize  = 4 << 20 // 4 MiB
+	DefaultDataBase = 0x1000
+)
+
+// CPUFlags models the RFLAGS bits the ISA's conditional jumps consume.
+type CPUFlags struct {
+	ZF, SF, OF, CF, PF bool
+}
+
+// TrapCause says why the FP trap handler was invoked.
+type TrapCause uint8
+
+const (
+	CauseFPException  TrapCause = iota // unmasked MXCSR event
+	CauseCorrectness                   // explicit trapc from the static patcher
+	CauseExternalCall                  // callext site (patched demotion point)
+)
+
+func (c TrapCause) String() string {
+	switch c {
+	case CauseFPException:
+		return "fp-exception"
+	case CauseCorrectness:
+		return "correctness"
+	case CauseExternalCall:
+		return "external-call"
+	default:
+		return "cause?"
+	}
+}
+
+// TrapFrame is the signal-frame analog handed to trap handlers. Handlers may
+// mutate machine state freely (like writing through a ucontext) and must
+// advance RIP past the faulting instruction if they emulated it.
+type TrapFrame struct {
+	M     *Machine
+	Cause TrapCause
+	Inst  isa.Inst  // the faulting/trapping instruction
+	Flags fpu.Flags // MXCSR condition flags observed (FP exceptions)
+	Site  int64     // correctness-trap site id (trapc immediate)
+}
+
+// TrapHandler processes a delivered trap. A nil return resumes execution at
+// the machine's (possibly updated) RIP.
+type TrapHandler func(*TrapFrame) error
+
+// PatchHandler implements trap-and-patch (§3.2): it replaces the instruction
+// at a patched site. Returning handled=false makes the machine execute the
+// original instruction natively (precondition checks passed).
+type PatchHandler func(*TrapFrame) (handled bool, err error)
+
+// Stats aggregates execution counters for the evaluation harness.
+type Stats struct {
+	Instructions   uint64            // retired instructions (incl. emulated)
+	FPInstructions uint64            // retired FP-arithmetic instructions
+	FPTraps        uint64            // delivered FP exception traps
+	CorrectTraps   uint64            // delivered correctness traps
+	ExtCallTraps   uint64            // delivered external-call traps
+	PatchInvokes   uint64            // trap-and-patch handler invocations
+	TrapByFlag     map[string]uint64 // trap counts keyed by flag set
+	Trap           trap.Stats        // delivery cost accounting
+}
+
+// Machine is a single-core simulated CPU with flat memory.
+type Machine struct {
+	// Architectural state.
+	R     [isa.NumIntRegs]int64    // integer registers; R15 is SP
+	F     [isa.NumFPRegs][2]uint64 // 128-bit FP registers (two f64 lanes)
+	RIP   uint64
+	Flags CPUFlags
+	MXCSR fpu.MXCSR
+	Mem   []byte
+
+	// Program image.
+	Prog    *isa.Program
+	decoded map[uint64]isa.Inst // predecoded code (the "silicon" decoder)
+
+	// Virtualization hooks.
+	FPTrap          TrapHandler             // SIGFPE-analog handler (FPVM)
+	CorrectnessTrap TrapHandler             // trapc handler (FPVM demotion)
+	ExternalTrap    TrapHandler             // callext interposition
+	Patches         map[uint64]PatchHandler // trap-and-patch sites
+	// CorrectnessSites maps instruction addresses to site ids; the static
+	// patcher (internal/patch) installs these and the machine delivers a
+	// correctness trap before executing each such instruction.
+	CorrectnessSites map[uint64]int64
+	// TrapOnNaNLoad enables the §6.2 hardware extension: an integer
+	// instruction about to read a memory word whose bit pattern is a NaN
+	// raises a correctness trap first, making the static analysis
+	// unnecessary. Site id -2 marks these hardware-detected traps.
+	TrapOnNaNLoad bool
+	OutFilter     func(bits uint64) (string, bool) // printf hijack (§2 printing problem)
+
+	// Cost accounting.
+	Cost                CostModel
+	Profile             *trap.CostProfile
+	Delivery            trap.Kind // delivery model for FP traps
+	CorrectnessDelivery trap.Kind
+	Cycles              uint64
+	Stats               Stats
+
+	Out    io.Writer
+	halted bool
+}
+
+// New creates a machine with default geometry, cost model, and the R815
+// delivery profile, and loads prog.
+func New(prog *isa.Program, out io.Writer) (*Machine, error) {
+	m := &Machine{
+		Mem:                 make([]byte, DefaultMemSize),
+		Cost:                DefaultCostModel(),
+		Profile:             &trap.R815,
+		Delivery:            trap.DeliverUserSignal,
+		CorrectnessDelivery: trap.DeliverUserSignal,
+		Out:                 out,
+	}
+	m.Stats.TrapByFlag = make(map[string]uint64)
+	m.MXCSR = fpu.DefaultMXCSR
+	if err := m.Load(prog); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Load installs a program image: code is predecoded, data copied to its
+// base, SP set to the top of memory, RIP to the entry point.
+func (m *Machine) Load(prog *isa.Program) error {
+	if prog == nil {
+		return errors.New("machine: nil program")
+	}
+	m.Prog = prog
+	m.decoded = make(map[uint64]isa.Inst)
+	for addr := uint64(0); addr < uint64(len(prog.Code)); {
+		in, err := isa.Decode(prog.Code, addr)
+		if err != nil {
+			return fmt.Errorf("machine: predecode: %w", err)
+		}
+		m.decoded[addr] = in
+		addr += uint64(in.Len)
+	}
+	base := prog.DataBase
+	if base == 0 {
+		base = DefaultDataBase
+	}
+	if int(base)+len(prog.Data) > len(m.Mem) {
+		return fmt.Errorf("machine: data segment (%d bytes at %#x) exceeds memory", len(prog.Data), base)
+	}
+	copy(m.Mem[base:], prog.Data)
+	m.RIP = prog.Entry
+	m.R[isa.RegSP] = int64(len(m.Mem)) // empty descending stack
+	m.halted = false
+	return nil
+}
+
+// Halted reports whether the program has executed halt.
+func (m *Machine) Halted() bool { return m.halted }
+
+// FaultError is returned for machine-level faults (bad memory, bad opcode,
+// unhandled FP exception) — the moral equivalent of the process dying.
+type FaultError struct {
+	RIP    uint64
+	Reason string
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("machine fault at %#x: %s", e.RIP, e.Reason)
+}
+
+func (m *Machine) fault(format string, args ...any) error {
+	return &FaultError{RIP: m.RIP, Reason: fmt.Sprintf(format, args...)}
+}
+
+// ReadU64 loads 8 bytes little-endian from addr.
+func (m *Machine) ReadU64(addr uint64) (uint64, error) {
+	if addr >= uint64(len(m.Mem)) || uint64(len(m.Mem))-addr < 8 {
+		return 0, m.fault("load out of bounds: %#x", addr)
+	}
+	b := m.Mem[addr:]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, nil
+}
+
+// WriteU64 stores 8 bytes little-endian at addr.
+func (m *Machine) WriteU64(addr, v uint64) error {
+	if addr >= uint64(len(m.Mem)) || uint64(len(m.Mem))-addr < 8 {
+		return m.fault("store out of bounds: %#x", addr)
+	}
+	b := m.Mem[addr:]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+	return nil
+}
+
+// Run executes until halt, a fault, or maxInstructions retirements
+// (0 = unlimited). It returns nil on a clean halt.
+func (m *Machine) Run(maxInstructions uint64) error {
+	for !m.halted {
+		if err := m.Step(); err != nil {
+			return err
+		}
+		if maxInstructions > 0 && m.Stats.Instructions >= maxInstructions {
+			return m.fault("instruction budget exceeded (%d)", maxInstructions)
+		}
+	}
+	return nil
+}
+
+// InstAt returns the predecoded instruction at addr.
+func (m *Machine) InstAt(addr uint64) (isa.Inst, bool) {
+	in, ok := m.decoded[addr]
+	return in, ok
+}
+
+// deliverTrap charges delivery costs and invokes a handler.
+func (m *Machine) deliverTrap(h TrapHandler, k trap.Kind, f *TrapFrame) error {
+	m.Stats.Trap.Record(m.Profile, k)
+	m.Cycles += m.Profile.EntryCycles(k)
+	err := h(f)
+	m.Cycles += m.Profile.ExitCycles(k)
+	return err
+}
+
+// Step executes a single instruction (or delivers a trap for it).
+func (m *Machine) Step() error {
+	if m.halted {
+		return nil
+	}
+	in, ok := m.decoded[m.RIP]
+	if !ok {
+		return m.fault("RIP not at an instruction boundary")
+	}
+
+	// Trap-and-patch: a patched site bypasses fetch/execute and runs the
+	// patch's handler after a cheap inline check (§3.2).
+	if m.Patches != nil {
+		if ph, ok := m.Patches[m.RIP]; ok {
+			m.Cycles += m.Cost.PatchCheck
+			m.Stats.PatchInvokes++
+			handled, err := ph(&TrapFrame{M: m, Cause: CauseFPException, Inst: in})
+			if err != nil {
+				return err
+			}
+			if handled {
+				m.Stats.Instructions++
+				return nil
+			}
+			// Fall through: execute natively below.
+		}
+	}
+
+	return m.exec(in)
+}

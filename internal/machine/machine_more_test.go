@@ -1,0 +1,417 @@
+package machine
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"fpvm/internal/asm"
+	"fpvm/internal/fpu"
+	"fpvm/internal/isa"
+)
+
+func TestPackedArithTrapsAsWhole(t *testing.T) {
+	// One lane rounds → the whole packed instruction must trap before
+	// retiring either lane (x64 packed ops fault as a unit).
+	prog := asm.MustAssemble(`
+	.data
+	v: .f64 1.0, 1.0
+	w: .f64 2.0, 3.0
+	.text
+		movapd f0, [v]
+		divpd f0, [w]     ; lane0 exact (0.5), lane1 rounds (1/3)
+		halt
+	`)
+	m, _ := New(prog, nil)
+	m.MXCSR.SetMasks(0)
+	trapped := false
+	m.FPTrap = func(f *TrapFrame) error {
+		trapped = true
+		// Neither lane may have been written.
+		if math.Float64frombits(f.M.F[0][0]) != 1.0 || math.Float64frombits(f.M.F[0][1]) != 1.0 {
+			t.Error("packed op partially retired before trap")
+		}
+		f.M.Advance(f.Inst)
+		return nil
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !trapped {
+		t.Fatal("packed divide did not trap")
+	}
+}
+
+func TestJpJnpOnUnorderedCompare(t *testing.T) {
+	_, out := run(t, `
+	.data
+	nan: .i64 0x7FF8000000000000
+	.text
+		movsd f0, [nan]
+		movsd f1, =1.0
+		ucomisd f0, f1
+		jp unordered
+		outi $0
+		halt
+	unordered:
+		outi $1
+		jnp bad
+		outi $2
+		halt
+	bad:
+		outi $9
+		halt
+	`)
+	if out != "1\n2\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestOutc(t *testing.T) {
+	_, out := run(t, `
+		outc $'H'
+		outc $'i'
+		outc $'\n'
+		halt
+	`)
+	if out != "Hi\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestIntegerOpsComplete(t *testing.T) {
+	_, out := run(t, `
+		mov r0, $12
+		not r0          ; -13
+		outi r0
+		neg r0          ; 13
+		outi r0
+		mov r1, $3
+		and r1, $6      ; 2
+		outi r1
+		or r1, $5       ; 7
+		outi r1
+		xor r1, $1      ; 6
+		outi r1
+		shl r1, $2      ; 24
+		outi r1
+		shr r1, $1      ; 12
+		outi r1
+		mov r2, $-16
+		sar r2, $2      ; -4
+		outi r2
+		mov r3, $17
+		idiv r3, $5     ; 3
+		outi r3
+		halt
+	`)
+	want := "-13\n13\n2\n7\n6\n24\n12\n-4\n3\n"
+	if out != want {
+		t.Fatalf("output %q want %q", out, want)
+	}
+}
+
+func TestTestInstructionAndConditions(t *testing.T) {
+	_, out := run(t, `
+		mov r0, $6
+		test r0, $1     ; ZF=1 (no low bit)
+		je even
+		outi $0
+		halt
+	even:
+		outi $1
+		mov r1, $-5
+		test r1, r1     ; SF=1, ZF=0
+		jne nonzero
+		halt
+	nonzero:
+		outi $2
+		halt
+	`)
+	if out != "1\n2\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestUnsignedBranches(t *testing.T) {
+	_, out := run(t, `
+		mov r0, $-1       ; unsigned max
+		cmp r0, $1
+		ja bigger
+		outi $0
+		halt
+	bigger:
+		outi $1           ; -1 as unsigned > 1
+		cmp r0, $-1
+		jae also
+		halt
+	also:
+		outi $2
+		jbe eq
+		halt
+	eq:
+		outi $3
+		halt
+	`)
+	if out != "1\n2\n3\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestMovapdStoreToMemory(t *testing.T) {
+	m, _ := run(t, `
+	.data
+	src: .f64 3.0, 4.0
+	dst: .zero 16
+	.text
+		movapd f0, [src]
+		movapd [dst], f0
+		halt
+	`)
+	addr := m.Prog.Symbols["dst"]
+	lo, _ := m.ReadU64(addr)
+	hi, _ := m.ReadU64(addr + 8)
+	if math.Float64frombits(lo) != 3.0 || math.Float64frombits(hi) != 4.0 {
+		t.Fatalf("16-byte store wrong: %v %v", math.Float64frombits(lo), math.Float64frombits(hi))
+	}
+}
+
+func TestFPArithMemoryDestination(t *testing.T) {
+	m, _ := run(t, `
+	.data
+	acc: .f64 1.0
+	.text
+		movsd f1, =2.0
+		addsd [acc], f1   ; read-modify-write memory destination
+		halt
+	`)
+	bits, _ := m.ReadU64(m.Prog.Symbols["acc"])
+	if got := math.Float64frombits(bits); got != 3.0 {
+		t.Fatalf("memory-destination add = %v", got)
+	}
+}
+
+func TestCvtRoundingControl(t *testing.T) {
+	prog := asm.MustAssemble(`
+		movsd f0, =2.5
+		cvtsd2si r0, f0
+		outi r0
+		halt
+	`)
+	var out bytes.Buffer
+	m, _ := New(prog, &out)
+	m.MXCSR.SetRC(fpu.RCUp)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "3\n" {
+		t.Fatalf("RTP cvt gave %q", out.String())
+	}
+}
+
+func TestTrapcWithoutHandlerIsNop(t *testing.T) {
+	_, out := run(t, `
+		trapc $5
+		callext $9
+		outi $1
+		halt
+	`)
+	if out != "1\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestCyclesInstruction(t *testing.T) {
+	_, out := run(t, `
+		cycles r0
+		mov r1, $0
+	spin:
+		inc r1
+		cmp r1, $100
+		jl spin
+		cycles r2
+		sub r2, r0
+		cmp r2, $100
+		jg ok
+		outi $0
+		halt
+	ok:
+		outi $1
+		halt
+	`)
+	if out != "1\n" {
+		t.Fatalf("cycle counter did not advance: %q", out)
+	}
+}
+
+func TestJumpIntoMiddleOfInstructionFaults(t *testing.T) {
+	prog := asm.MustAssemble(`
+		jmp $1       ; byte 1 is inside this very instruction
+		halt
+	`)
+	m, _ := New(prog, nil)
+	err := m.Run(0)
+	if err == nil || !strings.Contains(err.Error(), "boundary") {
+		t.Fatalf("expected boundary fault, got %v", err)
+	}
+}
+
+func TestInstructionBudget(t *testing.T) {
+	prog := asm.MustAssemble(`
+	loop:
+		jmp loop
+	`)
+	m, _ := New(prog, nil)
+	err := m.Run(100)
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("expected budget fault, got %v", err)
+	}
+}
+
+func TestMinMaxOps(t *testing.T) {
+	m, _ := run(t, `
+		movsd f0, =3.0
+		movsd f1, =5.0
+		minsd f0, f1
+		movsd f2, =3.0
+		maxsd f2, f1
+		halt
+	`)
+	if math.Float64frombits(m.F[0][0]) != 3 {
+		t.Error("minsd")
+	}
+	if math.Float64frombits(m.F[2][0]) != 5 {
+		t.Error("maxsd")
+	}
+}
+
+func TestComisdQuietNaNTraps(t *testing.T) {
+	// comisd (unlike ucomisd) signals on quiet NaN.
+	prog := asm.MustAssemble(`
+	.data
+	nan: .i64 0x7FF8000000000000
+	.text
+		movsd f0, [nan]
+		movsd f1, =1.0
+		comisd f0, f1
+		halt
+	`)
+	m, _ := New(prog, nil)
+	m.MXCSR.SetMasks(0)
+	trapped := false
+	m.FPTrap = func(f *TrapFrame) error {
+		trapped = true
+		if f.Flags&fpu.FlagInvalid == 0 {
+			t.Error("comisd qNaN should be IE")
+		}
+		f.M.Advance(f.Inst)
+		return nil
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !trapped {
+		t.Fatal("comisd did not trap on quiet NaN")
+	}
+
+	// ucomisd must NOT trap on the same operands.
+	prog2 := asm.MustAssemble(`
+	.data
+	nan: .i64 0x7FF8000000000000
+	.text
+		movsd f0, [nan]
+		movsd f1, =1.0
+		ucomisd f0, f1
+		halt
+	`)
+	m2, _ := New(prog2, nil)
+	m2.MXCSR.SetMasks(0)
+	m2.FPTrap = func(f *TrapFrame) error {
+		t.Error("ucomisd should not trap on quiet NaN")
+		f.M.Advance(f.Inst)
+		return nil
+	}
+	if err := m2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsFPInstructionCounting(t *testing.T) {
+	m, _ := run(t, `
+		movsd f0, =2.0
+		addsd f0, f0      ; exact: retires natively, counts as FP
+		mulsd f0, f0      ; exact
+		mov r0, $1        ; integer
+		halt
+	`)
+	if m.Stats.FPInstructions != 2 {
+		t.Fatalf("FPInstructions = %d, want 2", m.Stats.FPInstructions)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil program should fail")
+	}
+	big := &isa.Program{Data: make([]byte, DefaultMemSize), DataBase: 0x1000}
+	if _, err := New(big, nil); err == nil {
+		t.Error("oversized data should fail")
+	}
+	bad := &isa.Program{Code: []byte{0xFF}}
+	if _, err := New(bad, nil); err == nil {
+		t.Error("bad code should fail predecode")
+	}
+}
+
+func TestFmodAndTranscendentalBinaries(t *testing.T) {
+	_, out := run(t, `
+		movsd f1, =7.5
+		movsd f2, =2.0
+		fmod f0, f1, f2
+		outf f0
+		fpow f3, f2, =3.0
+		outf f3
+		fhypot f4, =3.0, =4.0
+		outf f4
+		fatan2 f5, =0.0, =1.0
+		outf f5
+		halt
+	`)
+	if out != "1.5\n8\n5\n0\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestRoundingOps(t *testing.T) {
+	_, out := run(t, `
+		movsd f1, =-2.5
+		ffloor f0, f1
+		outf f0
+		fceil f0, f1
+		outf f0
+		ftrunc f0, f1
+		outf f0
+		fround f0, f1
+		outf f0
+		halt
+	`)
+	if out != "-3\n-2\n-2\n-3\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestHaltIdempotent(t *testing.T) {
+	prog := asm.MustAssemble(`halt`)
+	m, _ := New(prog, nil)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted() {
+		t.Fatal("not halted")
+	}
+	// Step after halt is a no-op.
+	if err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package mpfr
+
+// Transcendental functions are computed at a working precision wp =
+// prec + guard bits and then rounded once to the destination precision.
+// They are faithful (< 1 ulp error) rather than correctly rounded; GNU MPFR
+// offers correct rounding via Ziv's loop, which FPVM does not rely on.
+
+const transGuardBits = 64
+
+// wprec returns the working precision for transcendental evaluation into z.
+func (z *Float) wprec() uint { return uint(z.effPrec()) + transGuardBits }
+
+// Exp sets z to e^x rounded to z's precision and returns the ternary value.
+func (z *Float) Exp(x *Float, rnd RoundingMode) int {
+	switch x.form {
+	case nan:
+		z.setNaN()
+		return 0
+	case inf:
+		if x.neg {
+			z.setZero(false)
+		} else {
+			z.setInf(false)
+		}
+		return 0
+	case zero:
+		return z.SetUint64(1, rnd)
+	}
+	wp := z.wprec()
+
+	// Guard against absurd magnitudes: e^x overflows any practical range.
+	// 2^62 in the exponent keeps all downstream arithmetic well-defined.
+	if x.exp > 62 {
+		if x.neg {
+			z.setZero(false)
+			return -1 // stored 0 is below the tiny positive exact value
+		}
+		z.setInf(false)
+		return 1 // stored +Inf exceeds the finite exact value
+	}
+
+	// Range reduction: x = k·ln2 + r with |r| <= ln2/2, e^x = 2^k · e^r.
+	ln2 := New(wp + 64)
+	ln2.Ln2(RoundNearestEven)
+	kf := New(64)
+	kf.Div(x, ln2, RoundNearestEven)
+	k, _ := kf.Int64(RoundNearestEven)
+	r := New(wp + 64)
+	kl := New(wp + 64)
+	kl.SetInt64(k, RoundNearestEven)
+	kl.Mul(kl, ln2, RoundNearestEven)
+	r.Sub(x, kl, RoundNearestEven)
+
+	er := expSmall(r, wp)
+	er.exp += k // multiply by 2^k
+	return z.Set(er, rnd)
+}
+
+// expSmall computes e^r for |r| <= 1 at precision wp using further binary
+// reduction (r' = r / 2^j, square j times) plus the Taylor series.
+func expSmall(r *Float, wp uint) *Float {
+	const j = 16
+	rr := New(wp)
+	rr.Set(r, RoundNearestEven)
+	if rr.form == finite {
+		rr.exp -= j // divide by 2^j
+	}
+	s := expTaylor(rr, wp)
+	for i := 0; i < j; i++ {
+		s.Mul(s, s, RoundNearestEven)
+	}
+	return s
+}
+
+// expTaylor computes e^t by direct Taylor summation; |t| must be tiny
+// (<= 2^-8 or so) for fast convergence.
+func expTaylor(t *Float, wp uint) *Float {
+	sum := New(wp)
+	sum.SetUint64(1, RoundNearestEven)
+	term := New(wp)
+	term.SetUint64(1, RoundNearestEven)
+	nf := New(wp)
+	for n := int64(1); ; n++ {
+		term.Mul(term, t, RoundNearestEven)
+		nf.SetInt64(n, RoundNearestEven)
+		term.Div(term, nf, RoundNearestEven)
+		if term.form == zero || term.exp < sum.exp-int64(wp)-2 {
+			break
+		}
+		sum.Add(sum, term, RoundNearestEven)
+	}
+	return sum
+}
+
+// Expm1 sets z to e^x − 1 with good accuracy near zero.
+func (z *Float) Expm1(x *Float, rnd RoundingMode) int {
+	switch x.form {
+	case nan:
+		z.setNaN()
+		return 0
+	case inf:
+		if x.neg {
+			return z.SetInt64(-1, rnd)
+		}
+		z.setInf(false)
+		return 0
+	case zero:
+		z.setZero(x.neg)
+		return 0
+	}
+	wp := z.wprec()
+	if x.exp <= -2 {
+		// |x| < 1/2: Taylor of expm1 directly avoids cancellation.
+		sum := New(wp + 64)
+		term := New(wp + 64)
+		term.SetUint64(1, RoundNearestEven)
+		nf := New(wp + 64)
+		xs := New(wp + 64)
+		xs.Set(x, RoundNearestEven)
+		for n := int64(1); ; n++ {
+			term.Mul(term, xs, RoundNearestEven)
+			nf.SetInt64(n, RoundNearestEven)
+			term.Div(term, nf, RoundNearestEven)
+			if n == 1 {
+				sum.Set(term, RoundNearestEven)
+				continue
+			}
+			if term.form == zero || (sum.form == finite && term.exp < sum.exp-int64(wp)-2) {
+				break
+			}
+			sum.Add(sum, term, RoundNearestEven)
+		}
+		return z.Set(sum, rnd)
+	}
+	e := New(wp + 64)
+	e.Exp(x, RoundNearestEven)
+	one := New(8)
+	one.SetUint64(1, RoundNearestEven)
+	e.Sub(e, one, RoundNearestEven)
+	return z.Set(e, rnd)
+}

@@ -1,0 +1,242 @@
+package mpfr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"fpvm/internal/mpnat"
+)
+
+// pow10Nat returns 10^n as a Nat.
+func pow10Nat(n int64) mpnat.Nat {
+	if n < 0 {
+		panic("mpfr: pow10Nat negative")
+	}
+	z := mpnat.Nat{1}
+	// Multiply in chunks of 10^19 (the largest power of ten in a uint64).
+	const chunkPow = 19
+	const chunk = uint64(10_000_000_000_000_000_000)
+	for ; n >= chunkPow; n -= chunkPow {
+		z = mpnat.MulWord(z, chunk)
+	}
+	w := uint64(1)
+	for ; n > 0; n-- {
+		w *= 10
+	}
+	return mpnat.MulWord(z, w)
+}
+
+// SetString sets z to the value of s, which may be a decimal number with
+// optional sign, fraction, and exponent ("-1.25e-3"), or "inf"/"nan"
+// (case-insensitive). It returns z, the ternary value, and an error.
+func (z *Float) SetString(s string, rnd RoundingMode) (*Float, int, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	neg := false
+	if len(s) > 0 && (s[0] == '+' || s[0] == '-') {
+		neg = s[0] == '-'
+		s = s[1:]
+	}
+	switch strings.ToLower(s) {
+	case "inf", "infinity":
+		z.setInf(neg)
+		return z, 0, nil
+	case "nan":
+		z.setNaN()
+		return z, 0, nil
+	}
+
+	mantStr, expStr := s, ""
+	hasExpMarker := false
+	if i := strings.IndexAny(s, "eE"); i >= 0 {
+		mantStr, expStr = s[:i], s[i+1:]
+		hasExpMarker = true
+	}
+	if hasExpMarker && expStr == "" {
+		return z, 0, fmt.Errorf("mpfr: missing exponent in %q", orig)
+	}
+	intPart, fracPart := mantStr, ""
+	if i := strings.IndexByte(mantStr, '.'); i >= 0 {
+		intPart, fracPart = mantStr[:i], mantStr[i+1:]
+	}
+	if intPart == "" && fracPart == "" {
+		return z, 0, fmt.Errorf("mpfr: invalid number %q", orig)
+	}
+
+	var digits mpnat.Nat
+	for _, c := range intPart + fracPart {
+		if c < '0' || c > '9' {
+			return z, 0, fmt.Errorf("mpfr: invalid digit in %q", orig)
+		}
+		digits = mpnat.AddWord(mpnat.MulWord(digits, 10), uint64(c-'0'))
+	}
+
+	exp10 := int64(-len(fracPart))
+	if expStr != "" {
+		e, err := parseInt(expStr)
+		if err != nil {
+			return z, 0, fmt.Errorf("mpfr: invalid exponent in %q", orig)
+		}
+		exp10 += e
+	}
+
+	if digits.IsZero() {
+		z.setZero(neg)
+		return z, 0, nil
+	}
+
+	var t int
+	if exp10 >= 0 {
+		m := mpnat.Mul(digits, pow10Nat(exp10))
+		t = z.setRounded(neg, m, 0, false, rnd)
+	} else {
+		den := pow10Nat(-exp10)
+		shift := int64(z.effPrec()) + 3 + int64(den.BitLen()) - int64(digits.BitLen())
+		if shift < 0 {
+			shift = 0
+		}
+		q, r := mpnat.DivMod(mpnat.Shl(digits, uint(shift)), den)
+		t = z.setRounded(neg, q, -shift, !r.IsZero(), rnd)
+	}
+	return z, t, nil
+}
+
+func parseInt(s string) (int64, error) {
+	neg := false
+	if len(s) > 0 && (s[0] == '+' || s[0] == '-') {
+		neg = s[0] == '-'
+		s = s[1:]
+	}
+	if s == "" {
+		return 0, errors.New("empty")
+	}
+	var v int64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, errors.New("bad digit")
+		}
+		v = v*10 + int64(c-'0')
+		if v > 1<<40 {
+			return 0, errors.New("exponent too large")
+		}
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// Text formats x in scientific notation with the given number of significant
+// decimal digits (digits <= 0 selects enough digits for the precision).
+func (x *Float) Text(digits int) string {
+	switch x.form {
+	case nan:
+		return "nan"
+	case inf:
+		if x.neg {
+			return "-inf"
+		}
+		return "inf"
+	case zero:
+		if x.neg {
+			return "-0"
+		}
+		return "0"
+	}
+	if digits <= 0 {
+		// ceil(prec·log10(2)) + 1 digits round-trips the value.
+		digits = int(float64(x.effPrec())*0.30103) + 2
+	}
+
+	dec, e10 := x.decimalDigits(digits)
+	var b strings.Builder
+	if x.neg {
+		b.WriteByte('-')
+	}
+	b.WriteByte(dec[0])
+	if len(dec) > 1 {
+		b.WriteByte('.')
+		b.WriteString(dec[1:])
+	}
+	fmt.Fprintf(&b, "e%+03d", e10)
+	return b.String()
+}
+
+// String formats x with enough digits to distinguish values at x's precision.
+func (x *Float) String() string { return x.Text(0) }
+
+// decimalDigits returns exactly n decimal digits of |x| (rounded to nearest)
+// and the decimal exponent e10 such that |x| ≈ 0.D... × 10^(e10+1), i.e.
+// the first digit has weight 10^e10.
+func (x *Float) decimalDigits(n int) (string, int) {
+	// Estimate the decimal exponent from the binary exponent.
+	// |x| ∈ [2^(exp-1), 2^exp) so log10|x| ∈ [(exp-1)·log10 2, exp·log10 2).
+	e10 := int64(float64(x.exp-1) * 0.30102999566398119521)
+
+	for {
+		digits, ok := x.scaledDigits(int64(n), e10)
+		if !ok {
+			e10++ // estimate was low: produced too many digits
+			continue
+		}
+		if len(digits) < n {
+			e10-- // estimate was high
+			continue
+		}
+		return digits, int(e10)
+	}
+}
+
+// scaledDigits computes round(|x| / 10^(e10+1-n)) as a decimal string,
+// returning ok=false if the result has more than n digits.
+func (x *Float) scaledDigits(n, e10 int64) (string, bool) {
+	ue := x.unitExp()
+	p10 := n - 1 - e10 // multiply by 10^p10
+
+	num := x.mant
+	var den mpnat.Nat = mpnat.Nat{1}
+	if p10 >= 0 {
+		num = mpnat.Mul(num, pow10Nat(p10))
+	} else {
+		den = pow10Nat(-p10)
+	}
+	if ue >= 0 {
+		num = mpnat.Shl(num, uint(ue))
+	} else {
+		den = mpnat.Shl(den, uint(-ue))
+	}
+	q, r := mpnat.DivMod(num, den)
+	// Round half up on the remainder (formatting choice; ties are unlikely
+	// to matter for diagnostics and EXPERIMENTS output).
+	r2 := mpnat.Shl(r, 1)
+	if r2.Cmp(den) >= 0 {
+		q = mpnat.AddWord(q, 1)
+	}
+	s := natDecimal(q)
+	if int64(len(s)) > n {
+		return "", false
+	}
+	return s, true
+}
+
+// natDecimal converts a Nat to its decimal string.
+func natDecimal(v mpnat.Nat) string {
+	if v.IsZero() {
+		return "0"
+	}
+	var chunks []uint64
+	const chunk = uint64(10_000_000_000_000_000_000) // 10^19
+	for !v.IsZero() {
+		q, r := mpnat.DivMod(v, mpnat.Nat{chunk})
+		rw, _ := r.Uint64()
+		chunks = append(chunks, rw)
+		v = q
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", chunks[len(chunks)-1])
+	for i := len(chunks) - 2; i >= 0; i-- {
+		fmt.Fprintf(&b, "%019d", chunks[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package mpfr
+
+// Log sets z to the natural logarithm of x rounded to z's precision and
+// returns the ternary value. Log of a negative number is NaN; Log(±0) is
+// −Inf; Log(+Inf) is +Inf.
+func (z *Float) Log(x *Float, rnd RoundingMode) int {
+	switch {
+	case x.form == nan:
+		z.setNaN()
+		return 0
+	case x.form == zero:
+		z.setInf(true)
+		return 0
+	case x.neg:
+		z.setNaN()
+		return 0
+	case x.form == inf:
+		z.setInf(false)
+		return 0
+	}
+	// Exact shortcut: log(1) = 0.
+	if x.exp == 1 && isPow2Mant(x.mant) {
+		z.setZero(false)
+		return 0
+	}
+	wp := z.wprec() + 64
+
+	// Write x = m · 2^k with m ∈ [1, 2).
+	k := x.exp - 1
+	m := New(wp)
+	m.Set(x, RoundNearestEven)
+	m.exp = 1 // now m ∈ [1, 2)
+
+	// Bring m close to 1 with j successive square roots:
+	// ln m = 2^j · ln m^(1/2^j).
+	const j = 8
+	for i := 0; i < j; i++ {
+		m.Sqrt(m, RoundNearestEven)
+	}
+
+	// atanh series: ln m = 2·atanh((m−1)/(m+1)).
+	one := New(8)
+	one.SetUint64(1, RoundNearestEven)
+	num := New(wp)
+	den := New(wp)
+	num.Sub(m, one, RoundNearestEven)
+	den.Add(m, one, RoundNearestEven)
+	t := New(wp)
+	t.Div(num, den, RoundNearestEven)
+
+	lnm := atanhSmall(t, wp)
+	lnm.exp += j + 1 // times 2^j (sqrt undo) times 2 (atanh identity)
+
+	// ln x = k·ln2 + ln m.
+	if k != 0 {
+		ln2 := New(wp)
+		ln2.Ln2(RoundNearestEven)
+		kf := New(wp)
+		kf.SetInt64(k, RoundNearestEven)
+		kf.Mul(kf, ln2, RoundNearestEven)
+		lnm.Add(lnm, kf, RoundNearestEven)
+	}
+	return z.Set(lnm, rnd)
+}
+
+// atanhSmall computes atanh(t) = t + t³/3 + t⁵/5 + ... for tiny |t|.
+func atanhSmall(t *Float, wp uint) *Float {
+	sum := New(wp)
+	sum.Set(t, RoundNearestEven)
+	if t.form != finite {
+		return sum
+	}
+	t2 := New(wp)
+	t2.Mul(t, t, RoundNearestEven)
+	pow := New(wp)
+	pow.Set(t, RoundNearestEven)
+	term := New(wp)
+	df := New(wp)
+	for n := int64(1); ; n++ {
+		pow.Mul(pow, t2, RoundNearestEven)
+		df.SetInt64(2*n+1, RoundNearestEven)
+		term.Div(pow, df, RoundNearestEven)
+		if term.form == zero || term.exp < sum.exp-int64(wp)-2 {
+			break
+		}
+		sum.Add(sum, term, RoundNearestEven)
+	}
+	return sum
+}
+
+// Log2 sets z to the base-2 logarithm of x.
+func (z *Float) Log2(x *Float, rnd RoundingMode) int {
+	if x.form == finite && isPow2Mant(x.mant) && !x.neg {
+		// Exact powers of two.
+		return z.SetInt64(x.exp-1, rnd)
+	}
+	wp := z.wprec() + 64
+	ln := New(wp)
+	ln.Log(x, RoundNearestEven)
+	if ln.form != finite {
+		return z.Set(ln, rnd)
+	}
+	ln2 := New(wp)
+	ln2.Ln2(RoundNearestEven)
+	ln.Div(ln, ln2, RoundNearestEven)
+	return z.Set(ln, rnd)
+}
+
+// Log10 sets z to the base-10 logarithm of x.
+func (z *Float) Log10(x *Float, rnd RoundingMode) int {
+	wp := z.wprec() + 64
+	ln := New(wp)
+	ln.Log(x, RoundNearestEven)
+	if ln.form != finite {
+		return z.Set(ln, rnd)
+	}
+	ten := New(8)
+	ten.SetUint64(10, RoundNearestEven)
+	ln10 := New(wp)
+	ln10.Log(ten, RoundNearestEven)
+	ln.Div(ln, ln10, RoundNearestEven)
+	return z.Set(ln, rnd)
+}
+
+// Log1p sets z to log(1+x) with good accuracy near zero.
+func (z *Float) Log1p(x *Float, rnd RoundingMode) int {
+	switch {
+	case x.form == nan:
+		z.setNaN()
+		return 0
+	case x.form == zero:
+		z.setZero(x.neg)
+		return 0
+	case x.form == inf && !x.neg:
+		z.setInf(false)
+		return 0
+	}
+	wp := z.wprec() + 64
+	one := New(8)
+	one.SetUint64(1, RoundNearestEven)
+	if x.form == finite && x.exp <= -2 {
+		// |x| < 1/2: use atanh form, log1p(x) = 2·atanh(x/(2+x)).
+		den := New(wp)
+		two := New(8)
+		two.SetUint64(2, RoundNearestEven)
+		den.Add(two, x, RoundNearestEven)
+		t := New(wp)
+		t.Div(x, den, RoundNearestEven)
+		r := atanhSmall(t, wp)
+		if r.form == finite {
+			r.exp++
+		}
+		return z.Set(r, rnd)
+	}
+	s := New(wp)
+	s.Add(one, x, RoundNearestEven)
+	r := New(wp)
+	r.Log(s, RoundNearestEven)
+	return z.Set(r, rnd)
+}

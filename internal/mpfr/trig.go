@@ -1,0 +1,398 @@
+package mpfr
+
+// maxArgReductionBits caps the extra working precision spent on trigonometric
+// argument reduction for astronomically large arguments. Beyond this, results
+// degrade gracefully rather than exhausting memory (documented limitation;
+// FPVM workloads keep trig arguments within a few hundred bits of exponent).
+const maxArgReductionBits = 1 << 12
+
+// trigReduce returns r and the quadrant q (mod 4) such that
+// x = n·(π/2) + r, |r| <= π/4, q = n mod 4, computed at precision wp.
+func trigReduce(x *Float, wp uint) (r *Float, quadrant int64) {
+	extra := uint(0)
+	if x.exp > 0 {
+		extra = uint(x.exp)
+		if extra > maxArgReductionBits {
+			extra = maxArgReductionBits
+		}
+	}
+	wr := wp + extra + 32
+	halfPi := New(wr)
+	halfPi.Pi(RoundNearestEven)
+	halfPi.exp-- // π/2
+
+	nf := New(wr)
+	nf.Div(x, halfPi, RoundNearestEven)
+	n, ok := nf.Int64(RoundNearestEven)
+	if !ok {
+		// Argument too large to reduce meaningfully; give up gracefully.
+		r = New(wp)
+		r.setZero(false)
+		return r, 0
+	}
+	nl := New(wr)
+	nl.SetInt64(n, RoundNearestEven)
+	nl.Mul(nl, halfPi, RoundNearestEven)
+	r = New(wp + 32)
+	r.Sub(x, nl, RoundNearestEven)
+	return r, ((n % 4) + 4) % 4
+}
+
+// sinTaylor computes sin(r) for |r| <= π/4 at precision wp.
+func sinTaylor(r *Float, wp uint) *Float {
+	sum := New(wp)
+	sum.Set(r, RoundNearestEven)
+	if r.form != finite {
+		return sum
+	}
+	r2 := New(wp)
+	r2.Mul(r, r, RoundNearestEven)
+	term := New(wp)
+	term.Set(r, RoundNearestEven)
+	df := New(wp)
+	for n := int64(1); ; n++ {
+		// term *= -r² / ((2n)(2n+1))
+		term.Mul(term, r2, RoundNearestEven)
+		df.SetInt64(2*n*(2*n+1), RoundNearestEven)
+		term.Div(term, df, RoundNearestEven)
+		term.neg = !term.neg
+		if term.form == zero || (sum.form == finite && term.exp < sum.exp-int64(wp)-2) {
+			break
+		}
+		sum.Add(sum, term, RoundNearestEven)
+	}
+	return sum
+}
+
+// cosTaylor computes cos(r) for |r| <= π/4 at precision wp.
+func cosTaylor(r *Float, wp uint) *Float {
+	sum := New(wp)
+	sum.SetUint64(1, RoundNearestEven)
+	if r.form != finite {
+		if r.form == zero {
+			return sum
+		}
+		sum.setNaN()
+		return sum
+	}
+	r2 := New(wp)
+	r2.Mul(r, r, RoundNearestEven)
+	term := New(wp)
+	term.SetUint64(1, RoundNearestEven)
+	df := New(wp)
+	for n := int64(1); ; n++ {
+		// term *= -r² / ((2n-1)(2n))
+		term.Mul(term, r2, RoundNearestEven)
+		df.SetInt64((2*n-1)*(2*n), RoundNearestEven)
+		term.Div(term, df, RoundNearestEven)
+		term.neg = !term.neg
+		if term.form == zero || term.exp < sum.exp-int64(wp)-2 {
+			break
+		}
+		sum.Add(sum, term, RoundNearestEven)
+	}
+	return sum
+}
+
+// Sin sets z to sin(x) rounded to z's precision and returns the ternary value.
+func (z *Float) Sin(x *Float, rnd RoundingMode) int {
+	switch x.form {
+	case nan, inf:
+		z.setNaN()
+		return 0
+	case zero:
+		z.setZero(x.neg)
+		return 0
+	}
+	wp := z.wprec() + 32
+	r, q := trigReduce(x, wp)
+	var res *Float
+	switch q {
+	case 0:
+		res = sinTaylor(r, wp)
+	case 1:
+		res = cosTaylor(r, wp)
+	case 2:
+		res = sinTaylor(r, wp)
+		res.negInPlace()
+	default:
+		res = cosTaylor(r, wp)
+		res.negInPlace()
+	}
+	return z.Set(res, rnd)
+}
+
+// Cos sets z to cos(x) rounded to z's precision and returns the ternary value.
+func (z *Float) Cos(x *Float, rnd RoundingMode) int {
+	switch x.form {
+	case nan, inf:
+		z.setNaN()
+		return 0
+	case zero:
+		return z.SetUint64(1, rnd)
+	}
+	wp := z.wprec() + 32
+	r, q := trigReduce(x, wp)
+	var res *Float
+	switch q {
+	case 0:
+		res = cosTaylor(r, wp)
+	case 1:
+		res = sinTaylor(r, wp)
+		res.negInPlace()
+	case 2:
+		res = cosTaylor(r, wp)
+		res.negInPlace()
+	default:
+		res = sinTaylor(r, wp)
+	}
+	return z.Set(res, rnd)
+}
+
+// Tan sets z to tan(x) rounded to z's precision and returns the ternary value.
+func (z *Float) Tan(x *Float, rnd RoundingMode) int {
+	switch x.form {
+	case nan, inf:
+		z.setNaN()
+		return 0
+	case zero:
+		z.setZero(x.neg)
+		return 0
+	}
+	wp := z.wprec() + 32
+	r, q := trigReduce(x, wp)
+	s := sinTaylor(r, wp)
+	c := cosTaylor(r, wp)
+	t := New(wp)
+	if q == 1 || q == 3 {
+		// tan(x) = -cos(r)/sin(r) in odd quadrants.
+		t.Div(c, s, RoundNearestEven)
+		t.negInPlace()
+	} else {
+		t.Div(s, c, RoundNearestEven)
+	}
+	return z.Set(t, rnd)
+}
+
+func (x *Float) negInPlace() {
+	if x.form != nan {
+		x.neg = !x.neg
+	}
+}
+
+// atanSmall computes atan(t) = t − t³/3 + t⁵/5 − ... for |t| < 1,
+// accurate when |t| is small.
+func atanSmall(t *Float, wp uint) *Float {
+	sum := New(wp)
+	sum.Set(t, RoundNearestEven)
+	if t.form != finite {
+		return sum
+	}
+	t2 := New(wp)
+	t2.Mul(t, t, RoundNearestEven)
+	pow := New(wp)
+	pow.Set(t, RoundNearestEven)
+	term := New(wp)
+	df := New(wp)
+	for n := int64(1); ; n++ {
+		pow.Mul(pow, t2, RoundNearestEven)
+		pow.negInPlace()
+		df.SetInt64(2*n+1, RoundNearestEven)
+		term.Div(pow, df, RoundNearestEven)
+		if term.form == zero || term.exp < sum.exp-int64(wp)-2 {
+			break
+		}
+		sum.Add(sum, term, RoundNearestEven)
+	}
+	return sum
+}
+
+// Atan sets z to arctan(x) rounded to z's precision; returns ternary value.
+func (z *Float) Atan(x *Float, rnd RoundingMode) int {
+	switch x.form {
+	case nan:
+		z.setNaN()
+		return 0
+	case zero:
+		z.setZero(x.neg)
+		return 0
+	case inf:
+		pi := New(z.wprec())
+		pi.Pi(RoundNearestEven)
+		pi.exp-- // π/2
+		pi.neg = x.neg
+		return z.Set(pi, rnd)
+	}
+	wp := z.wprec() + 64
+
+	t := New(wp)
+	invert := x.exp > 0 // |x| >= 1 (or could be exactly 1)
+	if invert {
+		one := New(8)
+		one.SetUint64(1, RoundNearestEven)
+		t.Div(one, x, RoundNearestEven)
+		t.neg = false
+	} else {
+		t.Abs(x, RoundNearestEven)
+	}
+
+	// Halve the angle k times: atan(t) = 2·atan(t / (1 + sqrt(1+t²))).
+	const k = 8
+	one := New(8)
+	one.SetUint64(1, RoundNearestEven)
+	tmp := New(wp)
+	den := New(wp)
+	for i := 0; i < k; i++ {
+		tmp.Mul(t, t, RoundNearestEven)
+		tmp.Add(tmp, one, RoundNearestEven)
+		tmp.Sqrt(tmp, RoundNearestEven)
+		den.Add(tmp, one, RoundNearestEven)
+		t.Div(t, den, RoundNearestEven)
+	}
+	res := atanSmall(t, wp)
+	if res.form == finite {
+		res.exp += k
+	}
+	if invert {
+		// atan(|x|) = π/2 − atan(1/|x|)
+		pi2 := New(wp)
+		pi2.Pi(RoundNearestEven)
+		pi2.exp--
+		res.Sub(pi2, res, RoundNearestEven)
+	}
+	res.neg = res.neg != x.neg
+	return z.Set(res, rnd)
+}
+
+// Asin sets z to arcsin(x); NaN outside [−1, 1].
+func (z *Float) Asin(x *Float, rnd RoundingMode) int {
+	switch x.form {
+	case nan, inf:
+		z.setNaN()
+		return 0
+	case zero:
+		z.setZero(x.neg)
+		return 0
+	}
+	one := New(8)
+	one.SetUint64(1, RoundNearestEven)
+	switch x.cmpAbs(one) {
+	case 1:
+		z.setNaN()
+		return 0
+	case 0:
+		pi2 := New(z.wprec())
+		pi2.Pi(RoundNearestEven)
+		pi2.exp--
+		pi2.neg = x.neg
+		return z.Set(pi2, rnd)
+	}
+	// asin(x) = atan(x / sqrt(1 − x²)).
+	wp := z.wprec() + 64
+	t := New(wp)
+	t.Mul(x, x, RoundNearestEven)
+	t.Sub(one, t, RoundNearestEven)
+	t.Sqrt(t, RoundNearestEven)
+	t.Div(x, t, RoundNearestEven)
+	r := New(wp)
+	r.Atan(t, RoundNearestEven)
+	return z.Set(r, rnd)
+}
+
+// Acos sets z to arccos(x); NaN outside [−1, 1].
+func (z *Float) Acos(x *Float, rnd RoundingMode) int {
+	switch x.form {
+	case nan, inf:
+		z.setNaN()
+		return 0
+	}
+	one := New(8)
+	one.SetUint64(1, RoundNearestEven)
+	if x.form == finite && x.cmpAbs(one) > 0 {
+		z.setNaN()
+		return 0
+	}
+	// acos(x) = 2·atan(sqrt((1−x)/(1+x))), stable near x = ±1.
+	wp := z.wprec() + 64
+	num := New(wp)
+	den := New(wp)
+	num.Sub(one, x, RoundNearestEven)
+	den.Add(one, x, RoundNearestEven)
+	if den.form == zero {
+		// x == −1: acos = π.
+		pi := New(z.wprec())
+		pi.Pi(RoundNearestEven)
+		return z.Set(pi, rnd)
+	}
+	t := New(wp)
+	t.Div(num, den, RoundNearestEven)
+	t.Sqrt(t, RoundNearestEven)
+	r := New(wp)
+	r.Atan(t, RoundNearestEven)
+	if r.form == finite {
+		r.exp++
+	}
+	return z.Set(r, rnd)
+}
+
+// Atan2 sets z to the angle of the point (x, y) in the plane, i.e.
+// atan(y/x) adjusted for the quadrant, following IEEE 754 atan2 semantics
+// for zeros and infinities (subset sufficient for FPVM workloads).
+func (z *Float) Atan2(y, x *Float, rnd RoundingMode) int {
+	if y.form == nan || x.form == nan {
+		z.setNaN()
+		return 0
+	}
+	wp := z.wprec() + 64
+	pi := New(wp)
+	pi.Pi(RoundNearestEven)
+
+	switch {
+	case y.form == zero:
+		if x.neg { // x < 0 or -0: ±π
+			pi.neg = y.neg
+			return z.Set(pi, rnd)
+		}
+		z.setZero(y.neg)
+		return 0
+	case x.form == zero:
+		pi.exp-- // π/2
+		pi.neg = y.neg
+		return z.Set(pi, rnd)
+	case x.form == inf && y.form == inf:
+		// ±π/4 or ±3π/4
+		pi.exp -= 2 // π/4
+		if x.neg {
+			three := New(8)
+			three.SetUint64(3, RoundNearestEven)
+			pi.Mul(pi, three, RoundNearestEven)
+		}
+		pi.neg = y.neg
+		return z.Set(pi, rnd)
+	case x.form == inf:
+		if x.neg {
+			pi.neg = y.neg
+			return z.Set(pi, rnd)
+		}
+		z.setZero(y.neg)
+		return 0
+	case y.form == inf:
+		pi.exp--
+		pi.neg = y.neg
+		return z.Set(pi, rnd)
+	}
+
+	q := New(wp)
+	q.Div(y, x, RoundNearestEven)
+	a := New(wp)
+	a.Atan(q, RoundNearestEven)
+	if x.neg {
+		// Shift into the correct half-plane.
+		if y.neg {
+			a.Sub(a, pi, RoundNearestEven)
+		} else {
+			a.Add(a, pi, RoundNearestEven)
+		}
+	}
+	return z.Set(a, rnd)
+}

@@ -1,0 +1,54 @@
+// Package nanbox implements the NaN-boxing scheme of §2 of the FPVM paper:
+// a shadowed value is a signaling NaN whose 51-bit payload carries the key
+// of the shadow value held by FPVM's allocator. The hardware (package fpu)
+// faults whenever such a value reaches floating point arithmetic, which is
+// what lets FPVM interpose; moves, bitwise ops, and integer loads pass
+// boxes through silently — the virtualization hole the static analysis
+// closes.
+//
+// Layout of a boxed value (IEEE binary64 bits):
+//
+//	sign      exponent     quiet  payload
+//	[63] = 0  [62:52] = all 1     [51] = 0  [50:0] = key + 1
+//
+// The payload is key+1 so that key 0 is representable (an all-zero mantissa
+// would encode infinity, not a NaN). FPVM owns the entire sNaN space: a
+// program running under FPVM never observes its own signaling NaNs (§2,
+// "NaN-space ownership").
+package nanbox
+
+const (
+	expAll   = uint64(0x7FF) << 52
+	quietBit = uint64(1) << 51
+	signBit  = uint64(1) << 63
+
+	// PayloadBits is the number of usable payload bits in a signaling NaN.
+	PayloadBits = 51
+	// MaxKey is the largest encodable shadow key.
+	MaxKey = (uint64(1) << PayloadBits) - 2
+)
+
+// Box encodes a shadow key as a signaling NaN bit pattern.
+// Box panics if key exceeds MaxKey (the allocator never lets this happen:
+// 2^51 live shadow values would exhaust memory long before).
+func Box(key uint64) uint64 {
+	if key > MaxKey {
+		panic("nanbox: key out of range")
+	}
+	return expAll | (key + 1)
+}
+
+// IsBoxed reports whether bits is a NaN-box (any signaling NaN with a
+// payload — under FPVM, all signaling NaNs are owned by the VM).
+func IsBoxed(bits uint64) bool {
+	return bits&(expAll|quietBit|signBit) == expAll && bits&(quietBit-1) != 0
+}
+
+// Unbox extracts the shadow key from a boxed pattern.
+// The second result is false if bits is not a NaN-box.
+func Unbox(bits uint64) (uint64, bool) {
+	if !IsBoxed(bits) {
+		return 0, false
+	}
+	return bits&(quietBit-1) - 1, true
+}

@@ -1,0 +1,120 @@
+package nanbox
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxUnboxRoundTrip(t *testing.T) {
+	f := func(key uint64) bool {
+		key %= MaxKey + 1
+		bits := Box(key)
+		got, ok := Unbox(bits)
+		return ok && got == key
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxIsSignalingNaN(t *testing.T) {
+	r := rand.New(rand.NewSource(70))
+	for i := 0; i < 10000; i++ {
+		key := r.Uint64() % (MaxKey + 1)
+		bits := Box(key)
+		// Must be a NaN to the FPU.
+		if !math.IsNaN(math.Float64frombits(bits)) {
+			t.Fatalf("Box(%d) = %#x is not a NaN", key, bits)
+		}
+		// Quiet bit must be clear (signaling).
+		if bits&(1<<51) != 0 {
+			t.Fatalf("Box(%d) has quiet bit set", key)
+		}
+		// Mantissa must be nonzero (else it would be an infinity).
+		if bits&((1<<52)-1) == 0 {
+			t.Fatalf("Box(%d) has zero mantissa", key)
+		}
+		// Sign bit clear by construction.
+		if bits>>63 != 0 {
+			t.Fatalf("Box(%d) has sign bit set", key)
+		}
+	}
+}
+
+func TestBoxKeyRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Box(MaxKey+1) should panic")
+		}
+	}()
+	Box(MaxKey + 1)
+}
+
+func TestOrdinaryValuesNotBoxed(t *testing.T) {
+	vals := []float64{0, math.Copysign(0, -1), 1, -1, 0.5, math.MaxFloat64,
+		math.SmallestNonzeroFloat64, math.Inf(1), math.Inf(-1), math.Pi}
+	for _, v := range vals {
+		if IsBoxed(math.Float64bits(v)) {
+			t.Errorf("%v misidentified as boxed", v)
+		}
+		if _, ok := Unbox(math.Float64bits(v)); ok {
+			t.Errorf("%v unboxes", v)
+		}
+	}
+	// Quiet NaNs (incl. the runtime default) are NOT boxes: the program's
+	// own quiet NaNs flow untouched.
+	qnans := []uint64{
+		math.Float64bits(math.NaN()),
+		0x7FF8000000000000,
+		0x7FF800000000BEEF,
+		0xFFF8000000000001,
+	}
+	for _, q := range qnans {
+		if IsBoxed(q) {
+			t.Errorf("quiet NaN %#x misidentified as boxed", q)
+		}
+	}
+	// Negative signaling NaNs: FPVM only mints positive ones, and the
+	// decoder rejects the rest of the sNaN space it doesn't own.
+	if IsBoxed(0xFFF0000000000001) {
+		t.Error("negative sNaN should not decode as a box")
+	}
+}
+
+func TestRandomBitsRarelyBox(t *testing.T) {
+	// A conservative GC scans arbitrary memory; random 64-bit words should
+	// box only when they genuinely match the pattern (prob ≈ 2^-13).
+	r := rand.New(rand.NewSource(71))
+	hits := 0
+	const n = 1 << 20
+	for i := 0; i < n; i++ {
+		if IsBoxed(r.Uint64()) {
+			hits++
+		}
+	}
+	// Expected ≈ n * 2^-13 = 128; allow generous slack.
+	if hits > 1024 {
+		t.Fatalf("%d random words boxed (pattern too loose)", hits)
+	}
+}
+
+func TestKeyZeroRepresentable(t *testing.T) {
+	// Key 0 must encode (payload is key+1, so the mantissa stays nonzero).
+	bits := Box(0)
+	if k, ok := Unbox(bits); !ok || k != 0 {
+		t.Fatal("key 0 does not round trip")
+	}
+}
+
+func TestAdjacentKeysDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for k := uint64(0); k < 1000; k++ {
+		b := Box(k)
+		if seen[b] {
+			t.Fatalf("duplicate box pattern for key %d", k)
+		}
+		seen[b] = true
+	}
+}

@@ -1,0 +1,386 @@
+package posit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpvm/internal/mpfr"
+)
+
+func TestKnownEncodings(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		v    float64
+		want Posit
+	}{
+		{Posit16, 1, 0x4000},
+		{Posit16, -1, 0xC000},
+		{Posit16, 2, 0x5000},   // k=0 e=1: 0 10 1 0...
+		{Posit16, 4, 0x6000},   // k=1: 0 110 0 0...
+		{Posit16, 0.5, 0x3000}, // e=-1 → k=-1,e=1: 0 01 1 0...
+		{Posit16, 1.5, 0x4800},
+		{Posit8, 1, 0x40},
+		{Posit8, 2, 0x60}, // es=0: k=1: 0 110 00000? width 8: 0 10... wait k=1: 0 110 0000 = 0x60
+		{Posit8, 0.5, 0x20},
+		{Posit8, -2, 0xA0},
+		{Posit32, 1, 0x40000000},
+	}
+	for _, c := range cases {
+		if got := c.cfg.FromFloat64(c.v); got != c.want {
+			t.Errorf("%v FromFloat64(%g) = %#x, want %#x", c.cfg, c.v, got, c.want)
+		}
+		if got := c.cfg.ToFloat64(c.want); got != c.v {
+			t.Errorf("%v ToFloat64(%#x) = %g, want %g", c.cfg, c.want, got, c.v)
+		}
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	for _, cfg := range []Config{Posit8, Posit16, Posit32, Posit64} {
+		if !cfg.IsNaR(cfg.FromFloat64(math.NaN())) {
+			t.Errorf("%v: NaN should map to NaR", cfg)
+		}
+		if !cfg.IsNaR(cfg.FromFloat64(math.Inf(1))) {
+			t.Errorf("%v: +Inf should map to NaR", cfg)
+		}
+		if !cfg.IsZero(cfg.FromFloat64(0)) {
+			t.Errorf("%v: 0 should map to zero", cfg)
+		}
+		if !math.IsNaN(cfg.ToFloat64(cfg.NaR())) {
+			t.Errorf("%v: NaR should map to NaN", cfg)
+		}
+		if cfg.ToFloat64(cfg.Zero()) != 0 {
+			t.Errorf("%v: zero should map to 0", cfg)
+		}
+		// Neg fixpoints.
+		if cfg.Neg(cfg.NaR()) != cfg.NaR() {
+			t.Errorf("%v: -NaR should be NaR", cfg)
+		}
+		if cfg.Neg(cfg.Zero()) != cfg.Zero() {
+			t.Errorf("%v: -0 should be 0", cfg)
+		}
+	}
+}
+
+// TestRoundTripExhaustive16 checks that every posit16 value survives
+// posit → mpfr → posit unchanged (the conversion pair is exact).
+func TestRoundTripExhaustive16(t *testing.T) {
+	cfg := Posit16
+	f := mpfr.New(64)
+	for p := uint64(0); p < 1<<16; p++ {
+		cfg.ToMPFR(Posit(p), f)
+		back := cfg.FromMPFR(f, false)
+		if back != Posit(p) {
+			t.Fatalf("posit16 %#04x → %s → %#04x", p, f, back)
+		}
+	}
+}
+
+func TestRoundTripExhaustive8(t *testing.T) {
+	cfg := Posit8
+	f := mpfr.New(64)
+	for p := uint64(0); p < 1<<8; p++ {
+		cfg.ToMPFR(Posit(p), f)
+		back := cfg.FromMPFR(f, false)
+		if back != Posit(p) {
+			t.Fatalf("posit8 %#02x → %s → %#02x", p, f, back)
+		}
+	}
+}
+
+// TestEncodingMonotonic verifies that the posit ordering matches the real
+// ordering of the represented values, the property our rounding relies on.
+func TestEncodingMonotonic(t *testing.T) {
+	cfg := Posit16
+	prev := math.Inf(-1)
+	// Walk the signed patterns from most negative to most positive,
+	// skipping NaR (the smallest signed pattern).
+	for i := -(1 << 15) + 1; i < 1<<15; i++ {
+		p := Posit(uint64(i) & cfg.mask())
+		v := cfg.ToFloat64(p)
+		if v <= prev {
+			t.Fatalf("monotonicity violated at pattern %#04x: %g after %g", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+// nearestBySearch finds the posit closest to the exact value x by linear
+// search over the whole lattice — an oracle for exhaustive small-format tests.
+func nearestBySearch(cfg Config, x *mpfr.Float) Posit {
+	best := Posit(0)
+	bestDist := mpfr.New(128)
+	bestDist.SetInf(1)
+	cur := mpfr.New(64)
+	d := mpfr.New(128)
+	var bestEven bool
+	for raw := uint64(0); raw < uint64(1)<<cfg.NBits; raw++ {
+		p := Posit(raw)
+		if cfg.IsNaR(p) {
+			continue
+		}
+		// The posit standard never rounds a nonzero value to zero
+		// (it rounds to ±minpos instead), so exclude 0 as a candidate.
+		if p == 0 && !x.IsZero() {
+			continue
+		}
+		cfg.ToMPFR(p, cur)
+		d.Sub(cur, x, mpfr.RoundNearestEven)
+		d.Abs(d, mpfr.RoundNearestEven)
+		c := d.Cmp(bestDist)
+		even := raw&1 == 0
+		if c < 0 || (c == 0 && even && !bestEven) {
+			best, bestEven = p, even
+			bestDist.Set(d, mpfr.RoundNearestEven)
+		}
+	}
+	return best
+}
+
+// TestAddExhaustive8 checks posit8 addition against exact computation plus
+// nearest-posit search for every operand pair.
+func TestAddExhaustive8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive")
+	}
+	cfg := Posit8
+	xa, xb := mpfr.New(32), mpfr.New(32)
+	sum := mpfr.New(80)
+	for a := uint64(0); a < 256; a++ {
+		for b := a; b < 256; b++ {
+			pa, pb := Posit(a), Posit(b)
+			got := cfg.Add(pa, pb)
+			if cfg.IsNaR(pa) || cfg.IsNaR(pb) {
+				if !cfg.IsNaR(got) {
+					t.Fatalf("NaR + x should be NaR")
+				}
+				continue
+			}
+			cfg.ToMPFR(pa, xa)
+			cfg.ToMPFR(pb, xb)
+			sum.Add(xa, xb, mpfr.RoundNearestEven) // exact: 80 bits ≫ needed
+			want := nearestBySearch(cfg, sum)
+			if got != want {
+				t.Fatalf("posit8 %#02x + %#02x = %#02x, want %#02x (exact %s)",
+					a, b, got, want, sum)
+			}
+		}
+	}
+}
+
+// TestMulSampled8 checks posit8 multiplication on a sampled grid.
+func TestMulSampled8(t *testing.T) {
+	cfg := Posit8
+	xa, xb := mpfr.New(32), mpfr.New(32)
+	prod := mpfr.New(80)
+	r := rand.New(rand.NewSource(30))
+	for i := 0; i < 4000; i++ {
+		a, b := uint64(r.Intn(256)), uint64(r.Intn(256))
+		pa, pb := Posit(a), Posit(b)
+		got := cfg.Mul(pa, pb)
+		if cfg.IsNaR(pa) || cfg.IsNaR(pb) {
+			if !cfg.IsNaR(got) {
+				t.Fatal("NaR * x should be NaR")
+			}
+			continue
+		}
+		cfg.ToMPFR(pa, xa)
+		cfg.ToMPFR(pb, xb)
+		prod.Mul(xa, xb, mpfr.RoundNearestEven)
+		want := nearestBySearch(cfg, prod)
+		if got != want {
+			t.Fatalf("posit8 %#02x * %#02x = %#02x, want %#02x (exact %s)",
+				a, b, got, want, prod)
+		}
+	}
+}
+
+func TestDivSampled8(t *testing.T) {
+	cfg := Posit8
+	xa, xb := mpfr.New(32), mpfr.New(32)
+	q := mpfr.New(200)
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 4000; i++ {
+		a, b := uint64(r.Intn(256)), uint64(r.Intn(256))
+		pa, pb := Posit(a), Posit(b)
+		got := cfg.Div(pa, pb)
+		if cfg.IsNaR(pa) || cfg.IsNaR(pb) || cfg.IsZero(pb) {
+			if !cfg.IsNaR(got) {
+				t.Fatal("NaR or /0 should be NaR")
+			}
+			continue
+		}
+		cfg.ToMPFR(pa, xa)
+		cfg.ToMPFR(pb, xb)
+		q.Div(xa, xb, mpfr.RoundNearestEven) // 200 bits ≈ exact vs 8-bit lattice
+		want := nearestBySearch(cfg, q)
+		if got != want {
+			t.Fatalf("posit8 %#02x / %#02x = %#02x, want %#02x", a, b, got, want)
+		}
+	}
+}
+
+func TestSqrtExhaustive8(t *testing.T) {
+	cfg := Posit8
+	x := mpfr.New(32)
+	rt := mpfr.New(200)
+	for a := uint64(0); a < 256; a++ {
+		pa := Posit(a)
+		got := cfg.Sqrt(pa)
+		if cfg.IsNaR(pa) || (cfg.signBit(pa) && !cfg.IsZero(pa)) {
+			if !cfg.IsNaR(got) {
+				t.Fatalf("sqrt(%#02x) should be NaR", a)
+			}
+			continue
+		}
+		if cfg.IsZero(pa) {
+			if !cfg.IsZero(got) {
+				t.Fatal("sqrt(0) should be 0")
+			}
+			continue
+		}
+		cfg.ToMPFR(pa, x)
+		rt.Sqrt(x, mpfr.RoundNearestEven)
+		want := nearestBySearch(cfg, rt)
+		if got != want {
+			t.Fatalf("sqrt(%#02x) = %#02x, want %#02x", a, got, want)
+		}
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	cfg := Posit16
+	// maxpos * maxpos saturates to maxpos, not NaR.
+	if got := cfg.Mul(cfg.MaxPos(), cfg.MaxPos()); got != cfg.MaxPos() {
+		t.Errorf("maxpos² = %#x, want maxpos", got)
+	}
+	// minpos * minpos saturates to minpos (not zero).
+	if got := cfg.Mul(cfg.MinPos(), cfg.MinPos()); got != cfg.MinPos() {
+		t.Errorf("minpos² = %#x, want minpos", got)
+	}
+	// Huge float64 saturates.
+	if got := cfg.FromFloat64(1e300); got != cfg.MaxPos() {
+		t.Errorf("FromFloat64(1e300) = %#x, want maxpos", got)
+	}
+	if got := cfg.FromFloat64(-1e300); got != cfg.Neg(cfg.MaxPos()) {
+		t.Errorf("FromFloat64(-1e300) = %#x, want -maxpos", got)
+	}
+	if got := cfg.FromFloat64(1e-300); got != cfg.MinPos() {
+		t.Errorf("FromFloat64(1e-300) = %#x, want minpos", got)
+	}
+}
+
+func TestCmpOrdering(t *testing.T) {
+	cfg := Posit16
+	vals := []float64{-100, -1.5, -1, -0.001, 0, 0.5, 1, 1.5, 2, 1000}
+	for i := range vals {
+		for j := range vals {
+			a, b := cfg.FromFloat64(vals[i]), cfg.FromFloat64(vals[j])
+			want := 0
+			if vals[i] < vals[j] {
+				want = -1
+			} else if vals[i] > vals[j] {
+				want = 1
+			}
+			if got := cfg.Cmp(a, b); got != want {
+				t.Errorf("Cmp(%g, %g) = %d, want %d", vals[i], vals[j], got, want)
+			}
+		}
+	}
+	// NaR sorts below everything.
+	if cfg.Cmp(cfg.NaR(), cfg.FromFloat64(-1e30)) != -1 {
+		t.Error("NaR should sort below all reals")
+	}
+}
+
+func TestPosit32RoundTripFloats(t *testing.T) {
+	cfg := Posit32
+	r := rand.New(rand.NewSource(32))
+	for i := 0; i < 5000; i++ {
+		v := (r.Float64() - 0.5) * math.Exp2(float64(r.Intn(40)-20))
+		p := cfg.FromFloat64(v)
+		back := cfg.ToFloat64(p)
+		if v == 0 {
+			continue
+		}
+		// Expected fraction bits at this scale: 32 − 1 (sign) − regime − 2 (exp).
+		scale := math.Floor(math.Log2(math.Abs(v)))
+		k := math.Floor(scale / 4)
+		regimeLen := -k + 1
+		if k >= 0 {
+			regimeLen = k + 2
+		}
+		fracBits := 32 - 1 - regimeLen - 2
+		if math.Abs(back-v)/math.Abs(v) > math.Exp2(-fracBits) {
+			t.Fatalf("posit32 roundtrip %g → %g too lossy (frac bits %g)", v, back, fracBits)
+		}
+	}
+}
+
+func TestFMAPosit(t *testing.T) {
+	cfg := Posit32
+	a := cfg.FromFloat64(1.0000001)
+	// FMA(a, a, -1) should differ from Mul-then-Add when the product's low
+	// bits matter; just check against exact computation.
+	xa := mpfr.New(40)
+	cfg.ToMPFR(a, xa)
+	exact := mpfr.New(200)
+	negOne := mpfr.New(8)
+	negOne.SetInt64(-1, mpfr.RoundNearestEven)
+	exact.FMA(xa, xa, negOne, mpfr.RoundNearestEven)
+	want := cfg.FromMPFR(exact, false)
+	if got := cfg.FMA(a, a, cfg.FromFloat64(-1)); got != want {
+		t.Errorf("FMA = %#x, want %#x", got, want)
+	}
+}
+
+func TestNegSym(t *testing.T) {
+	cfg := Posit16
+	r := rand.New(rand.NewSource(33))
+	for i := 0; i < 2000; i++ {
+		p := Posit(uint64(r.Intn(1 << 16)))
+		if cfg.IsNaR(p) {
+			continue
+		}
+		if cfg.Neg(cfg.Neg(p)) != p {
+			t.Fatalf("double negation of %#x", p)
+		}
+		if v := cfg.ToFloat64(cfg.Neg(p)); v != -cfg.ToFloat64(p) {
+			t.Fatalf("Neg(%#x) value %g != -%g", p, v, cfg.ToFloat64(p))
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Config{Posit8, Posit16, Posit32, Posit64, {NBits: 3, ES: 0}, {NBits: 20, ES: 4}}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%v should validate: %v", c, err)
+		}
+	}
+	bad := []Config{{NBits: 2, ES: 0}, {NBits: 65, ES: 1}, {NBits: 16, ES: 6}}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%v should fail validation", c)
+		}
+	}
+}
+
+func BenchmarkPosit32Add(b *testing.B) {
+	cfg := Posit32
+	x, y := cfg.FromFloat64(1.5), cfg.FromFloat64(2.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Add(x, y)
+	}
+}
+
+func BenchmarkPosit32Mul(b *testing.B) {
+	cfg := Posit32
+	x, y := cfg.FromFloat64(1.5), cfg.FromFloat64(2.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Mul(x, y)
+	}
+}

@@ -1,0 +1,82 @@
+package trap
+
+import "testing"
+
+func TestProfilesOrderingInvariants(t *testing.T) {
+	for _, p := range Profiles() {
+		user := p.RoundTripCycles(DeliverUserSignal)
+		kern := p.RoundTripCycles(DeliverKernel)
+		u2u := p.RoundTripCycles(DeliverUserToUser)
+		direct := p.RoundTripCycles(DeliverDirectCall)
+		if !(user > kern && kern > u2u && u2u >= direct) {
+			t.Errorf("%s: delivery costs not ordered: user=%d kern=%d u2u=%d direct=%d",
+				p.Name, user, kern, u2u, direct)
+		}
+		// Paper Figure 14: kernel delivery 7–30× cheaper.
+		ratio := float64(user) / float64(kern)
+		if ratio < 6.5 || ratio > 31 {
+			t.Errorf("%s: user/kernel ratio %.1f outside 7–30x", p.Name, ratio)
+		}
+		// §6.2: user→user in the ~100-cycle class.
+		if u2u < 50 || u2u > 300 {
+			t.Errorf("%s: user→user %d cycles not TSX-abort class", p.Name, u2u)
+		}
+		// Entry+exit must equal the round trip.
+		if p.EntryCycles(DeliverUserSignal)+p.ExitCycles(DeliverUserSignal) != user {
+			t.Errorf("%s: entry+exit != round trip", p.Name)
+		}
+	}
+}
+
+func TestBreakdownSumsBelowRoundTrip(t *testing.T) {
+	for _, p := range Profiles() {
+		hw, kern := p.Breakdown()
+		if hw+kern != p.RoundTripCycles(DeliverUserSignal) {
+			t.Errorf("%s: breakdown %d+%d != round trip %d",
+				p.Name, hw, kern, p.RoundTripCycles(DeliverUserSignal))
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	var s Stats
+	p := &R815
+	for i := 0; i < 10; i++ {
+		s.Record(p, DeliverUserSignal)
+	}
+	if s.Delivered != 10 {
+		t.Errorf("delivered = %d", s.Delivered)
+	}
+	want := 10 * p.RoundTripCycles(DeliverUserSignal)
+	if s.TotalCycles() != want {
+		t.Errorf("total = %d, want %d", s.TotalCycles(), want)
+	}
+	s.Record(p, DeliverKernel)
+	if s.Delivered != 11 || s.TotalCycles() != want+p.RoundTripCycles(DeliverKernel) {
+		t.Error("mixed-kind accumulation wrong")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		DeliverUserSignal: "user-signal",
+		DeliverKernel:     "kernel",
+		DeliverUserToUser: "user-to-user",
+		DeliverDirectCall: "direct-call",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+func TestUnknownKindCostsZero(t *testing.T) {
+	p := &R815
+	if p.EntryCycles(Kind(99)) != 0 || p.ExitCycles(Kind(99)) != 0 {
+		t.Error("unknown kind should cost nothing")
+	}
+}

@@ -1,0 +1,293 @@
+// Package vsa implements the static binary analysis of §4.2 of the FPVM
+// paper: a value-set analysis (VSA, after Balakrishnan & Reps) over the
+// program's control flow graph that categorizes instructions into sources
+// (floating point stores to memory) and sinks (integer loads that may read
+// memory previously written by a source, plus bitwise operations on FP
+// registers). Sinks must be patched with correctness traps so FPVM can
+// demote NaN-boxed values before the untrapped instruction consumes them.
+//
+// Like the paper's angr-based analysis, this VSA treats each instruction as
+// a basic block with a persistent abstract state, iterates to a fixpoint
+// with widening, and falls back to conservative answers (every integer load
+// is a sink) when the address sets become imprecise.
+package vsa
+
+import (
+	"fmt"
+)
+
+// baseKind distinguishes address spaces in abstract values. Data addresses
+// are absolute; stack addresses are offsets from the initial stack pointer,
+// which the analysis treats as a distinct symbolic base (a standard VSA
+// "region").
+type baseKind uint8
+
+const (
+	baseNone  baseKind = iota // plain number / data-segment address
+	baseStack                 // initial-SP-relative
+)
+
+// AbsVal is an abstract value: ⊥, a strided interval over a base, or ⊤.
+type AbsVal struct {
+	kind   valKind
+	base   baseKind
+	lo, hi int64
+	stride int64 // 0 for constants
+}
+
+type valKind uint8
+
+const (
+	vBot valKind = iota
+	vRange
+	vTop
+)
+
+// Bot returns the bottom (unreached) value.
+func Bot() AbsVal { return AbsVal{kind: vBot} }
+
+// Top returns the unknown value.
+func Top() AbsVal { return AbsVal{kind: vTop} }
+
+// Const returns the abstract constant c.
+func Const(c int64) AbsVal { return AbsVal{kind: vRange, lo: c, hi: c} }
+
+// StackBase returns the symbolic initial stack pointer.
+func StackBase() AbsVal { return AbsVal{kind: vRange, base: baseStack} }
+
+// Range returns the strided interval [lo, hi] with the given stride.
+func Range(lo, hi, stride int64) AbsVal {
+	if lo == hi {
+		stride = 0
+	}
+	return AbsVal{kind: vRange, lo: lo, hi: hi, stride: stride}
+}
+
+// IsTop reports whether v is ⊤.
+func (v AbsVal) IsTop() bool { return v.kind == vTop }
+
+// IsBot reports whether v is ⊥.
+func (v AbsVal) IsBot() bool { return v.kind == vBot }
+
+// ConstValue returns the concrete constant, if v is a singleton number.
+func (v AbsVal) ConstValue() (int64, bool) {
+	if v.kind == vRange && v.base == baseNone && v.lo == v.hi {
+		return v.lo, true
+	}
+	return 0, false
+}
+
+func (v AbsVal) String() string {
+	switch v.kind {
+	case vBot:
+		return "⊥"
+	case vTop:
+		return "⊤"
+	}
+	b := ""
+	if v.base == baseStack {
+		b = "sp"
+	}
+	if v.lo == v.hi {
+		return fmt.Sprintf("%s%+d", b, v.lo)
+	}
+	return fmt.Sprintf("%s[%d..%d/%d]", b, v.lo, v.hi, v.stride)
+}
+
+// Equal reports structural equality.
+func (v AbsVal) Equal(w AbsVal) bool { return v == w }
+
+// Join computes the least upper bound of v and w.
+func (v AbsVal) Join(w AbsVal) AbsVal {
+	switch {
+	case v.kind == vBot:
+		return w
+	case w.kind == vBot:
+		return v
+	case v.kind == vTop || w.kind == vTop:
+		return Top()
+	case v.base != w.base:
+		return Top() // mixing address spaces: give up
+	}
+	lo, hi := min64(v.lo, w.lo), max64(v.hi, w.hi)
+	st := gcd64(gcd64(v.stride, w.stride), abs64(v.lo-w.lo))
+	r := Range(lo, hi, st)
+	r.base = v.base
+	return r
+}
+
+// widenTo accelerates convergence: if w grew beyond v, jump to the nearest
+// enclosing threshold (loop-bound constants), or to a wide bound when no
+// threshold covers the growth.
+func (v AbsVal) widenTo(w AbsVal, thresholds []int64) AbsVal {
+	j := v.Join(w)
+	if j.kind != vRange || v.kind != vRange {
+		return j
+	}
+	if j.lo < v.lo {
+		j.lo = snapDown(j.lo, thresholds)
+	}
+	if j.hi > v.hi {
+		j.hi = snapUp(j.hi, thresholds)
+	}
+	return j
+}
+
+// snapUp returns the smallest threshold >= x, or maxAddr.
+func snapUp(x int64, thresholds []int64) int64 {
+	for _, t := range thresholds {
+		if t >= x {
+			return t
+		}
+	}
+	return maxAddr
+}
+
+// snapDown returns the largest threshold <= x, or minAddr.
+func snapDown(x int64, thresholds []int64) int64 {
+	for i := len(thresholds) - 1; i >= 0; i-- {
+		if thresholds[i] <= x {
+			return thresholds[i]
+		}
+	}
+	return minAddr
+}
+
+const (
+	minAddr = -(1 << 40)
+	maxAddr = 1 << 40
+)
+
+// add computes v + w abstractly.
+func (v AbsVal) add(w AbsVal) AbsVal {
+	if v.kind == vBot || w.kind == vBot {
+		return Bot()
+	}
+	if v.kind == vTop || w.kind == vTop {
+		return Top()
+	}
+	if v.base == baseStack && w.base == baseStack {
+		return Top() // sp + sp is meaningless
+	}
+	base := v.base
+	if w.base == baseStack {
+		base = baseStack
+	}
+	r := Range(v.lo+w.lo, v.hi+w.hi, gcd64(v.stride, w.stride))
+	r.base = base
+	return r
+}
+
+// sub computes v − w abstractly.
+func (v AbsVal) sub(w AbsVal) AbsVal {
+	if v.kind == vBot || w.kind == vBot {
+		return Bot()
+	}
+	if v.kind == vTop || w.kind == vTop {
+		return Top()
+	}
+	if w.base == baseStack {
+		if v.base == baseStack {
+			// sp-rel minus sp-rel: a plain number.
+			return Range(v.lo-w.hi, v.hi-w.lo, gcd64(v.stride, w.stride))
+		}
+		return Top()
+	}
+	r := Range(v.lo-w.hi, v.hi-w.lo, gcd64(v.stride, w.stride))
+	r.base = v.base
+	return r
+}
+
+// mulConst computes v * c abstractly.
+func (v AbsVal) mulConst(c int64) AbsVal {
+	if v.kind != vRange || v.base != baseNone {
+		if v.kind == vBot {
+			return Bot()
+		}
+		return Top()
+	}
+	lo, hi := v.lo*c, v.hi*c
+	if c < 0 {
+		lo, hi = hi, lo
+	}
+	return Range(lo, hi, abs64(v.stride*c))
+}
+
+// shlConst computes v << c abstractly.
+func (v AbsVal) shlConst(c int64) AbsVal {
+	if c < 0 || c > 32 {
+		return Top()
+	}
+	return v.mulConst(1 << uint(c))
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func abs64(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func gcd64(a, b int64) int64 {
+	a, b = abs64(a), abs64(b)
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Interval is a tainted address region attributed to a base.
+type Interval struct {
+	base   baseKind
+	Lo, Hi int64 // [Lo, Hi)
+}
+
+// IntervalSet accumulates FP-tainted memory, possibly everything.
+type IntervalSet struct {
+	ivs []Interval
+	all bool // taint everywhere (imprecise store seen)
+}
+
+// TaintAll marks the whole address space tainted.
+func (s *IntervalSet) TaintAll() { s.all = true }
+
+// All reports whether everything is tainted.
+func (s *IntervalSet) All() bool { return s.all }
+
+// Add taints [lo, hi) in the given base.
+func (s *IntervalSet) add(base baseKind, lo, hi int64) {
+	if s.all {
+		return
+	}
+	s.ivs = append(s.ivs, Interval{base, lo, hi})
+}
+
+// Intersects reports whether [lo, hi) in base touches tainted memory.
+func (s *IntervalSet) intersects(base baseKind, lo, hi int64) bool {
+	if s.all {
+		return true
+	}
+	for _, iv := range s.ivs {
+		if iv.base == base && lo < iv.Hi && iv.Lo < hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of distinct tainted intervals recorded.
+func (s *IntervalSet) Len() int { return len(s.ivs) }

@@ -1,0 +1,272 @@
+package vsa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAbsValStringForms(t *testing.T) {
+	cases := []struct {
+		v    AbsVal
+		want string
+	}{
+		{Bot(), "⊥"},
+		{Top(), "⊤"},
+		{Const(5), "+5"},
+		{Const(-3), "-3"},
+		{Range(0, 8, 4), "[0..8/4]"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	sp := StackBase()
+	if got := sp.String(); !strings.Contains(got, "sp") {
+		t.Errorf("stack base renders %q", got)
+	}
+}
+
+func TestWidenToThresholds(t *testing.T) {
+	th := []int64{0, 99, 100, 200}
+	v := Range(0, 10, 1)
+	w := Range(0, 12, 1)
+	// Growth to 12 snaps hi up to 99.
+	j := v.widenTo(w, th)
+	if j.hi != 99 || j.lo != 0 {
+		t.Errorf("widenTo = %v, want [0..99]", j)
+	}
+	// Growth beyond all thresholds → maxAddr.
+	big := Range(0, 500, 1)
+	j2 := v.widenTo(big, th)
+	if j2.hi != maxAddr {
+		t.Errorf("beyond thresholds: %v", j2)
+	}
+	// Downward growth snaps to thresholds or minAddr.
+	neg := Range(-50, 10, 1)
+	j3 := v.widenTo(neg, th)
+	if j3.lo != minAddr {
+		t.Errorf("downward: %v", j3)
+	}
+	// No growth → unchanged join.
+	same := v.widenTo(Range(2, 8, 1), th)
+	if same.lo != 0 || same.hi != 10 {
+		t.Errorf("no-growth widen: %v", same)
+	}
+	// Top/Bot pass through.
+	if !v.widenTo(Top(), th).IsTop() {
+		t.Error("widen with Top")
+	}
+	if got := v.widenTo(Bot(), th); got.lo != 0 || got.hi != 10 {
+		t.Errorf("widen with Bot: %v", got)
+	}
+}
+
+func TestSnapHelpers(t *testing.T) {
+	th := []int64{-5, 0, 10, 100}
+	if snapUp(7, th) != 10 || snapUp(10, th) != 10 || snapUp(101, th) != maxAddr {
+		t.Error("snapUp")
+	}
+	if snapDown(7, th) != 0 || snapDown(-1, th) != -5 || snapDown(-100, th) != minAddr {
+		t.Error("snapDown")
+	}
+}
+
+func TestAbsValArithEdges(t *testing.T) {
+	// sub with stack bases.
+	sp := StackBase()
+	off := sp.sub(Const(16))
+	diff := off.sub(sp) // (sp-16) - sp = -16
+	if v, ok := diff.ConstValue(); !ok || v != -16 {
+		t.Errorf("sp-rel difference: %v", diff)
+	}
+	// number - stack → Top.
+	if !Const(5).sub(sp).IsTop() {
+		t.Error("n - sp should be Top")
+	}
+	// sp + sp → Top.
+	if !sp.add(sp).IsTop() {
+		t.Error("sp + sp should be Top")
+	}
+	// mulConst on stack-based value → Top; on Top → Top; on Bot → Bot.
+	if !sp.mulConst(2).IsTop() {
+		t.Error("sp * 2 should be Top")
+	}
+	if !Top().mulConst(2).IsTop() {
+		t.Error("Top * 2")
+	}
+	if !Bot().mulConst(2).IsBot() {
+		t.Error("Bot * 2")
+	}
+	// Negative multiplier flips bounds.
+	r := Range(1, 5, 1).mulConst(-2)
+	if r.lo != -10 || r.hi != -2 {
+		t.Errorf("negative mul: %v", r)
+	}
+	// shlConst boundaries.
+	if !Range(0, 7, 1).shlConst(40).IsTop() {
+		t.Error("huge shift should be Top")
+	}
+	if got := Range(0, 7, 1).shlConst(3); got.lo != 0 || got.hi != 56 || got.stride != 8 {
+		t.Errorf("shl 3: %v", got)
+	}
+	// sub/add with Bot.
+	if !Bot().add(Const(1)).IsBot() || !Const(1).sub(Bot()).IsBot() {
+		t.Error("Bot propagation")
+	}
+}
+
+// TestWideningTriggeredByDeepLoop builds a CG-like nested loop whose inner
+// counter forces back-edge widening (and thresholds keep it bounded).
+func TestWideningTriggeredByDeepLoop(t *testing.T) {
+	rep := analyze(t, `
+	.data
+	fdata: .zero 800
+	idata: .i64 1, 2, 3, 4, 5, 6, 7, 8
+	.text
+		mov r0, $0
+	outer:
+		mov r1, $0
+	inner:
+		movsd f0, =1.0
+		movsd [fdata+r1*8], f0   ; FP store indexed by inner counter
+		mov r2, [idata]          ; int load from disjoint region
+		inc r1
+		cmp r1, $100
+		jl inner
+		inc r0
+		cmp r0, $50
+		jl outer
+		outi r2
+		halt
+	`)
+	if len(rep.Sinks) != 0 {
+		t.Fatalf("disjoint int load flagged after widening: %v", sinkOps(rep))
+	}
+	if rep.Imprecise {
+		t.Fatal("thresholded widening should stay precise")
+	}
+}
+
+// TestIntStoreCollection: integer stores are recorded so the read-only-data
+// refinement refuses to constant-fold loads from written regions.
+func TestIntStoreCollection(t *testing.T) {
+	rep := analyze(t, `
+	.data
+	table: .i64 5, 5, 5, 5
+	fbuf:  .zero 8
+	.text
+		mov r0, $0
+		mov r1, $9
+		mov [table+r0*8], r1    ; table is written: not read-only
+		mov r2, [table+8]       ; load: value unknown (could be 9)
+		movsd f0, =1.5
+		movsd [fbuf+r2*8], f0   ; store at unknown (bounded?) offset...
+		mov r3, [fbuf]          ; may alias the FP store → sink
+		outi r3
+		halt
+	`)
+	// r2 is Top (loaded from written memory) → the FP store address is
+	// unknown → taint everything → the integer load is a sink.
+	if len(rep.Sinks) == 0 {
+		t.Fatal("store-through-unknown should make loads conservative sinks")
+	}
+}
+
+// TestROLoadDegenerateRanges: loads partially outside the data segment or
+// with huge ranges fall back to Top without crashing.
+func TestROLoadEdges(t *testing.T) {
+	rep := analyze(t, `
+	.data
+	small: .i64 7
+	.text
+		mov r0, $100000
+		mov r1, [small+r0*8]   ; way outside the data segment
+		movsd f0, =1.0
+		sub sp, $8
+		movsd [sp], f0
+		mov r2, [sp]           ; stack read of FP spill → sink
+		outi r1
+		outi r2
+		halt
+	`)
+	found := false
+	for _, s := range rep.Sinks {
+		if s.Reason == "int-load" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("stack spill reload should be a sink")
+	}
+}
+
+// TestRefineBranchRegReg covers the register-vs-register compare refinement.
+func TestRefineBranchRegReg(t *testing.T) {
+	rep := analyze(t, `
+	.data
+	limits: .i64 4
+	idx:    .i64 0, 1, 2, 3
+	fvals:  .zero 32
+	.text
+		mov r3, [limits]        ; read-only constant 4
+		mov r0, $0
+	loop:
+		cmp r0, r3
+		jge done
+		movsd f0, =2.0
+		movsd [fvals+r0*8], f0  ; bounded by r0 < r3 = 4
+		mov r1, [idx+r0*8]      ; disjoint int array
+		inc r0
+		jmp loop
+	done:
+		outi r1
+		halt
+	`)
+	if len(rep.Sinks) != 0 {
+		t.Fatalf("reg-reg bounded loop flagged sinks: %v", sinkOps(rep))
+	}
+	if rep.Imprecise {
+		t.Fatal("should be precise")
+	}
+}
+
+// TestCallextDemotionEndToEnd is covered in fpvm; here just check the VSA
+// records the site.
+func TestJeRefinement(t *testing.T) {
+	rep := analyze(t, `
+	.data
+	fbuf: .zero 80
+	ints: .i64 1, 2
+	.text
+		mov r0, $3
+		cmp r0, $3
+		je exact
+		mov r0, $0
+	exact:
+		movsd f0, =1.0
+		movsd [fbuf+r0*8], f0
+		mov r1, [ints]
+		outi r1
+		halt
+	`)
+	if len(rep.Sinks) != 0 {
+		t.Fatalf("je-refined store should stay bounded: %v", sinkOps(rep))
+	}
+}
+
+func TestIntervalSetAll(t *testing.T) {
+	var s IntervalSet
+	s.add(baseNone, 0, 10)
+	if !s.intersects(baseNone, 5, 6) || s.intersects(baseNone, 20, 30) {
+		t.Error("interval queries")
+	}
+	s.TaintAll()
+	if !s.intersects(baseStack, -1000, -990) {
+		t.Error("TaintAll should hit everything")
+	}
+	s.add(baseNone, 50, 60) // no-op after TaintAll
+	if !s.All() {
+		t.Error("All")
+	}
+}

@@ -1,0 +1,315 @@
+package vsa
+
+import (
+	"testing"
+
+	"fpvm/internal/asm"
+	"fpvm/internal/isa"
+)
+
+func analyze(t *testing.T, src string) *Report {
+	t.Helper()
+	prog := asm.MustAssemble(src)
+	rep, err := Analyze(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func sinkOps(rep *Report) []isa.Op {
+	var ops []isa.Op
+	for _, s := range rep.Sinks {
+		ops = append(ops, s.Inst.Op)
+	}
+	return ops
+}
+
+// TestDirectReinterpretation is the paper's Figure 6 scenario: a double
+// stored to memory and reloaded as an integer must be flagged as a sink.
+func TestDirectReinterpretation(t *testing.T) {
+	rep := analyze(t, `
+	.data
+	slot: .zero 8
+	.text
+		movsd f0, =1.5
+		movsd [slot], f0    ; source
+		mov r0, [slot]      ; sink: int load of FP memory
+		outi r0
+		halt
+	`)
+	if len(rep.Sources) != 1 {
+		t.Fatalf("sources = %d, want 1", len(rep.Sources))
+	}
+	if len(rep.Sinks) != 1 || rep.Sinks[0].Inst.Op != isa.OpMov {
+		t.Fatalf("sinks = %v, want the integer mov", sinkOps(rep))
+	}
+	if rep.Imprecise {
+		t.Error("analysis should be precise here")
+	}
+}
+
+// TestDisjointArraysNotFlagged checks precision: integer loads from an
+// integer-only array must NOT become sinks when FP stores go elsewhere.
+func TestDisjointArraysNotFlagged(t *testing.T) {
+	rep := analyze(t, `
+	.data
+	ints:   .i64 1, 2, 3, 4
+	floats: .zero 32
+	.text
+		mov r0, $0
+	loop:
+		movsd f0, =1.5
+		addsd f0, f0
+		movsd [floats+r0*8], f0   ; FP source into floats[]
+		mov r1, [ints+r0*8]       ; int load from ints[] — independent
+		inc r0
+		cmp r0, $4
+		jl loop
+		outi r1
+		halt
+	`)
+	if len(rep.Sinks) != 0 {
+		t.Fatalf("expected no sinks for disjoint arrays, got %v", sinkOps(rep))
+	}
+	if len(rep.Sources) != 1 {
+		t.Fatalf("sources = %d", len(rep.Sources))
+	}
+	if rep.Imprecise {
+		t.Error("analysis should stay precise on strided disjoint accesses")
+	}
+}
+
+// TestOverlappingArrayFlagged: an integer load from the same strided region
+// the FP store writes must be a sink.
+func TestOverlappingArrayFlagged(t *testing.T) {
+	rep := analyze(t, `
+	.data
+	buf: .zero 64
+	.text
+		mov r0, $0
+	loop:
+		movsd f0, =1.5
+		movsd [buf+r0*8], f0
+		mov r1, [buf+r0*8]     ; rereads the same slot as an integer
+		inc r0
+		cmp r0, $8
+		jl loop
+		halt
+	`)
+	if len(rep.Sinks) != 1 {
+		t.Fatalf("sinks = %v, want one", sinkOps(rep))
+	}
+}
+
+// TestStructInterleaving is the paper's Figure 7: an int field adjacent to
+// a double field in the same struct; field strides overlap the taint range,
+// so the int load is conservatively flagged.
+func TestStructInterleaving(t *testing.T) {
+	rep := analyze(t, `
+	.data
+	structs: .zero 128     ; array of {i64 tag; f64 val} pairs
+	.text
+		mov r0, $0
+	loop:
+		movsd f0, =2.5
+		; store val at offset 8 of struct r0 (stride 16)
+		mov r2, r0
+		imul r2, $16
+		movsd [structs+8+r2], f0
+		; load tag at offset 0
+		mov r1, [structs+r2]
+		inc r0
+		cmp r0, $8
+		jl loop
+		halt
+	`)
+	// The VSA range for the store covers structs+8 .. structs+120+8 as a
+	// strided interval; the interval summary [lo, hi) overlaps the tag
+	// loads, so conservatively this is a sink — demotions that the §5.3
+	// Enzo discussion attributes to exactly this imprecision.
+	if len(rep.Sinks) == 0 {
+		t.Fatal("interleaved struct access should be (conservatively) flagged")
+	}
+}
+
+// TestBitwiseFPAlwaysSink: xorpd-style ops are always patched.
+func TestBitwiseFPAlwaysSink(t *testing.T) {
+	rep := analyze(t, `
+	.data
+	mask: .f64 -0.0, -0.0
+	.text
+		movsd f0, =1.5
+		xorpd f0, [mask]
+		halt
+	`)
+	found := false
+	for _, s := range rep.Sinks {
+		if s.Reason == "fp-bitwise" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("xorpd not flagged: %v", sinkOps(rep))
+	}
+}
+
+// TestExternalCallListed: callext sites are reported.
+func TestExternalCallListed(t *testing.T) {
+	rep := analyze(t, `
+		movsd f0, =1.0
+		callext $3
+		halt
+	`)
+	if len(rep.Externals) != 1 {
+		t.Fatalf("externals = %d", len(rep.Externals))
+	}
+}
+
+// TestStackSpillPop: an FP spill to the stack popped as an integer.
+func TestStackSpillPop(t *testing.T) {
+	rep := analyze(t, `
+		movsd f0, =1.5
+		sub sp, $8
+		movsd [sp], f0    ; FP spill (source, stack region)
+		pop r0            ; integer pop reads the spilled box
+		outi r0
+		halt
+	`)
+	if len(rep.Sources) != 1 {
+		t.Fatalf("sources = %d", len(rep.Sources))
+	}
+	if len(rep.Sinks) == 0 {
+		t.Fatal("integer pop of FP spill should be a sink")
+	}
+}
+
+// TestIndirectBranchGoesConservative: a jump through a register defeats the
+// CFG and the analysis must taint everything.
+func TestIndirectBranchGoesConservative(t *testing.T) {
+	rep := analyze(t, `
+	.data
+	slot: .zero 8
+	n: .i64 5
+	.text
+		mov r0, target
+		jmp r0
+	target:
+		mov r1, [n]         ; would be clean under precise analysis
+		halt
+	`)
+	if !rep.Imprecise {
+		t.Fatal("indirect jump should force imprecision")
+	}
+	if len(rep.Sinks) == 0 {
+		t.Fatal("conservative mode should flag integer loads")
+	}
+}
+
+// TestCleanIntegerProgram: a pure-integer program has no sources or sinks.
+func TestCleanIntegerProgram(t *testing.T) {
+	rep := analyze(t, `
+	.data
+	v: .i64 1, 2, 3
+	.text
+		mov r0, [v]
+		add r0, [v+8]
+		outi r0
+		halt
+	`)
+	if len(rep.Sources) != 0 || len(rep.Sinks) != 0 {
+		t.Fatalf("pure integer program flagged: sources=%d sinks=%d",
+			len(rep.Sources), len(rep.Sinks))
+	}
+}
+
+// TestCallClobbering: values derived from registers across a call must not
+// be assumed precise.
+func TestCallClobbering(t *testing.T) {
+	rep := analyze(t, `
+	.data
+	fbuf: .zero 8
+	ibuf: .i64 42
+	.text
+	.entry main
+	fn:
+		ret
+	main:
+		mov r3, &ibuf
+		call fn
+		mov r1, [r3]        ; r3 clobbered by call: unknown address
+		movsd f0, =1.0
+		movsd [fbuf], f0
+		halt
+	`)
+	// r3 is Top after the call, so the load's address is unknown → sink.
+	found := false
+	for _, s := range rep.Sinks {
+		if s.Reason == "int-load" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("post-call unknown-address load should be conservative sink")
+	}
+}
+
+func TestAbsValAlgebra(t *testing.T) {
+	c5, c7 := Const(5), Const(7)
+	if v, ok := c5.add(c7).ConstValue(); !ok || v != 12 {
+		t.Error("5+7")
+	}
+	if v, ok := c7.sub(c5).ConstValue(); !ok || v != 2 {
+		t.Error("7-5")
+	}
+	if v, ok := c5.mulConst(3).ConstValue(); !ok || v != 15 {
+		t.Error("5*3")
+	}
+	j := c5.Join(c7)
+	if j.lo != 5 || j.hi != 7 || j.stride != 2 {
+		t.Errorf("join = %v", j)
+	}
+	if !Top().add(c5).IsTop() {
+		t.Error("Top+c should be Top")
+	}
+	if !Bot().Join(c5).Equal(c5) {
+		t.Error("Bot join c = c")
+	}
+	sp := StackBase()
+	off := sp.sub(Const(8))
+	if off.base != baseStack || off.lo != -8 {
+		t.Errorf("sp-8 = %v", off)
+	}
+	// Mixing stack and data bases must not alias.
+	var set IntervalSet
+	set.add(baseStack, -16, -8)
+	if set.intersects(baseNone, -16, -8) {
+		t.Error("stack and data regions must not alias")
+	}
+	if !set.intersects(baseStack, -12, -10) {
+		t.Error("overlap not detected")
+	}
+}
+
+func TestWidening(t *testing.T) {
+	// A loop with a growing counter must converge (not hang).
+	rep := analyze(t, `
+	.data
+	buf: .zero 80
+	.text
+		mov r0, $0
+	loop:
+		movsd f0, =1.0
+		movsd [buf+r0*8], f0
+		inc r0
+		cmp r0, $10
+		jl loop
+		halt
+	`)
+	if rep.Iterations <= 0 {
+		t.Fatal("no iterations recorded")
+	}
+	if len(rep.Sources) != 1 {
+		t.Fatalf("sources = %d", len(rep.Sources))
+	}
+}

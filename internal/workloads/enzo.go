@@ -1,0 +1,112 @@
+package workloads
+
+import "fmt"
+
+// enzoSource generates an Enzo-like adaptive-mesh hydrodynamics toy. Its
+// defining feature for FPVM is the cell layout: an array of structs
+// {int64 refineFlag; float64 density; float64 energy} (stride 24), so the
+// integer flag loads interleave with FP stores at overlapping strides. The
+// value-set analysis cannot separate the fields (the strided intervals
+// summarize to overlapping ranges, the paper's Figure 7 scenario), so the
+// flag loads in the critical loop receive correctness traps — reproducing
+// Enzo's outsized correctness overhead in Figure 9. The per-step callext
+// models the HDF5 output dependency.
+func enzoSource(cells, steps int) string {
+	return fmt.Sprintf(`
+; Enzo-like AMR hydro toy: array of {flag i64, rho f64, E f64}, stride 24.
+.data
+grid:   .zero %[3]d
+nrefine: .i64 0
+.text
+	; initialize: rho = 1 + bump in the middle, E = 2, flag = 0
+	mov r0, $0
+init:
+	mov r1, r0
+	imul r1, $24
+	mov r2, $0
+	mov [grid+r1], r2
+	cvtsi2sd f0, r0
+	subsd f0, =%[4]g
+	mulsd f0, f0
+	mulsd f0, =-0.01
+	fexp f0, f0
+	addsd f0, =1.0
+	movsd [grid+8+r1], f0
+	movsd f1, =2.0
+	movsd [grid+16+r1], f1
+	inc r0
+	cmp r0, $%[1]d
+	jl init
+
+	mov r9, $0              ; step
+tstep:
+	; diffusion pass over interior cells
+	mov r0, $1
+cell:
+	mov r1, r0
+	imul r1, $24
+	; rho' = rho + nu*(rho[i-1] - 2 rho[i] + rho[i+1])
+	movsd f0, [grid+8+r1]
+	movsd f1, [grid-16+r1]  ; rho[i-1] at offset 8-24
+	addsd f1, [grid+32+r1]  ; rho[i+1] at offset 8+24
+	movsd f2, f0
+	mulsd f2, =2.0
+	subsd f1, f2
+	mulsd f1, =0.1
+	addsd f0, f1
+	movsd [grid+8+r1], f0
+	; E' = E + p*drho with p = 0.4*E
+	movsd f3, [grid+16+r1]
+	movsd f4, f3
+	mulsd f4, =0.4
+	mulsd f4, f1
+	addsd f3, f4
+	movsd [grid+16+r1], f3
+	; refinement flag: flag = (rho > 1.5) via integer compare of the
+	; truncated scaled density — an int load/store adjacent to FP fields
+	movsd f5, f0
+	mulsd f5, =10.0
+	cvttsd2si r2, f5
+	mov r3, [grid+r1]       ; old flag (int load from the struct: a sink)
+	cmp r2, $15
+	jle noflag
+	inc r3
+	mov r4, [nrefine]
+	inc r4
+	mov [nrefine], r4
+noflag:
+	mov [grid+r1], r3
+	inc r0
+	cmp r0, $%[5]d
+	jl cell
+	; per-step data dump through the external I/O library (HDF5 analog)
+	callext $1
+	inc r9
+	cmp r9, $%[2]d
+	jl tstep
+
+	; output: total mass, total refinement events
+	movsd f0, =0.0
+	mov r0, $0
+sum:
+	mov r1, r0
+	imul r1, $24
+	addsd f0, [grid+8+r1]
+	inc r0
+	cmp r0, $%[1]d
+	jl sum
+	outf f0
+	mov r2, [nrefine]
+	outi r2
+	halt
+`, cells, steps, 24*cells, float64(cells)/2, cells-1)
+}
+
+func init() {
+	register(Workload{
+		Name:        "Enzo",
+		Specifics:   "Cosmology Sim.",
+		Description: "AMR hydro toy with interleaved {int flag, double rho, double E} structs and external I/O",
+		Build:       buildSrc("enzo", enzoSource(64, 80)),
+	})
+}

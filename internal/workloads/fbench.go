@@ -1,0 +1,86 @@
+package workloads
+
+import "fmt"
+
+// fbenchSource returns a trigonometry-saturated ray-trace kernel in the
+// spirit of Walker's FBench: repeated Snell's-law refraction through
+// spherical surfaces, dominated by sin/cos/asin/atan/sqrt — the reason
+// FBench shows one of the larger slowdowns in Figure 12 despite its small
+// size (transcendental ops virtually always round).
+func fbenchSource(iterations int) string {
+	return fmt.Sprintf(`
+; FBench-like trigonometry benchmark: iterated paraxial/marginal ray trace
+; through 4 refracting surfaces.
+.data
+radii:  .f64 27.05, -16.68, -37.8, -48.2
+thick:  .f64 0.0, 4.0, 1.5, 8.0
+index:  .f64 1.5137, 1.0, 1.6164, 1.0
+result: .f64 0.0
+.text
+	mov r0, $0              ; iteration
+iter:
+	movsd f0, =4.0          ; ray height
+	movsd f1, =0.0          ; incidence angle
+	movsd f10, =1.0         ; object-space index
+	mov r1, $0              ; surface number
+surface:
+	; iang_sin = h / radius  (sin of incidence angle)
+	movsd f2, [radii+r1*8]
+	movsd f3, f0
+	divsd f3, f2
+	; iang = asin(iang_sin)
+	fasin f4, f3
+	; rang_sin = (n1/n2) * iang_sin  (Snell)
+	movsd f5, [index+r1*8]
+	movsd f6, f10
+	divsd f6, f5
+	mulsd f6, f3
+	; rang = asin(rang_sin)
+	fasin f7, f6
+	; deviation and new height via trig chain
+	movsd f8, f4
+	subsd f8, f7            ; bend = iang - rang
+	fsin f9, f8
+	fcos f11, f8
+	; h' = h - thick*tan(bend) ≈ h - thick*sin/cos
+	movsd f12, [thick+r1*8]
+	mulsd f9, f12
+	divsd f9, f11
+	subsd f0, f9
+	; propagate angle and index
+	addsd f1, f8
+	movsd f10, f5
+	inc r1
+	cmp r1, $4
+	jl surface
+	; focal estimate: h / tan(total angle)
+	fsin f2, f1
+	fcos f3, f1
+	divsd f3, f2            ; cot
+	mulsd f3, f0
+	; aberration term with sqrt and atan
+	movsd f4, f0
+	mulsd f4, f4
+	addsd f4, f3
+	fabs f4, f4
+	sqrtsd f5, f4
+	fatan2 f6, f0, f3
+	addsd f5, f6
+	movsd [result], f5
+	inc r0
+	cmp r0, $%d
+	jl iter
+	movsd f0, [result]
+	outf f0
+	halt
+`, iterations)
+}
+
+func init() {
+	register(Workload{
+		Name:        "FBench",
+		Specifics:   "",
+		Description: "trigonometry-dominated optical ray trace (Walker's FBench analog)",
+		Build:       buildSrc("fbench", fbenchSource(200)),
+	})
+}

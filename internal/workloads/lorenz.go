@@ -1,0 +1,78 @@
+package workloads
+
+import "fmt"
+
+// LorenzSteps is the step count of the paper's Figure 13 run.
+const LorenzSteps = 2500
+
+// LorenzSource returns the assembly for a Lorenz system integration with
+// the classic chaotic parameters σ=10, ρ=28, β=8/3, forward-Euler steps of
+// dt, printing the trajectory every `every` steps and the final state.
+// Nearly every instruction rounds, so under FPVM every step traps — the
+// paper's §5.4 divergence experiment and a Figure 12 row.
+func LorenzSource(steps, every int, dt float64) string {
+	return fmt.Sprintf(`
+; Lorenz attractor: x'=σ(y−x), y'=x(ρ−z)−y, z'=xy−βz
+.data
+x: .f64 1.0
+y: .f64 1.0
+z: .f64 1.0
+.text
+	mov r0, $0             ; step counter
+	mov r1, $0             ; print phase counter
+step:
+	movsd f0, [x]
+	movsd f1, [y]
+	movsd f2, [z]
+	; f3 = sigma*(y-x)
+	movsd f3, f1
+	subsd f3, f0
+	mulsd f3, =10.0
+	; f4 = x*(rho - z) - y
+	movsd f4, =28.0
+	subsd f4, f2
+	mulsd f4, f0
+	subsd f4, f1
+	; f5 = x*y - beta*z
+	movsd f5, f0
+	mulsd f5, f1
+	movsd f6, f2
+	mulsd f6, =2.66666666666666666
+	subsd f5, f6
+	; Euler update with dt
+	mulsd f3, =%[3]g
+	addsd f0, f3
+	mulsd f4, =%[3]g
+	addsd f1, f4
+	mulsd f5, =%[3]g
+	addsd f2, f5
+	movsd [x], f0
+	movsd [y], f1
+	movsd [z], f2
+	; periodic trajectory output
+	inc r1
+	cmp r1, $%[2]d
+	jl nodump
+	mov r1, $0
+	outf f0
+	outf f1
+	outf f2
+nodump:
+	inc r0
+	cmp r0, $%[1]d
+	jl step
+	outf f0
+	outf f1
+	outf f2
+	halt
+`, steps, every, dt)
+}
+
+func init() {
+	register(Workload{
+		Name:        "Lorenz Attractor",
+		Specifics:   "",
+		Description: "chaotic ODE, forward Euler, 2500 steps, full trajectory output",
+		Build:       buildSrc("lorenz", LorenzSource(LorenzSteps, 1, 0.02)),
+	})
+}

@@ -1,0 +1,138 @@
+package workloads
+
+import "fmt"
+
+// miniAeroSource generates a miniAero-like finite-volume kernel: a 2-D
+// compressible-flow field (density, momenta, energy) over a flat plate,
+// updated with neighbor flux differences, a pressure equation of state, and
+// sound-speed square roots. The velocity pairs are stored interleaved so
+// part of the update runs through packed (two-lane) instructions, like the
+// vectorized Kokkos kernels of the original miniapp.
+func miniAeroSource(nx, ny, steps int) string {
+	cells := nx * ny
+	return fmt.Sprintf(`
+; miniAero-like 2-D compressible Navier-Stokes (inviscid core), %[1]dx%[2]d cells.
+.data
+rho:  .zero %[4]d
+uv:   .zero %[5]d     ; interleaved (u, v) pairs, 16 bytes per cell
+en:   .zero %[4]d
+rhon: .zero %[4]d
+enn:  .zero %[4]d
+.text
+	; initialize: rho=1 + small gradient, u=0.3, v=0, E=2.5
+	mov r0, $0
+init:
+	cvtsi2sd f0, r0
+	mulsd f0, =0.001
+	addsd f0, =1.0
+	movsd [rho+r0*8], f0
+	movsd f1, =2.5
+	movsd [en+r0*8], f1
+	mov r1, r0
+	shl r1, $4            ; 16-byte uv stride
+	movsd f2, =0.3
+	movsd [uv+r1], f2
+	movsd f3, =0.0
+	movsd [uv+8+r1], f3
+	inc r0
+	cmp r0, $%[3]d
+	jl init
+
+	mov r9, $0            ; time step
+tstep:
+	; interior sweep: i in [nx, cells-nx)
+	mov r0, $%[1]d
+cell:
+	; load state
+	movsd f0, [rho+r0*8]
+	mov r1, r0
+	shl r1, $4
+	movapd f1, [uv+r1]    ; packed (u, v)
+	movsd f2, [en+r0*8]
+	; kinetic energy: k = 0.5*rho*(u²+v²) via packed multiply
+	movapd f3, f1
+	mulpd f3, f3          ; (u², v²)
+	movsd f4, f3          ; u² in lane 0
+	; extract v² via xorpd-free shuffle: reload lane 1 from memory
+	movsd f5, [uv+8+r1]
+	mulsd f5, f5
+	addsd f4, f5
+	mulsd f4, f0
+	mulsd f4, =0.5
+	; pressure p = 0.4*(E - k), sound speed c = sqrt(1.4 p / rho)
+	movsd f6, f2
+	subsd f6, f4
+	mulsd f6, =0.4
+	movsd f7, f6
+	mulsd f7, =1.4
+	divsd f7, f0
+	fabs f7, f7
+	sqrtsd f7, f7
+	; upwind flux difference on density: drho = -u*dt*(rho[i]-rho[i-1]) - dt*c*lap
+	movsd f8, f0
+	subsd f8, [rho-8+r0*8]
+	mulsd f8, f1          ; * u
+	movsd f9, [rho+%[6]d+r0*8]
+	addsd f9, [rho-%[6]d+r0*8]
+	movsd f10, f0
+	mulsd f10, =2.0
+	subsd f9, f10         ; vertical laplacian
+	mulsd f9, =0.05
+	mulsd f9, f7          ; * c (acoustic smoothing)
+	movsd f11, f8
+	mulsd f11, =-0.01
+	addsd f11, f9
+	addsd f11, f0
+	movsd [rhon+r0*8], f11
+	; energy update: advect + pressure work
+	movsd f12, f2
+	subsd f12, [en-8+r0*8]
+	mulsd f12, f1
+	mulsd f12, =-0.01
+	movsd f13, f6
+	mulsd f13, f1
+	mulsd f13, =0.002
+	addsd f12, f13
+	addsd f12, f2
+	movsd [enn+r0*8], f12
+	inc r0
+	cmp r0, $%[7]d
+	jl cell
+	; commit new state
+	mov r0, $%[1]d
+commit:
+	movsd f0, [rhon+r0*8]
+	movsd [rho+r0*8], f0
+	movsd f1, [enn+r0*8]
+	movsd [en+r0*8], f1
+	inc r0
+	cmp r0, $%[7]d
+	jl commit
+	inc r9
+	cmp r9, $%[8]d
+	jl tstep
+
+	; output total mass and energy
+	movsd f0, =0.0
+	movsd f1, =0.0
+	mov r0, $0
+sum:
+	addsd f0, [rho+r0*8]
+	addsd f1, [en+r0*8]
+	inc r0
+	cmp r0, $%[3]d
+	jl sum
+	outf f0
+	outf f1
+	halt
+`, nx, ny, cells, 8*cells, 16*cells, 8*nx, cells-nx, steps)
+}
+
+func init() {
+	register(Workload{
+		Name:        "miniAero",
+		Specifics:   "Flat Plate",
+		Description: "2-D compressible flow stencil with EOS pressure and sound-speed sqrt; packed ops",
+		Build:       buildSrc("miniaero", miniAeroSource(16, 16, 40)),
+	})
+}

@@ -1,0 +1,90 @@
+package workloads
+
+import "fmt"
+
+// epSource generates the NAS EP (embarrassingly parallel) kernel: generate
+// uniform pairs with a linear congruential generator, keep those inside the
+// unit circle, transform to Gaussian deviates via the Box-Muller polar
+// method (log + sqrt per acceptance), and accumulate sums — the classic mix
+// of integer RNG arithmetic with bursts of transcendental FP.
+func epSource(pairs int) string {
+	return fmt.Sprintf(`
+.data
+seed: .i64 271828183
+sx:   .f64 0.0
+sy:   .f64 0.0
+naccept: .i64 0
+.text
+	mov r0, $0              ; pair counter
+	mov r5, [seed]
+pair:
+	; LCG step twice for u, v (top 53 bits → [0,1))
+	imul r5, $6364136223846793005
+	add r5, $1442695040888963407
+	mov r6, r5
+	shr r6, $11
+	imul r5, $6364136223846793005
+	add r5, $1442695040888963407
+	mov r7, r5
+	shr r7, $11
+	; x = 2*u-1, y = 2*v-1
+	cvtsi2sd f0, r6
+	mulsd f0, =1.1102230246251565e-16   ; 2^-53
+	addsd f0, f0
+	subsd f0, =1.0
+	cvtsi2sd f1, r7
+	mulsd f1, =1.1102230246251565e-16
+	addsd f1, f1
+	subsd f1, =1.0
+	; t = x*x + y*y
+	movsd f2, f0
+	mulsd f2, f2
+	movsd f3, f1
+	mulsd f3, f3
+	addsd f2, f3
+	; accept if 0 < t <= 1
+	ucomisd f2, =1.0
+	ja reject
+	ucomisd f2, =0.0
+	jbe reject
+	; g = sqrt(-2 ln t / t)
+	flog f4, f2
+	mulsd f4, =-2.0
+	divsd f4, f2
+	sqrtsd f4, f4
+	; accumulate |x*g| and |y*g|
+	movsd f5, f0
+	mulsd f5, f4
+	fabs f5, f5
+	addsd f5, [sx]
+	movsd [sx], f5
+	movsd f6, f1
+	mulsd f6, f4
+	fabs f6, f6
+	addsd f6, [sy]
+	movsd [sy], f6
+	mov r8, [naccept]
+	inc r8
+	mov [naccept], r8
+reject:
+	inc r0
+	cmp r0, $%d
+	jl pair
+	movsd f0, [sx]
+	outf f0
+	movsd f0, [sy]
+	outf f0
+	mov r1, [naccept]
+	outi r1
+	halt
+`, pairs)
+}
+
+func init() {
+	register(Workload{
+		Name:        "NAS EP",
+		Specifics:   "Class S",
+		Description: "Box-Muller Gaussian pair generation: integer LCG + log/sqrt bursts",
+		Build:       buildSrc("ep.S", epSource(3000)),
+	})
+}

@@ -1,0 +1,103 @@
+package workloads
+
+import "fmt"
+
+// isSource generates the NAS IS (integer sort) kernel: keys are produced by
+// the NAS randlc pseudorandom generator — which, faithfully to the original,
+// is implemented in double-precision arithmetic (a·x mod 2^46 computed with
+// FP multiply/truncate) — then bucket-sorted with counting sort, verified
+// with a prefix sum, and summarized with one small FP statistic. The sort
+// itself is pure integer work, which is why IS has by far the smallest
+// slowdown in Figure 12: only the key generation traps.
+func isSource(keys, maxKey int) string {
+	return fmt.Sprintf(`
+.data
+xseed:   .f64 314159265.0
+keyarr:  .zero %[3]d
+buckets: .zero %[4]d
+.text
+	; ---- key generation via randlc-style FP LCG ----
+	mov r0, $0
+gen:
+	; x = fmod(a*x, 2^46), a = 5^13
+	movsd f0, [xseed]
+	mulsd f0, =1220703125.0
+	movsd f1, f0
+	mulsd f1, =1.4210854715202004e-14   ; 2^-46
+	ftrunc f1, f1
+	mulsd f1, =70368744177664.0         ; 2^46
+	subsd f0, f1
+	movsd [xseed], f0
+	; key = int(x * 2^-46 * maxKey)
+	movsd f2, f0
+	mulsd f2, =1.4210854715202004e-14
+	mulsd f2, =%[5]g
+	cvttsd2si r8, f2
+	and r8, $%[7]d          ; key &= MAX_KEY-1, as NAS IS does
+	mov [keyarr+r0*8], r8
+	inc r0
+	cmp r0, $%[1]d
+	jl gen
+	; ---- ranking: 20 iterations of counting + prefix sum (NAS IS ranks repeatedly) ----
+	mov r9, $0
+rank:
+	; clear buckets
+	mov r0, $0
+	mov r2, $0
+clr:
+	mov [buckets+r0*8], r2
+	inc r0
+	cmp r0, $%[2]d
+	jl clr
+	mov r0, $0
+count:
+	mov r1, [keyarr+r0*8]
+	and r1, $%[7]d          ; re-mask: keys are in [0, MAX_KEY)
+	mov r2, [buckets+r1*8]
+	inc r2
+	mov [buckets+r1*8], r2
+	inc r0
+	cmp r0, $%[1]d
+	jl count
+	; ---- prefix sum (rank computation) ----
+	mov r0, $1
+	mov r3, [buckets]
+prefix:
+	mov r2, [buckets+r0*8]
+	add r3, r2
+	mov [buckets+r0*8], r3
+	inc r0
+	cmp r0, $%[2]d
+	jl prefix
+	inc r9
+	cmp r9, $20
+	jl rank
+	; verification: total must equal the key count
+	mov r4, [buckets+%[6]d]
+	outi r4
+	; mean key value (the one FP statistic)
+	mov r0, $0
+	mov r1, $0
+sum:
+	mov r2, [keyarr+r0*8]
+	add r1, r2
+	inc r0
+	cmp r0, $%[1]d
+	jl sum
+	cvtsi2sd f0, r1
+	mov r2, $%[1]d
+	cvtsi2sd f1, r2
+	divsd f0, f1
+	outf f0
+	halt
+`, keys, maxKey, 8*keys, 8*maxKey, float64(maxKey), 8*(maxKey-1), maxKey-1)
+}
+
+func init() {
+	register(Workload{
+		Name:        "NAS IS",
+		Specifics:   "Class S",
+		Description: "integer bucket sort; randlc-style FP key generation is the only trapping code",
+		Build:       buildSrc("is.S", isSource(20000, 512)),
+	})
+}

@@ -1,0 +1,161 @@
+package workloads
+
+import "fmt"
+
+// luSource generates a dense LU factorization with forward/back
+// substitution, the computational heart of the NAS LU pseudo-application
+// (SSOR over block-lower/upper systems). The O(n³) multiply-subtract inner
+// loop makes nearly every dynamic instruction a rounding FP op, producing
+// the top-of-chart slowdowns the paper reports for LU.
+func luSource(n int, seed uint64) string {
+	g := newLCG(seed)
+	a := make([]float64, n*n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var rowsum float64
+		for j := 0; j < n; j++ {
+			v := g.float64n() - 0.5
+			a[i*n+j] = v
+			if v < 0 {
+				rowsum -= v
+			} else {
+				rowsum += v
+			}
+		}
+		a[i*n+i] = rowsum + 2.0 // diagonally dominant: no pivoting needed
+		b[i] = g.float64n()
+	}
+
+	data := ".data\n"
+	data += f64Data("amat", a)
+	data += f64Data("bvec", b)
+	data += fmt.Sprintf("yvec: .zero %d\nxvec: .zero %d\n", 8*n, 8*n)
+
+	code := fmt.Sprintf(`
+.text
+	; ---- LU factorization in place (Doolittle, no pivoting) ----
+	mov r0, $0              ; k
+fact:
+	; pivot = a[k][k]
+	mov r4, r0
+	imul r4, $%[1]d
+	add r4, r0              ; k*n+k
+	movsd f0, [amat+r4*8]   ; pivot
+	mov r1, r0
+	inc r1                  ; i = k+1
+rowi:
+	cmp r1, $%[1]d
+	jge rowdone
+	; l = a[i][k] / pivot
+	mov r5, r1
+	imul r5, $%[1]d
+	add r5, r0
+	movsd f1, [amat+r5*8]
+	divsd f1, f0
+	movsd [amat+r5*8], f1
+	; a[i][j] -= l * a[k][j]  for j = k+1 .. n-1
+	mov r2, r0
+	inc r2
+colj:
+	cmp r2, $%[1]d
+	jge coldone
+	mov r6, r0
+	imul r6, $%[1]d
+	add r6, r2              ; k*n+j
+	movsd f2, [amat+r6*8]
+	mulsd f2, f1
+	mov r7, r1
+	imul r7, $%[1]d
+	add r7, r2              ; i*n+j
+	movsd f3, [amat+r7*8]
+	subsd f3, f2
+	movsd [amat+r7*8], f3
+	inc r2
+	jmp colj
+coldone:
+	inc r1
+	jmp rowi
+rowdone:
+	inc r0
+	mov r8, $%[1]d
+	dec r8
+	cmp r0, r8
+	jl fact
+
+	; ---- forward substitution: L y = b (unit diagonal) ----
+	mov r0, $0
+fwd:
+	movsd f0, [bvec+r0*8]
+	mov r1, $0
+fsum:
+	cmp r1, r0
+	jge fdone
+	mov r4, r0
+	imul r4, $%[1]d
+	add r4, r1
+	movsd f1, [amat+r4*8]
+	movsd f2, [yvec+r1*8]
+	mulsd f1, f2
+	subsd f0, f1
+	inc r1
+	jmp fsum
+fdone:
+	movsd [yvec+r0*8], f0
+	inc r0
+	cmp r0, $%[1]d
+	jl fwd
+
+	; ---- back substitution: U x = y ----
+	mov r0, $%[1]d
+	dec r0
+bwd:
+	movsd f0, [yvec+r0*8]
+	mov r1, r0
+	inc r1
+bsum:
+	cmp r1, $%[1]d
+	jge bdone
+	mov r4, r0
+	imul r4, $%[1]d
+	add r4, r1
+	movsd f1, [amat+r4*8]
+	movsd f2, [xvec+r1*8]
+	mulsd f1, f2
+	subsd f0, f1
+	inc r1
+	jmp bsum
+bdone:
+	mov r4, r0
+	imul r4, $%[1]d
+	add r4, r0
+	movsd f3, [amat+r4*8]
+	divsd f0, f3
+	movsd [xvec+r0*8], f0
+	dec r0
+	cmp r0, $0
+	jge bwd
+
+	; output solution checksum
+	movsd f0, =0.0
+	mov r0, $0
+chk:
+	movsd f1, [xvec+r0*8]
+	fmaddsd f0, f1, f1
+	inc r0
+	cmp r0, $%[1]d
+	jl chk
+	sqrtsd f0, f0
+	outf f0
+	halt
+`, n)
+	return data + code
+}
+
+func init() {
+	register(Workload{
+		Name:        "NAS LU",
+		Specifics:   "Class S",
+		Description: "dense LU factorization + triangular solves, n=40: O(n³) FP multiply-subtract",
+		Build:       buildSrc("lu.S", luSource(40, 424242)),
+	})
+}

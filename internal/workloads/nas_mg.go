@@ -1,0 +1,152 @@
+package workloads
+
+import "fmt"
+
+// mgSource generates a 1-D multigrid V-cycle analog of the NAS MG kernel:
+// weighted-Jacobi smoothing of a Poisson problem on a fine grid, residual
+// restriction to a coarse grid, coarse smoothing, prolongation back, and a
+// final smoothing pass — stencil sweeps saturated with FP adds/multiplies.
+func mgSource(fine, cycles int) string {
+	coarse := fine / 2
+	return fmt.Sprintf(`
+.data
+uf: .zero %[3]d       ; fine solution   (fine+1 points)
+rf: .zero %[3]d       ; fine rhs/residual
+uc: .zero %[4]d       ; coarse solution
+rc: .zero %[4]d       ; coarse rhs
+.text
+	; rhs: rf[i] = sin-free polynomial bump i*(n-i) scaled
+	mov r1, $1
+frhs:
+	mov r2, $%[1]d
+	sub r2, r1
+	imul r2, r1
+	cvtsi2sd f0, r2
+	mulsd f0, =0.0009765625
+	movsd [rf+r1*8], f0
+	inc r1
+	cmp r1, $%[1]d
+	jl frhs
+
+	mov r0, $0            ; V-cycle counter
+vcycle:
+	; ---- pre-smooth fine: u[i] += w*(r[i] + u[i-1] + u[i+1] - 2u[i])/2
+	mov r3, $0            ; smoothing sweeps
+presm:
+	mov r1, $1
+fs:
+	movsd f0, [uf-8+r1*8]
+	addsd f0, [uf+8+r1*8]
+	addsd f0, [rf+r1*8]
+	movsd f1, [uf+r1*8]
+	mulsd f1, =2.0
+	subsd f0, f1
+	mulsd f0, =0.3333333333333333
+	addsd f0, [uf+r1*8]
+	movsd [uf+r1*8], f0
+	inc r1
+	cmp r1, $%[1]d
+	jl fs
+	inc r3
+	cmp r3, $2
+	jl presm
+	; ---- restrict residual to coarse: rc[i] = rf[2i] - (2u[2i]-u[2i-1]-u[2i+1])
+	mov r1, $1
+restr:
+	mov r2, r1
+	shl r2, $1            ; 2i
+	movsd f0, [uf+r2*8]
+	mulsd f0, =2.0
+	subsd f0, [uf-8+r2*8]
+	subsd f0, [uf+8+r2*8]
+	movsd f1, [rf+r2*8]
+	subsd f1, f0
+	movsd [rc+r1*8], f1
+	movsd f2, =0.0
+	movsd [uc+r1*8], f2
+	inc r1
+	cmp r1, $%[2]d
+	jl restr
+	; ---- coarse smooth (4 sweeps of the same Jacobi)
+	mov r3, $0
+csm:
+	mov r1, $1
+cs:
+	movsd f0, [uc-8+r1*8]
+	addsd f0, [uc+8+r1*8]
+	addsd f0, [rc+r1*8]
+	movsd f1, [uc+r1*8]
+	mulsd f1, =2.0
+	subsd f0, f1
+	mulsd f0, =0.3333333333333333
+	addsd f0, [uc+r1*8]
+	movsd [uc+r1*8], f0
+	inc r1
+	cmp r1, $%[2]d
+	jl cs
+	inc r3
+	cmp r3, $4
+	jl csm
+	; ---- prolongate and correct: u[2i] += uc[i]; u[2i+1] += (uc[i]+uc[i+1])/2
+	mov r1, $1
+prol:
+	mov r2, r1
+	shl r2, $1
+	movsd f0, [uc+r1*8]
+	addsd f0, [uf+r2*8]
+	movsd [uf+r2*8], f0
+	movsd f1, [uc+r1*8]
+	addsd f1, [uc+8+r1*8]
+	mulsd f1, =0.5
+	addsd f1, [uf+8+r2*8]
+	movsd [uf+8+r2*8], f1
+	inc r1
+	cmp r1, $%[5]d
+	jl prol
+	; ---- post-smooth fine (2 sweeps), reusing the presmoother loop shape
+	mov r3, $0
+postsm:
+	mov r1, $1
+ps:
+	movsd f0, [uf-8+r1*8]
+	addsd f0, [uf+8+r1*8]
+	addsd f0, [rf+r1*8]
+	movsd f1, [uf+r1*8]
+	mulsd f1, =2.0
+	subsd f0, f1
+	mulsd f0, =0.3333333333333333
+	addsd f0, [uf+r1*8]
+	movsd [uf+r1*8], f0
+	inc r1
+	cmp r1, $%[1]d
+	jl ps
+	inc r3
+	cmp r3, $2
+	jl postsm
+	inc r0
+	cmp r0, $%[6]d
+	jl vcycle
+
+	; output the solution norm
+	movsd f0, =0.0
+	mov r1, $0
+norm:
+	movsd f1, [uf+r1*8]
+	fmaddsd f0, f1, f1
+	inc r1
+	cmp r1, $%[1]d
+	jl norm
+	sqrtsd f0, f0
+	outf f0
+	halt
+`, fine, coarse, 8*(fine+1), 8*(coarse+1), coarse-1, cycles)
+}
+
+func init() {
+	register(Workload{
+		Name:        "NAS MG",
+		Specifics:   "Class S",
+		Description: "1-D multigrid V-cycles: Jacobi smoothing, restriction, prolongation",
+		Build:       buildSrc("mg.S", mgSource(128, 20)),
+	})
+}

@@ -1,0 +1,125 @@
+package workloads
+
+import "fmt"
+
+// threeBodySource returns a planar gravitational three-body simulation
+// (figure-eight-like initial conditions), forward-Euler integrated. Like
+// Lorenz, it is chaotic: the §5.4 experiment where MPFR precision changes
+// the outcome.
+func threeBodySource(steps int) string {
+	return fmt.Sprintf(`
+; Planar three-body problem: masses m=1, G=1, softened gravity.
+.data
+px: .f64  0.97000436, -0.97000436, 0.0
+py: .f64 -0.24308753,  0.24308753, 0.0
+vx: .f64  0.4662036850,  0.4662036850, -0.93240737
+vy: .f64  0.4323657300,  0.4323657300, -0.86473146
+ax: .zero 24
+ay: .zero 24
+.text
+	mov r0, $0              ; step
+step:
+	; zero accelerations
+	movsd f0, =0.0
+	mov r1, $0
+za:	movsd [ax+r1*8], f0
+	movsd [ay+r1*8], f0
+	inc r1
+	cmp r1, $3
+	jl za
+	; pairwise forces: for i in 0..2, j in i+1..2
+	mov r1, $0              ; i
+fi:	mov r2, r1
+	inc r2                  ; j = i+1
+fj:	cmp r2, $3
+	jge fjdone
+	; dx = px[j]-px[i], dy = py[j]-py[i]
+	movsd f1, [px+r2*8]
+	subsd f1, [px+r1*8]
+	movsd f2, [py+r2*8]
+	subsd f2, [py+r1*8]
+	; r2 = dx*dx + dy*dy + eps
+	movsd f3, f1
+	mulsd f3, f3
+	movsd f4, f2
+	mulsd f4, f4
+	addsd f3, f4
+	addsd f3, =1e-9
+	; inv r^3 = 1 / (r2 * sqrt(r2))
+	sqrtsd f4, f3
+	mulsd f4, f3
+	movsd f5, =1.0
+	divsd f5, f4
+	; fx = dx*invr3, fy = dy*invr3   (unit masses)
+	mulsd f1, f5
+	mulsd f2, f5
+	; ax[i]+=fx; ay[i]+=fy; ax[j]-=fx; ay[j]-=fy
+	movsd f6, [ax+r1*8]
+	addsd f6, f1
+	movsd [ax+r1*8], f6
+	movsd f6, [ay+r1*8]
+	addsd f6, f2
+	movsd [ay+r1*8], f6
+	movsd f6, [ax+r2*8]
+	subsd f6, f1
+	movsd [ax+r2*8], f6
+	movsd f6, [ay+r2*8]
+	subsd f6, f2
+	movsd [ay+r2*8], f6
+	inc r2
+	jmp fj
+fjdone:
+	inc r1
+	cmp r1, $2
+	jl fi
+	; integrate: v += a*dt, p += v*dt
+	mov r1, $0
+integ:
+	movsd f1, [vx+r1*8]
+	movsd f2, [ax+r1*8]
+	mulsd f2, =0.001
+	addsd f1, f2
+	movsd [vx+r1*8], f1
+	movsd f3, [px+r1*8]
+	movsd f4, f1
+	mulsd f4, =0.001
+	addsd f3, f4
+	movsd [px+r1*8], f3
+	movsd f1, [vy+r1*8]
+	movsd f2, [ay+r1*8]
+	mulsd f2, =0.001
+	addsd f1, f2
+	movsd [vy+r1*8], f1
+	movsd f3, [py+r1*8]
+	movsd f4, f1
+	mulsd f4, =0.001
+	addsd f3, f4
+	movsd [py+r1*8], f3
+	inc r1
+	cmp r1, $3
+	jl integ
+	inc r0
+	cmp r0, $%d
+	jl step
+	; print final positions
+	mov r1, $0
+dump:
+	movsd f0, [px+r1*8]
+	outf f0
+	movsd f0, [py+r1*8]
+	outf f0
+	inc r1
+	cmp r1, $3
+	jl dump
+	halt
+`, steps)
+}
+
+func init() {
+	register(Workload{
+		Name:        "Three-Body",
+		Specifics:   "",
+		Description: "chaotic planar 3-body gravity, softened, forward Euler",
+		Build:       buildSrc("threebody", threeBodySource(800)),
+	})
+}
