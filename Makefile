@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench
+
+# ci mirrors .github/workflows/ci.yml exactly.
+ci: fmt vet build test race
+
+fmt:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then echo "gofmt needed on:"; echo "$$files"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel experiment harness under the race detector.
+race:
+	$(GO) test -race ./internal/experiments
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -26,6 +26,7 @@ func main() {
 		prec  = flag.Uint("prec", 200, "MPFR precision in bits")
 		quick = flag.Bool("quick", false, "smaller configurations for a fast pass")
 		list  = flag.Bool("list", false, "list experiments")
+		jobs  = flag.Int("j", 0, "experiment cells to run concurrently (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -58,9 +59,10 @@ func main() {
 		}
 		start := time.Now()
 		err := e.Run(experiments.Options{
-			W:     os.Stdout,
-			Prec:  *prec,
-			Quick: *quick,
+			W:       os.Stdout,
+			Prec:    *prec,
+			Quick:   *quick,
+			Workers: *jobs,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fpvm-bench: %s: %v\n", e.ID, err)

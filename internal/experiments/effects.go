@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"fpvm/internal/arith"
+	"fpvm/internal/workloads"
 )
 
 // EffectsRow compares final outputs across arithmetic systems for one
@@ -26,26 +27,24 @@ func EffectsData(o Options) ([]EffectsRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []EffectsRow
-	for _, w := range ws {
+	return forEachCell(o.Workers, ws, func(_ int, w workloads.Workload) (EffectsRow, error) {
 		van, err := runPair(w, arith.Vanilla{}, o)
 		if err != nil {
-			return nil, err
+			return EffectsRow{}, err
 		}
 		mp, err := runPair(w, arith.NewMPFR(o.Prec), o)
 		if err != nil {
-			return nil, err
+			return EffectsRow{}, err
 		}
-		rows = append(rows, EffectsRow{
+		return EffectsRow{
 			Name:        w.Name,
 			NativeOut:   van.NativeOut,
 			VanillaSame: van.NativeOut == van.VirtOut,
 			MPFROut:     mp.VirtOut,
 			MPFRDiffers: mp.VirtOut != mp.NativeOut,
 			Prec:        o.Prec,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Effects prints the §5.4 summary: Vanilla changes nothing; MPFR, with its

@@ -35,6 +35,11 @@ type Options struct {
 	GCEveryNAllocs uint64
 	// Delivery selects the trap delivery model (default user signal).
 	Delivery trap.Kind
+	// Workers bounds the number of experiment cells run concurrently.
+	// Each cell owns its machine, VM, and arena, so the simulated cycle
+	// counts are identical at any setting. 0 means GOMAXPROCS; 1 is fully
+	// sequential.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -182,22 +187,40 @@ func Validation(o Options) error {
 	o.defaults()
 	fmt.Fprintf(o.W, "§5.2 Validation: FPVM with the Vanilla arithmetic system\n")
 	fmt.Fprintf(o.W, "%-28s %-10s %8s %12s\n", "benchmark", "identical", "traps", "emulations")
-	all := workloads.All()
-	fail := 0
-	for _, w := range all {
+	var ws []workloads.Workload
+	for _, w := range workloads.All() {
 		if o.Quick && w.Specifics == "Class A" {
 			continue
 		}
+		ws = append(ws, w)
+	}
+	type valRow struct {
+		label    string
+		same     bool
+		traps    uint64
+		emulated uint64
+	}
+	rows, err := forEachCell(o.Workers, ws, func(_ int, w workloads.Workload) (valRow, error) {
 		r, err := runPair(w, arith.Vanilla{}, o)
 		if err != nil {
-			return err
+			return valRow{}, err
 		}
-		same := r.NativeOut == r.VirtOut
-		if !same {
+		return valRow{
+			label:    w.Name + " " + w.Specifics,
+			same:     r.NativeOut == r.VirtOut,
+			traps:    r.VM.Stats.Traps,
+			emulated: r.VM.Stats.Emulated,
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	fail := 0
+	for _, r := range rows {
+		if !r.same {
 			fail++
 		}
-		fmt.Fprintf(o.W, "%-28s %-10v %8d %12d\n",
-			w.Name+" "+w.Specifics, same, r.VM.Stats.Traps, r.VM.Stats.Emulated)
+		fmt.Fprintf(o.W, "%-28s %-10v %8d %12d\n", r.label, r.same, r.traps, r.emulated)
 	}
 	if fail > 0 {
 		return fmt.Errorf("validation: %d benchmarks differ under Vanilla", fail)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fpvm/internal/arith"
+	"fpvm/internal/workloads"
 )
 
 // Fig10Row reports garbage collector behavior for one benchmark.
@@ -30,11 +31,10 @@ func Fig10Data(o Options) ([]Fig10Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig10Row
-	for _, w := range ws {
+	return forEachCell(o.Workers, ws, func(_ int, w workloads.Workload) (Fig10Row, error) {
 		r, err := runPair(w, arith.NewMPFR(o.Prec), o)
 		if err != nil {
-			return nil, err
+			return Fig10Row{}, err
 		}
 		r.VM.RunGC() // final pass so the tail of allocations is accounted
 		gs := r.VM.Stats.GC
@@ -50,9 +50,8 @@ func Fig10Data(o Options) ([]Fig10Row, error) {
 		if allocs > 0 {
 			row.FreedFrac = float64(gs.TotalFreed) / float64(allocs)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // Fig10 prints garbage collector statistics and performance (paper

@@ -30,11 +30,10 @@ var fig12OnlyR815 = map[string]bool{
 // trap delivery cost varies across profiles (see RunResult.SlowdownOn).
 func Fig12Data(o Options) ([]Fig12Row, error) {
 	o.defaults()
-	var rows []Fig12Row
-	for _, w := range allFig12(o) {
+	return forEachCell(o.Workers, allFig12(o), func(_ int, w workloads.Workload) (Fig12Row, error) {
 		r, err := runPair(w, arith.NewMPFR(o.Prec), o)
 		if err != nil {
-			return nil, err
+			return Fig12Row{}, err
 		}
 		row := Fig12Row{
 			Name:      w.Name,
@@ -49,9 +48,8 @@ func Fig12Data(o Options) ([]Fig12Row, error) {
 			}
 			row.Slowdown[p.Name] = r.SlowdownOn(p, trap.DeliverUserSignal)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 func allFig12(o Options) []workloads.Workload {

@@ -5,6 +5,7 @@ import (
 
 	"fpvm/internal/arith"
 	"fpvm/internal/trap"
+	"fpvm/internal/workloads"
 )
 
 // Fig9Row is the measured per-trap cost breakdown for one benchmark.
@@ -29,8 +30,7 @@ func Fig9Data(o Options) ([]Fig9Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig9Row
-	for _, w := range ws {
+	cells, err := forEachCell(o.Workers, ws, func(_ int, w workloads.Workload) (*Fig9Row, error) {
 		r, err := runPair(w, arith.NewMPFR(o.Prec), o)
 		if err != nil {
 			return nil, err
@@ -38,7 +38,7 @@ func Fig9Data(o Options) ([]Fig9Row, error) {
 		st := r.VM.Stats
 		traps := st.Traps
 		if traps == 0 {
-			continue
+			return nil, nil
 		}
 		profile := r.Virt.Profile
 		hw, kern := profile.Breakdown()
@@ -60,7 +60,16 @@ func Fig9Data(o Options) ([]Fig9Row, error) {
 		}
 		row.Total = row.Hardware + row.Kernel + row.Decode + row.Bind +
 			row.Emulate + row.GC + row.Correctness
-		rows = append(rows, row)
+		return &row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig9Row
+	for _, c := range cells {
+		if c != nil {
+			rows = append(rows, *c)
+		}
 	}
 	return rows, nil
 }

@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// benchmarkFig12 runs the quick Figure 12 sweep at a fixed worker count.
+// Cycle counts are identical at any setting; only wall-clock time changes,
+// which is exactly what the benchmark measures. Run with -benchtime=1x for a
+// quick speedup reading.
+func benchmarkFig12(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig12Data(Options{W: io.Discard, Quick: true, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12Sweep(b *testing.B) {
+	b.Run("sequential", func(b *testing.B) { benchmarkFig12(b, 1) })
+	b.Run("parallel", func(b *testing.B) { benchmarkFig12(b, 0) })
+}

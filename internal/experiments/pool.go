@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachCell runs fn over every item on a bounded worker pool and returns
+// the results in input order. Each experiment cell owns its machine, VM, and
+// arena, so cells are independent and the *simulated* cycle counts are
+// identical to a sequential run — only wall-clock time changes. workers <= 0
+// selects GOMAXPROCS. Errors do not cancel in-flight cells (they are short);
+// the first error in input order is returned after all workers drain.
+func forEachCell[T, R any](workers int, items []T, fn func(int, T) (R, error)) ([]R, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	results := make([]R, len(items))
+	errs := make([]error, len(items))
+	if workers <= 1 {
+		for i, it := range items {
+			results[i], errs[i] = fn(i, it)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i], errs[i] = fn(i, items[i])
+				}
+			}()
+		}
+		for i := range items {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

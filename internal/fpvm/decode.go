@@ -33,10 +33,12 @@ type decodedInst struct {
 
 // decode translates a machine instruction into FPVM's representation,
 // consulting the decode cache first (§4.1: "this decode cache is critical
-// to lowering latencies").
-func (vm *VM) decode(in isa.Inst) *decodedInst {
+// to lowering latencies"). The cache is a dense side table keyed by the
+// machine's instruction index — a single bounds-checked slot access instead
+// of the seed's address-keyed map probe.
+func (vm *VM) decode(idx int, in isa.Inst) *decodedInst {
 	if !vm.cfg.DisableDecodeCache {
-		if d, ok := vm.dcache[in.Addr]; ok {
+		if d := vm.dcache[idx]; d != nil {
 			vm.Stats.DecodeHits++
 			vm.Stats.Cycles.Decode += vm.costs.DecodeHit
 			vm.M.Cycles += vm.costs.DecodeHit
@@ -49,7 +51,7 @@ func (vm *VM) decode(in isa.Inst) *decodedInst {
 
 	d := translate(in)
 	if !vm.cfg.DisableDecodeCache {
-		vm.dcache[in.Addr] = d
+		vm.dcache[idx] = d
 	}
 	return d
 }

@@ -19,7 +19,9 @@ func (vm *VM) emulate(f *machine.TrapFrame, d *decodedInst) error {
 	switch d.kind {
 	case kindArith:
 		for lane := 0; lane < d.lanes; lane++ {
-			args := make([]arith.Value, len(d.srcs))
+			// The per-VM scratch buffer keeps the hot path allocation-free
+			// (the seed allocated a fresh []arith.Value per lane per trap).
+			args := vm.scratch[:len(d.srcs)]
 			for i, s := range d.srcs {
 				bits, err := m.ReadOperandFP(s, lane)
 				if err != nil {

@@ -21,8 +21,9 @@ type Spy struct {
 	M     *machine.Machine
 	Stats SpyStats
 
-	costs  Costs
-	dcache map[uint64]*decodedInst
+	costs   Costs
+	dcache  []*decodedInst // decode cache, one slot per instruction index
+	scratch [3]arith.Value
 }
 
 // SpyStats aggregates the recorded floating point events.
@@ -41,7 +42,7 @@ func AttachSpy(m *machine.Machine) *Spy {
 	s := &Spy{
 		M:      m,
 		costs:  DefaultCosts(),
-		dcache: make(map[uint64]*decodedInst),
+		dcache: make([]*decodedInst, len(m.Insts())),
 	}
 	s.Stats.ByFlag = make(map[string]uint64)
 	s.Stats.ByOp = make(map[string]uint64)
@@ -60,10 +61,10 @@ func (s *Spy) handle(f *machine.TrapFrame) error {
 	s.Stats.BySite[f.Inst.Addr]++
 	f.M.MXCSR.ClearFlags()
 
-	d, ok := s.dcache[f.Inst.Addr]
-	if !ok {
+	d := s.dcache[f.Idx]
+	if d == nil {
 		d = translate(f.Inst)
-		s.dcache[f.Inst.Addr] = d
+		s.dcache[f.Idx] = d
 	}
 	s.M.Cycles += s.costs.DecodeHit + s.costs.Bind
 
@@ -73,7 +74,7 @@ func (s *Spy) handle(f *machine.TrapFrame) error {
 	switch d.kind {
 	case kindArith:
 		for lane := 0; lane < d.lanes; lane++ {
-			args := make([]arith.Value, len(d.srcs))
+			args := s.scratch[:len(d.srcs)]
 			for i, src := range d.srcs {
 				bits, err := f.M.ReadOperandFP(src, lane)
 				if err != nil {

@@ -9,6 +9,7 @@
 package fpvm
 
 import (
+	"encoding/binary"
 	"math"
 
 	"fpvm/internal/arith"
@@ -102,7 +103,8 @@ type VM struct {
 
 	costs   Costs
 	cfg     Config
-	dcache  map[uint64]*decodedInst
+	dcache  []*decodedInst // decode cache, one slot per instruction index
+	scratch [3]arith.Value // reusable operand buffer for the emulation hot path
 	gcEvery uint64
 	lastGC  uint64 // arena alloc count at last GC
 }
@@ -129,7 +131,7 @@ func Attach(m *machine.Machine, cfg Config) *VM {
 		Arena:   NewArena(),
 		costs:   costs,
 		cfg:     cfg,
-		dcache:  make(map[uint64]*decodedInst),
+		dcache:  make([]*decodedInst, len(m.Insts())),
 		gcEvery: gcEvery,
 	}
 	m.MXCSR.SetMasks(0) // unmask everything: rounding, NaN, overflow, ...
@@ -148,7 +150,7 @@ func (vm *VM) handleFPTrap(f *machine.TrapFrame) error {
 	// does in preparation for the next instruction.
 	f.M.MXCSR.ClearFlags()
 
-	d := vm.decode(f.Inst)
+	d := vm.decode(f.Idx, f.Inst)
 	vm.bind(d) // charge binding (address resolution happens per access)
 
 	if err := vm.emulate(f, d); err != nil {
@@ -250,11 +252,13 @@ func (vm *VM) demoteOperand(f *machine.TrapFrame, o isa.Operand, packed bool) er
 			f.M.R[o.Reg] = int64(nb)
 		}
 	case isa.KindMem:
-		addr := vm.operandAddr(f.M, o)
+		// The binder resolves addresses with the same isa.EffAddr helper
+		// the machine's executor uses, so the two cannot diverge.
+		addr := isa.EffAddr(&f.M.R, o)
 		for l := 0; l < lanes; l++ {
 			bits, err := f.M.ReadU64(addr + uint64(8*l))
 			if err != nil {
-				return nil // partial/unmapped operand: nothing to demote
+				continue // partial/unmapped lane: scan the remaining lanes
 			}
 			if nb, ok := vm.demoteBits(bits); ok {
 				if err := f.M.WriteU64(addr+uint64(8*l), nb); err != nil {
@@ -264,18 +268,6 @@ func (vm *VM) demoteOperand(f *machine.TrapFrame, o isa.Operand, packed bool) er
 		}
 	}
 	return nil
-}
-
-// operandAddr mirrors the machine's effective-address computation.
-func (vm *VM) operandAddr(m *machine.Machine, o isa.Operand) uint64 {
-	var addr int64
-	if o.Base != isa.RegNone {
-		addr = m.R[o.Base]
-	}
-	if o.Index != isa.RegNone {
-		addr += m.R[o.Index] * int64(o.Scale)
-	}
-	return uint64(addr + int64(o.Disp))
 }
 
 // handleExternalCall demotes all FP argument registers before an
@@ -311,25 +303,9 @@ func (vm *VM) DemoteAll() {
 		}
 	}
 	for addr := 0; addr+8 <= len(m.Mem); addr += 8 {
-		bits := leU64(m.Mem[addr:])
+		bits := binary.LittleEndian.Uint64(m.Mem[addr:])
 		if nb, ok := vm.demoteBits(bits); ok {
-			putLeU64(m.Mem[addr:], nb)
+			binary.LittleEndian.PutUint64(m.Mem[addr:], nb)
 		}
 	}
-}
-
-func leU64(b []byte) uint64 {
-	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
-		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
-}
-
-func putLeU64(b []byte, v uint64) {
-	b[0] = byte(v)
-	b[1] = byte(v >> 8)
-	b[2] = byte(v >> 16)
-	b[3] = byte(v >> 24)
-	b[4] = byte(v >> 32)
-	b[5] = byte(v >> 40)
-	b[6] = byte(v >> 48)
-	b[7] = byte(v >> 56)
 }

@@ -113,7 +113,7 @@ arr: .zero 32
 	var out bytes.Buffer
 	m, _ := machine.New(prog, &out)
 	vm := Attach(m, Config{System: arith.Vanilla{}})
-	m.CorrectnessSites = map[uint64]int64{sink: 1}
+	m.SetCorrectnessSite(sink, 1)
 	if err := m.Run(0); err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ mask: .f64 -0.0, -0.0
 	var out bytes.Buffer
 	m, _ := machine.New(prog, &out)
 	vm := Attach(m, Config{System: arith.Vanilla{}})
-	m.CorrectnessSites = map[uint64]int64{site: 1}
+	m.SetCorrectnessSite(site, 1)
 	if err := m.Run(0); err != nil {
 		t.Fatal(err)
 	}

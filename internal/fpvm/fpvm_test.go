@@ -280,7 +280,7 @@ slot: .zero 8
 	var out2 bytes.Buffer
 	m2, _ := machine.New(prog, &out2)
 	vm2 := Attach(m2, Config{System: arith.Vanilla{}})
-	m2.CorrectnessSites = map[uint64]int64{sink: 1}
+	m2.SetCorrectnessSite(sink, 1)
 	if err := m2.Run(0); err != nil {
 		t.Fatal(err)
 	}

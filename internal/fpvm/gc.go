@@ -1,6 +1,7 @@
 package fpvm
 
 import (
+	"encoding/binary"
 	"time"
 
 	"fpvm/internal/nanbox"
@@ -47,7 +48,7 @@ func (vm *VM) RunGC() {
 	}
 	mem := m.Mem
 	for off := 0; off+8 <= len(mem); off += 8 {
-		probe(leU64(mem[off:]))
+		probe(binary.LittleEndian.Uint64(mem[off:]))
 		scanned++
 	}
 

@@ -17,35 +17,26 @@ import (
 // trap. When either fails, the handler calls directly into FPVM's
 // decode/bind/emulate internals, still avoiding trap delivery.
 func (vm *VM) EnablePatchMode(addrs []uint64) {
-	if vm.M.Patches == nil {
-		vm.M.Patches = make(map[uint64]machine.PatchHandler)
-	}
 	for _, a := range addrs {
-		vm.M.Patches[a] = vm.patchSiteHandler
+		vm.M.SetPatch(a, vm.patchSiteHandler)
 	}
 }
 
 // PatchAllFPArith installs patches on every FP arithmetic site in the
 // loaded program, the full trap-and-patch configuration.
 func (vm *VM) PatchAllFPArith() {
-	prog := vm.M.Prog
 	var addrs []uint64
-	for addr := uint64(0); addr < uint64(len(prog.Code)); {
-		in, ok := vm.M.InstAt(addr)
-		if !ok {
-			break
-		}
+	for _, in := range vm.M.Insts() {
 		if in.Op.IsFPArith() {
-			addrs = append(addrs, addr)
+			addrs = append(addrs, in.Addr)
 		}
-		addr += uint64(in.Len)
 	}
 	vm.EnablePatchMode(addrs)
 }
 
 // patchSiteHandler is the generated custom handler for a patched site.
 func (vm *VM) patchSiteHandler(f *machine.TrapFrame) (bool, error) {
-	d := vm.decode(f.Inst)
+	d := vm.decode(f.Idx, f.Inst)
 
 	// Precondition: no NaN-boxed (or NaN) inputs.
 	boxed := false
@@ -89,7 +80,7 @@ func (vm *VM) tryNative(f *machine.TrapFrame, d *decodedInst) (bool, error) {
 	van := arith.Vanilla{}
 	var results [2]uint64
 	for lane := 0; lane < d.lanes; lane++ {
-		args := make([]arith.Value, len(d.srcs))
+		args := vm.scratch[:len(d.srcs)]
 		for i, s := range d.srcs {
 			bits, err := f.M.ReadOperandFP(s, lane)
 			if err != nil {

@@ -358,6 +358,21 @@ func NumOperands(op Op) int {
 	}
 }
 
+// EffAddr computes the effective address of a memory operand against an
+// integer register file: base + index*scale + displacement. It is THE
+// addressing computation — the machine's executor and FPVM's operand binder
+// both delegate here, so the two can never silently diverge.
+func EffAddr(r *[NumIntRegs]int64, o Operand) uint64 {
+	var addr int64
+	if o.Base != RegNone {
+		addr = r[o.Base]
+	}
+	if o.Index != RegNone {
+		addr += r[o.Index] * int64(o.Scale)
+	}
+	return uint64(addr + int64(o.Disp))
+}
+
 // IntReadMemOperands returns the memory operands an integer instruction
 // reads (excluding pure writes). Shared by the static analyzer (sink
 // detection, §4.2) and the machine's trap-on-NaN-load mode (§6.2).

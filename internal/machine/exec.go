@@ -8,16 +8,11 @@ import (
 	"fpvm/internal/isa"
 )
 
-// effAddr computes the effective address of a memory operand.
+// effAddr computes the effective address of a memory operand. The shared
+// isa.EffAddr is the single definition of addressing; FPVM's binder uses the
+// same helper.
 func (m *Machine) effAddr(o isa.Operand) uint64 {
-	var addr int64
-	if o.Base != isa.RegNone {
-		addr = m.R[o.Base]
-	}
-	if o.Index != isa.RegNone {
-		addr += m.R[o.Index] * int64(o.Scale)
-	}
-	return uint64(addr + int64(o.Disp))
+	return isa.EffAddr(&m.R, o)
 }
 
 // readInt reads an integer operand (register, immediate, or memory).
@@ -76,18 +71,17 @@ func (m *Machine) writeFPBits(o isa.Operand, lane int, bits uint64) error {
 
 func (m *Machine) advance(in isa.Inst) { m.RIP = in.Addr + uint64(in.Len) }
 
-// exec executes (or traps) one decoded instruction.
-func (m *Machine) exec(in isa.Inst) error {
+// exec executes (or traps) one decoded instruction; slot is the per-index
+// side-table entry of in.
+func (m *Machine) exec(in isa.Inst, slot *instSlot) error {
 	// Correctness-trap sites installed by the static patcher fire before
 	// the instruction executes; the handler demotes NaN-boxes and the
 	// original instruction is then re-executed natively (§4.2).
-	if m.CorrectnessSites != nil {
-		if site, ok := m.CorrectnessSites[in.Addr]; ok && m.CorrectnessTrap != nil {
-			m.Stats.CorrectTraps++
-			f := &TrapFrame{M: m, Cause: CauseCorrectness, Inst: in, Site: site}
-			if err := m.deliverTrap(m.CorrectnessTrap, m.CorrectnessDelivery, f); err != nil {
-				return err
-			}
+	if slot.hasSite && m.CorrectnessTrap != nil {
+		m.Stats.CorrectTraps++
+		f := &TrapFrame{M: m, Cause: CauseCorrectness, Inst: in, Idx: m.curIdx, Site: slot.site}
+		if err := m.deliverTrap(m.CorrectnessTrap, m.CorrectnessDelivery, f); err != nil {
+			return err
 		}
 	}
 
@@ -104,7 +98,7 @@ func (m *Machine) exec(in isa.Inst) error {
 			}
 			if isNaNPattern(bits) {
 				m.Stats.CorrectTraps++
-				f := &TrapFrame{M: m, Cause: CauseCorrectness, Inst: in, Site: -2}
+				f := &TrapFrame{M: m, Cause: CauseCorrectness, Inst: in, Idx: m.curIdx, Site: -2}
 				if err := m.deliverTrap(m.CorrectnessTrap, m.CorrectnessDelivery, f); err != nil {
 					return err
 				}
@@ -302,7 +296,7 @@ func (m *Machine) exec(in isa.Inst) error {
 	case isa.OpCallext:
 		if m.ExternalTrap != nil {
 			m.Stats.ExtCallTraps++
-			f := &TrapFrame{M: m, Cause: CauseExternalCall, Inst: in, Site: in.Ops[0].Imm}
+			f := &TrapFrame{M: m, Cause: CauseExternalCall, Inst: in, Idx: m.curIdx, Site: in.Ops[0].Imm}
 			if err := m.deliverTrap(m.ExternalTrap, m.CorrectnessDelivery, f); err != nil {
 				return err
 			}
@@ -311,7 +305,7 @@ func (m *Machine) exec(in isa.Inst) error {
 	case isa.OpTrapc:
 		if m.CorrectnessTrap != nil {
 			m.Stats.CorrectTraps++
-			f := &TrapFrame{M: m, Cause: CauseCorrectness, Inst: in, Site: in.Ops[0].Imm}
+			f := &TrapFrame{M: m, Cause: CauseCorrectness, Inst: in, Idx: m.curIdx, Site: in.Ops[0].Imm}
 			if err := m.deliverTrap(m.CorrectnessTrap, m.CorrectnessDelivery, f); err != nil {
 				return err
 			}

@@ -140,7 +140,7 @@ func (m *Machine) execFPArith(in isa.Inst) error {
 		if m.FPTrap == nil {
 			return m.fault("unhandled FP exception %v at %v", unmasked, in)
 		}
-		f := &TrapFrame{M: m, Cause: CauseFPException, Inst: in, Flags: unmasked}
+		f := &TrapFrame{M: m, Cause: CauseFPException, Inst: in, Idx: m.curIdx, Flags: unmasked}
 		if err := m.deliverTrap(m.FPTrap, m.Delivery, f); err != nil {
 			return err
 		}

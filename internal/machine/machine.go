@@ -8,6 +8,7 @@
 package machine
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -58,6 +59,7 @@ type TrapFrame struct {
 	M     *Machine
 	Cause TrapCause
 	Inst  isa.Inst  // the faulting/trapping instruction
+	Idx   int       // dense instruction index of Inst (see Machine.InstIndex)
 	Flags fpu.Flags // MXCSR condition flags observed (FP exceptions)
 	Site  int64     // correctness-trap site id (trapc immediate)
 }
@@ -83,6 +85,16 @@ type Stats struct {
 	Trap           trap.Stats        // delivery cost accounting
 }
 
+// instSlot is the per-instruction side table of the dense pipeline: one
+// bounds-checked array access at dispatch replaces the seed's three map
+// probes (decoded code, patch sites, correctness sites) per retired
+// instruction.
+type instSlot struct {
+	patch   PatchHandler // trap-and-patch handler, nil when unpatched
+	site    int64        // correctness-trap site id
+	hasSite bool         // whether a correctness site is installed
+}
+
 // Machine is a single-core simulated CPU with flat memory.
 type Machine struct {
 	// Architectural state.
@@ -93,19 +105,19 @@ type Machine struct {
 	MXCSR fpu.MXCSR
 	Mem   []byte
 
-	// Program image.
+	// Program image: a dense predecoded instruction stream (the "silicon"
+	// decoder), an addr→index table for control flow, and the per-index
+	// side table carrying patch and correctness-site slots.
 	Prog    *isa.Program
-	decoded map[uint64]isa.Inst // predecoded code (the "silicon" decoder)
+	insts   []isa.Inst
+	addrIdx []int32 // code address → index into insts; -1 off-boundary
+	slots   []instSlot
+	curIdx  int // index of the instruction currently being dispatched
 
 	// Virtualization hooks.
-	FPTrap          TrapHandler             // SIGFPE-analog handler (FPVM)
-	CorrectnessTrap TrapHandler             // trapc handler (FPVM demotion)
-	ExternalTrap    TrapHandler             // callext interposition
-	Patches         map[uint64]PatchHandler // trap-and-patch sites
-	// CorrectnessSites maps instruction addresses to site ids; the static
-	// patcher (internal/patch) installs these and the machine delivers a
-	// correctness trap before executing each such instruction.
-	CorrectnessSites map[uint64]int64
+	FPTrap          TrapHandler // SIGFPE-analog handler (FPVM)
+	CorrectnessTrap TrapHandler // trapc handler (FPVM demotion)
+	ExternalTrap    TrapHandler // callext interposition
 	// TrapOnNaNLoad enables the §6.2 hardware extension: an integer
 	// instruction about to read a memory word whose bit pattern is a NaN
 	// raises a correctness trap first, making the static analysis
@@ -144,22 +156,31 @@ func New(prog *isa.Program, out io.Writer) (*Machine, error) {
 	return m, nil
 }
 
-// Load installs a program image: code is predecoded, data copied to its
-// base, SP set to the top of memory, RIP to the entry point.
+// Load installs a program image: code is predecoded once into the dense
+// instruction stream with its addr→index table and side-table slots, data
+// copied to its base, SP set to the top of memory, RIP to the entry point.
+// Any previously installed patch or correctness-site slots are discarded
+// with the old image.
 func (m *Machine) Load(prog *isa.Program) error {
 	if prog == nil {
 		return errors.New("machine: nil program")
 	}
 	m.Prog = prog
-	m.decoded = make(map[uint64]isa.Inst)
+	m.insts = m.insts[:0]
+	m.addrIdx = make([]int32, len(prog.Code))
+	for i := range m.addrIdx {
+		m.addrIdx[i] = -1
+	}
 	for addr := uint64(0); addr < uint64(len(prog.Code)); {
 		in, err := isa.Decode(prog.Code, addr)
 		if err != nil {
 			return fmt.Errorf("machine: predecode: %w", err)
 		}
-		m.decoded[addr] = in
+		m.addrIdx[addr] = int32(len(m.insts))
+		m.insts = append(m.insts, in)
 		addr += uint64(in.Len)
 	}
+	m.slots = make([]instSlot, len(m.insts))
 	base := prog.DataBase
 	if base == 0 {
 		base = DefaultDataBase
@@ -197,9 +218,7 @@ func (m *Machine) ReadU64(addr uint64) (uint64, error) {
 	if addr >= uint64(len(m.Mem)) || uint64(len(m.Mem))-addr < 8 {
 		return 0, m.fault("load out of bounds: %#x", addr)
 	}
-	b := m.Mem[addr:]
-	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
-		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, nil
+	return binary.LittleEndian.Uint64(m.Mem[addr:]), nil
 }
 
 // WriteU64 stores 8 bytes little-endian at addr.
@@ -207,15 +226,7 @@ func (m *Machine) WriteU64(addr, v uint64) error {
 	if addr >= uint64(len(m.Mem)) || uint64(len(m.Mem))-addr < 8 {
 		return m.fault("store out of bounds: %#x", addr)
 	}
-	b := m.Mem[addr:]
-	b[0] = byte(v)
-	b[1] = byte(v >> 8)
-	b[2] = byte(v >> 16)
-	b[3] = byte(v >> 24)
-	b[4] = byte(v >> 32)
-	b[5] = byte(v >> 40)
-	b[6] = byte(v >> 48)
-	b[7] = byte(v >> 56)
+	binary.LittleEndian.PutUint64(m.Mem[addr:], v)
 	return nil
 }
 
@@ -233,10 +244,74 @@ func (m *Machine) Run(maxInstructions uint64) error {
 	return nil
 }
 
+// InstIndex returns the dense-stream index of the instruction starting at
+// addr, or false when addr is not an instruction boundary.
+func (m *Machine) InstIndex(addr uint64) (int, bool) {
+	if addr >= uint64(len(m.addrIdx)) {
+		return 0, false
+	}
+	i := m.addrIdx[addr]
+	if i < 0 {
+		return 0, false
+	}
+	return int(i), true
+}
+
 // InstAt returns the predecoded instruction at addr.
 func (m *Machine) InstAt(addr uint64) (isa.Inst, bool) {
-	in, ok := m.decoded[addr]
-	return in, ok
+	i, ok := m.InstIndex(addr)
+	if !ok {
+		return isa.Inst{}, false
+	}
+	return m.insts[i], true
+}
+
+// Insts exposes the dense predecoded instruction stream in code order. The
+// returned slice is the machine's own and must not be mutated.
+func (m *Machine) Insts() []isa.Inst { return m.insts }
+
+// SetPatch installs (or, with a nil handler, removes) a trap-and-patch site
+// at addr. It reports false when addr is not an instruction boundary.
+func (m *Machine) SetPatch(addr uint64, h PatchHandler) bool {
+	i, ok := m.InstIndex(addr)
+	if !ok {
+		return false
+	}
+	m.slots[i].patch = h
+	return true
+}
+
+// SetCorrectnessSite installs a correctness-trap site at addr; the machine
+// delivers a correctness trap before each execution of that instruction. It
+// reports false when addr is not an instruction boundary.
+func (m *Machine) SetCorrectnessSite(addr uint64, site int64) bool {
+	i, ok := m.InstIndex(addr)
+	if !ok {
+		return false
+	}
+	m.slots[i].site = site
+	m.slots[i].hasSite = true
+	return true
+}
+
+// CorrectnessSite returns the site id installed at addr, if any.
+func (m *Machine) CorrectnessSite(addr uint64) (int64, bool) {
+	i, ok := m.InstIndex(addr)
+	if !ok || !m.slots[i].hasSite {
+		return 0, false
+	}
+	return m.slots[i].site, true
+}
+
+// CorrectnessSiteCount returns how many correctness sites are installed.
+func (m *Machine) CorrectnessSiteCount() int {
+	n := 0
+	for i := range m.slots {
+		if m.slots[i].hasSite {
+			n++
+		}
+	}
+	return n
 }
 
 // deliverTrap charges delivery costs and invokes a handler.
@@ -248,33 +323,35 @@ func (m *Machine) deliverTrap(h TrapHandler, k trap.Kind, f *TrapFrame) error {
 	return err
 }
 
-// Step executes a single instruction (or delivers a trap for it).
+// Step executes a single instruction (or delivers a trap for it). Fetch is
+// one bounds-checked table access into the dense stream; the patch and
+// correctness side tables ride in the same per-index slot.
 func (m *Machine) Step() error {
 	if m.halted {
 		return nil
 	}
-	in, ok := m.decoded[m.RIP]
-	if !ok {
+	if m.RIP >= uint64(len(m.addrIdx)) || m.addrIdx[m.RIP] < 0 {
 		return m.fault("RIP not at an instruction boundary")
 	}
+	idx := int(m.addrIdx[m.RIP])
+	in := m.insts[idx]
+	m.curIdx = idx
 
 	// Trap-and-patch: a patched site bypasses fetch/execute and runs the
 	// patch's handler after a cheap inline check (§3.2).
-	if m.Patches != nil {
-		if ph, ok := m.Patches[m.RIP]; ok {
-			m.Cycles += m.Cost.PatchCheck
-			m.Stats.PatchInvokes++
-			handled, err := ph(&TrapFrame{M: m, Cause: CauseFPException, Inst: in})
-			if err != nil {
-				return err
-			}
-			if handled {
-				m.Stats.Instructions++
-				return nil
-			}
-			// Fall through: execute natively below.
+	if ph := m.slots[idx].patch; ph != nil {
+		m.Cycles += m.Cost.PatchCheck
+		m.Stats.PatchInvokes++
+		handled, err := ph(&TrapFrame{M: m, Cause: CauseFPException, Inst: in, Idx: idx})
+		if err != nil {
+			return err
 		}
+		if handled {
+			m.Stats.Instructions++
+			return nil
+		}
+		// Fall through: execute natively below.
 	}
 
-	return m.exec(in)
+	return m.exec(in, &m.slots[idx])
 }

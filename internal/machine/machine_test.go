@@ -351,7 +351,7 @@ func TestCorrectnessSites(t *testing.T) {
 	`)
 	m, _ := New(prog, &bytes.Buffer{})
 	// Find the mov instruction address (entry).
-	m.CorrectnessSites = map[uint64]int64{0: 7}
+	m.SetCorrectnessSite(0, 7)
 	var seen []int64
 	m.CorrectnessTrap = func(f *TrapFrame) error {
 		seen = append(seen, f.Site)
@@ -388,15 +388,13 @@ func TestTrapAndPatchMode(t *testing.T) {
 		}
 	}
 	invoked := 0
-	m.Patches = map[uint64]PatchHandler{
-		divAddr: func(f *TrapFrame) (bool, error) {
-			invoked++
-			// Emulate: write 1/3 and skip.
-			f.M.F[0][0] = math.Float64bits(1.0 / 3.0)
-			f.M.RIP = f.Inst.Addr + uint64(f.Inst.Len)
-			return true, nil
-		},
-	}
+	m.SetPatch(divAddr, func(f *TrapFrame) (bool, error) {
+		invoked++
+		// Emulate: write 1/3 and skip.
+		f.M.F[0][0] = math.Float64bits(1.0 / 3.0)
+		f.M.RIP = f.Inst.Addr + uint64(f.Inst.Len)
+		return true, nil
+	})
 	if err := m.Run(0); err != nil {
 		t.Fatal(err)
 	}

@@ -43,9 +43,12 @@ func Apply(prog *isa.Program, rep *vsa.Report) (*Patched, error) {
 	return p, nil
 }
 
-// Install loads the correctness sites into a machine running the program.
+// Install loads the correctness sites into a machine running the program,
+// populating the machine's per-instruction side-table slots.
 func (p *Patched) Install(m *machine.Machine) {
-	m.CorrectnessSites = p.Sites
+	for addr, site := range p.Sites {
+		m.SetCorrectnessSite(addr, site)
+	}
 }
 
 // Summary writes a human-readable report of what was patched.

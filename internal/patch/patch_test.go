@@ -43,8 +43,8 @@ func TestApplyAndInstall(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.Install(m)
-	if len(m.CorrectnessSites) != 1 {
-		t.Fatal("Install did not set CorrectnessSites")
+	if m.CorrectnessSiteCount() != 1 {
+		t.Fatal("Install did not set correctness sites")
 	}
 }
 
