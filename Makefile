@@ -1,9 +1,10 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race oracle fuzz-smoke bench
 
 # ci mirrors .github/workflows/ci.yml exactly.
-ci: fmt vet build test race
+ci: fmt vet build test race oracle fuzz-smoke
 
 fmt:
 	@files=$$(gofmt -l .); \
@@ -21,6 +22,17 @@ test:
 # The parallel experiment harness under the race detector.
 race:
 	$(GO) test -race ./internal/experiments
+
+# Differential oracle over every workload and example: native vs
+# FPVM+vanilla must be bit-identical, with MPFR and posit shadow reports.
+oracle:
+	$(GO) run ./cmd/fpvm-run -oracle
+
+# Short coverage-guided fuzzing passes (beyond the checked-in seed corpus,
+# which already runs as part of `test`).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDifferentialOracle$$' -fuzztime $(FUZZTIME) ./internal/oracle
+	$(GO) test -run '^$$' -fuzz '^FuzzRawExecution$$' -fuzztime $(FUZZTIME) ./internal/machine
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

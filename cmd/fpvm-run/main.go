@@ -8,6 +8,8 @@
 //	fpvm-run -workload "Lorenz Attractor" -arith mpfr -prec 200
 //	fpvm-run -bin prog.fpvm -arith posit32
 //	fpvm-run -asm prog.s -arith vanilla -stats
+//	fpvm-run -oracle                          # differential oracle, all targets
+//	fpvm-run -oracle -workload "Three-Body"   # oracle on one workload
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"fpvm/internal/fpvm"
 	"fpvm/internal/isa"
 	"fpvm/internal/machine"
+	"fpvm/internal/oracle"
 	"fpvm/internal/patch"
 	"fpvm/internal/posit"
 	"fpvm/internal/trap"
@@ -39,6 +42,7 @@ func main() {
 		list      = flag.Bool("list", false, "list available workloads")
 		maxInst   = flag.Uint64("max-inst", 0, "instruction budget (0 = unlimited)")
 		spyMode   = flag.Bool("spy", false, "FPSpy mode: record FP events without changing results")
+		oracleRun = flag.Bool("oracle", false, "differential oracle: run native, FPVM+vanilla (must be bit-identical), and high-precision shadows, and report divergence")
 	)
 	flag.Parse()
 
@@ -46,6 +50,11 @@ func main() {
 		for _, n := range workloads.Names() {
 			fmt.Println(n)
 		}
+		return
+	}
+
+	if *oracleRun {
+		runOracle(*workload, *asmFile, *prec, *maxInst, *noPatch)
 		return
 	}
 
@@ -120,6 +129,58 @@ func main() {
 			fmt.Fprintf(os.Stderr, "trap delivery: %d cycles over %d traps\n",
 				m.Stats.Trap.TotalCycles(), m.Stats.Trap.Delivered)
 		}
+	}
+}
+
+// runOracle executes the differential oracle — over one named target when
+// -workload or -asm is given, else over every workload and example — and
+// exits non-zero if any virtualized-vanilla run is not bit-identical to
+// native execution.
+func runOracle(workload, asmFile string, prec uint, maxInst uint64, noPatch bool) {
+	var targets []oracle.Target
+	switch {
+	case workload != "":
+		t, err := oracle.Lookup(workload)
+		if err != nil {
+			fatal(err)
+		}
+		targets = []oracle.Target{t}
+	case asmFile != "":
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			fatal(err)
+		}
+		targets = []oracle.Target{{
+			Name:  asmFile,
+			Build: func() (*isa.Program, error) { return asm.Assemble(string(src)) },
+		}}
+	default:
+		targets = oracle.AllTargets()
+	}
+
+	opts := oracle.Options{
+		Systems: []arith.System{arith.NewMPFR(prec), arith.NewPosit(posit.Posit32)},
+		MaxInst: maxInst,
+		NoPatch: noPatch,
+	}
+	failed := 0
+	for i, t := range targets {
+		rep, err := oracle.Run(t, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		rep.Write(os.Stdout)
+		if !rep.Ok() {
+			failed++
+		}
+	}
+	fmt.Printf("\noracle: %d/%d targets bit-identical under virtualized vanilla\n",
+		len(targets)-failed, len(targets))
+	if failed > 0 {
+		os.Exit(1)
 	}
 }
 

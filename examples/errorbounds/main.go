@@ -14,122 +14,17 @@ import (
 
 	"fpvm/internal/arith"
 	"fpvm/internal/asm"
+	"fpvm/internal/examples"
 	"fpvm/internal/fpvm"
 	"fpvm/internal/machine"
 )
 
-// kahanDemo compares naive and compensated (Kahan) summation of 10000
-// copies of 0.1 — a classic: same mathematical task, very different error.
-const kahanDemo = `
-.data
-n: .i64 10000
-.text
-	; naive: acc += 0.1, n times
-	movsd f0, =0.0
-	mov r0, $0
-naive:
-	addsd f0, =0.1
-	inc r0
-	cmp r0, [n]
-	jl naive
-	outf f0
+// kahanDemo and lorenzShort live in the shared example registry
+// (internal/examples) so the differential oracle and golden-trace tests
+// cover exactly the programs this demo runs.
+const kahanDemo = examples.Kahan
 
-	; Kahan: compensated summation of the same series
-	movsd f1, =0.0     ; sum
-	movsd f2, =0.0     ; compensation
-	mov r0, $0
-kahan:
-	movsd f3, =0.1
-	subsd f3, f2       ; y = x - c
-	movsd f4, f1
-	addsd f4, f3       ; t = sum + y
-	movsd f5, f4
-	subsd f5, f1       ; (t - sum)
-	subsd f5, f3       ; c = (t - sum) - y
-	movsd f2, f5
-	movsd f1, f4
-	inc r0
-	cmp r0, [n]
-	jl kahan
-	outf f1
-	halt
-`
-
-// lorenzShort integrates Lorenz briefly: chaos inflates intervals fast.
-const lorenzShort = `
-.data
-x: .f64 1.0
-y: .f64 1.0
-z: .f64 1.0
-.text
-	mov r0, $0
-step:
-	movsd f0, [x]
-	movsd f1, [y]
-	movsd f2, [z]
-	movsd f3, f1
-	subsd f3, f0
-	mulsd f3, =10.0
-	movsd f4, =28.0
-	subsd f4, f2
-	mulsd f4, f0
-	subsd f4, f1
-	movsd f5, f0
-	mulsd f5, f1
-	movsd f6, f2
-	mulsd f6, =2.66666666666666666
-	subsd f5, f6
-	mulsd f3, =0.01
-	addsd f0, f3
-	mulsd f4, =0.01
-	addsd f1, f4
-	mulsd f5, =0.01
-	addsd f2, f5
-	movsd [x], f0
-	movsd [y], f1
-	movsd [z], f2
-	inc r0
-	cmp r0, $30
-	jl step
-	outf f0
-	mov r1, $0
-more:
-	; another 30 steps, then print again (watch the width grow)
-	mov r0, $0
-inner:
-	movsd f0, [x]
-	movsd f1, [y]
-	movsd f2, [z]
-	movsd f3, f1
-	subsd f3, f0
-	mulsd f3, =10.0
-	movsd f4, =28.0
-	subsd f4, f2
-	mulsd f4, f0
-	subsd f4, f1
-	movsd f5, f0
-	mulsd f5, f1
-	movsd f6, f2
-	mulsd f6, =2.66666666666666666
-	subsd f5, f6
-	mulsd f3, =0.01
-	addsd f0, f3
-	mulsd f4, =0.01
-	addsd f1, f4
-	mulsd f5, =0.01
-	addsd f2, f5
-	movsd [x], f0
-	movsd [y], f1
-	movsd [z], f2
-	inc r0
-	cmp r0, $30
-	jl inner
-	outf f0
-	inc r1
-	cmp r1, $3
-	jl more
-	halt
-`
+const lorenzShort = examples.LorenzShort
 
 func runInterval(src string) ([]string, error) {
 	prog, err := asm.Assemble(src)

@@ -11,6 +11,7 @@ import (
 
 	"fpvm/internal/arith"
 	"fpvm/internal/asm"
+	"fpvm/internal/examples"
 	"fpvm/internal/fpvm"
 	"fpvm/internal/machine"
 	"fpvm/internal/patch"
@@ -18,26 +19,9 @@ import (
 )
 
 // The program sums 1/k for k = 1..100000 — the classic harmonic series,
-// whose IEEE double result carries visible rounding error.
-const src = `
-.data
-sum: .f64 0.0
-.text
-	mov r0, $1
-loop:
-	cvtsi2sd f0, r0
-	movsd f1, =1.0
-	divsd f1, f0
-	movsd f2, [sum]
-	addsd f2, f1
-	movsd [sum], f2
-	inc r0
-	cmp r0, $100000
-	jle loop
-	movsd f3, [sum]
-	outf f3
-	halt
-`
+// whose IEEE double result carries visible rounding error. The source lives
+// in the shared example registry so the differential oracle covers it.
+const src = examples.Harmonic
 
 func run(sys arith.System) (string, *fpvm.VM, error) {
 	prog, err := asm.Assemble(src)

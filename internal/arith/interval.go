@@ -189,6 +189,17 @@ func (s IntervalSystem) Apply(op Op, args ...Value) Value {
 		return outward(lo, hi)
 	case OpPow:
 		y := a(1)
+		if x := a(0); y.Lo == y.Hi {
+			// IEEE special cases the log/exp route cannot represent:
+			// pow(x, 0) = 1 for every x, and integer exponents of bases
+			// that may be zero or negative (log would yield NaN).
+			if y.Lo == 0 {
+				return point(1)
+			}
+			if x.Lo == x.Hi && y.Lo == math.Trunc(y.Lo) {
+				return outward(math.Pow(x.Lo, y.Lo), math.Pow(x.Lo, y.Lo))
+			}
+		}
 		lx := s.Apply(OpLog, args[0])
 		prod := s.Apply(OpMul, lx, Value(y))
 		return s.Apply(OpExp, prod)

@@ -18,76 +18,76 @@ var _ System = Vanilla{}
 // Name returns "vanilla".
 func (Vanilla) Name() string { return "vanilla" }
 
-// Apply evaluates op in IEEE binary64.
+// Apply evaluates op in IEEE binary64 by dispatching to the same software
+// FPU kernels the native machine executes. Going through fpu (rather than
+// bare Go expressions) makes the §5.2 bit-exactness guarantee hold by
+// construction, NaN payloads included: the differential oracle caught Go's
+// math package producing a different quiet-NaN payload (0x7FF8…001) than
+// the x64 indefinite QNaN the machine propagates.
 func (Vanilla) Apply(op Op, args ...Value) Value {
 	a := func(i int) float64 { return args[i].(float64) }
+	var r fpu.Result
 	switch op {
 	case OpAdd:
-		return a(0) + a(1)
+		r = fpu.Add(a(0), a(1))
 	case OpSub:
-		return a(0) - a(1)
+		r = fpu.Sub(a(0), a(1))
 	case OpMul:
-		return a(0) * a(1)
+		r = fpu.Mul(a(0), a(1))
 	case OpDiv:
-		return a(0) / a(1)
+		r = fpu.Div(a(0), a(1))
 	case OpSqrt:
-		return math.Sqrt(a(0))
+		r = fpu.Sqrt(a(0))
 	case OpFMA:
-		return math.FMA(a(0), a(1), a(2))
+		r = fpu.FMAdd(a(0), a(1), a(2))
 	case OpMin:
-		// x64 semantics: NaN or tie yields the second operand.
-		if a(0) < a(1) {
-			return a(0)
-		}
-		return a(1)
+		r = fpu.Min(a(0), a(1))
 	case OpMax:
-		if a(0) > a(1) {
-			return a(0)
-		}
-		return a(1)
+		r = fpu.Max(a(0), a(1))
 	case OpAbs:
-		return math.Abs(a(0))
+		r = fpu.Fabs(a(0))
 	case OpNeg:
-		return -a(0)
+		r = fpu.Fneg(a(0))
 	case OpSin:
-		return math.Sin(a(0))
+		r = fpu.Fsin(a(0))
 	case OpCos:
-		return math.Cos(a(0))
+		r = fpu.Fcos(a(0))
 	case OpTan:
-		return math.Tan(a(0))
+		r = fpu.Ftan(a(0))
 	case OpAsin:
-		return math.Asin(a(0))
+		r = fpu.Fasin(a(0))
 	case OpAcos:
-		return math.Acos(a(0))
+		r = fpu.Facos(a(0))
 	case OpAtan:
-		return math.Atan(a(0))
+		r = fpu.Fatan(a(0))
 	case OpAtan2:
-		return math.Atan2(a(0), a(1))
+		r = fpu.Fatan2(a(0), a(1))
 	case OpExp:
-		return math.Exp(a(0))
+		r = fpu.Fexp(a(0))
 	case OpLog:
-		return math.Log(a(0))
+		r = fpu.Flog(a(0))
 	case OpLog2:
-		return math.Log2(a(0))
+		r = fpu.Flog2(a(0))
 	case OpLog10:
-		return math.Log10(a(0))
+		r = fpu.Flog10(a(0))
 	case OpPow:
-		return math.Pow(a(0), a(1))
+		r = fpu.Fpow(a(0), a(1))
 	case OpMod:
-		return math.Mod(a(0), a(1))
+		r = fpu.Fmod(a(0), a(1))
 	case OpHypot:
-		return math.Hypot(a(0), a(1))
+		r = fpu.Fhypot(a(0), a(1))
 	case OpFloor:
-		return math.Floor(a(0))
+		r = fpu.Ffloor(a(0))
 	case OpCeil:
-		return math.Ceil(a(0))
+		r = fpu.Fceil(a(0))
 	case OpRound:
-		return math.Round(a(0))
+		r = fpu.Fround(a(0))
 	case OpTrunc:
-		return math.Trunc(a(0))
+		r = fpu.Ftrunc(a(0))
 	default:
 		panic("vanilla: bad op " + op.String())
 	}
+	return r.Value
 }
 
 // FromFloat64 promotes an IEEE double (identity for Vanilla).

@@ -1,0 +1,238 @@
+// Package examples is the registry of the repository's example programs:
+// the assembly sources that the demo binaries under examples/ execute. The
+// sources live here, rather than inline in each main.go, so the
+// differential correctness oracle (internal/oracle) and the golden-trace
+// tests can run exactly the binaries the examples show off — every program
+// a user can see is also a program the correctness gate covers.
+package examples
+
+import (
+	"fmt"
+	"sort"
+
+	"fpvm/internal/asm"
+	"fpvm/internal/isa"
+	"fpvm/internal/workloads"
+)
+
+// Program is one example program.
+type Program struct {
+	// Name is "example-dir/variant", e.g. "quickstart/harmonic".
+	Name string
+	// Description says what the program computes.
+	Description string
+	// Build assembles the program.
+	Build func() (*isa.Program, error)
+}
+
+// Harmonic is the quickstart example's program: it sums 1/k for
+// k = 1..100000 — the classic harmonic series, whose IEEE double result
+// carries visible rounding error.
+const Harmonic = `
+.data
+sum: .f64 0.0
+.text
+	mov r0, $1
+loop:
+	cvtsi2sd f0, r0
+	movsd f1, =1.0
+	divsd f1, f0
+	movsd f2, [sum]
+	addsd f2, f1
+	movsd [sum], f2
+	inc r0
+	cmp r0, $100000
+	jle loop
+	movsd f3, [sum]
+	outf f3
+	halt
+`
+
+// Kahan is the errorbounds example's first program: naive and compensated
+// (Kahan) summation of 10000 copies of 0.1 — same mathematical task, very
+// different error behavior.
+const Kahan = `
+.data
+n: .i64 10000
+.text
+	; naive: acc += 0.1, n times
+	movsd f0, =0.0
+	mov r0, $0
+naive:
+	addsd f0, =0.1
+	inc r0
+	cmp r0, [n]
+	jl naive
+	outf f0
+
+	; Kahan: compensated summation of the same series
+	movsd f1, =0.0     ; sum
+	movsd f2, =0.0     ; compensation
+	mov r0, $0
+kahan:
+	movsd f3, =0.1
+	subsd f3, f2       ; y = x - c
+	movsd f4, f1
+	addsd f4, f3       ; t = sum + y
+	movsd f5, f4
+	subsd f5, f1       ; (t - sum)
+	subsd f5, f3       ; c = (t - sum) - y
+	movsd f2, f5
+	movsd f1, f4
+	inc r0
+	cmp r0, [n]
+	jl kahan
+	outf f1
+	halt
+`
+
+// LorenzShort is the errorbounds example's second program: a brief Lorenz
+// integration printed in 30-step bursts — chaos inflates interval widths
+// fast.
+const LorenzShort = `
+.data
+x: .f64 1.0
+y: .f64 1.0
+z: .f64 1.0
+.text
+	mov r0, $0
+step:
+	movsd f0, [x]
+	movsd f1, [y]
+	movsd f2, [z]
+	movsd f3, f1
+	subsd f3, f0
+	mulsd f3, =10.0
+	movsd f4, =28.0
+	subsd f4, f2
+	mulsd f4, f0
+	subsd f4, f1
+	movsd f5, f0
+	mulsd f5, f1
+	movsd f6, f2
+	mulsd f6, =2.66666666666666666
+	subsd f5, f6
+	mulsd f3, =0.01
+	addsd f0, f3
+	mulsd f4, =0.01
+	addsd f1, f4
+	mulsd f5, =0.01
+	addsd f2, f5
+	movsd [x], f0
+	movsd [y], f1
+	movsd [z], f2
+	inc r0
+	cmp r0, $30
+	jl step
+	outf f0
+	mov r1, $0
+more:
+	; another 30 steps, then print again (watch the width grow)
+	mov r0, $0
+inner:
+	movsd f0, [x]
+	movsd f1, [y]
+	movsd f2, [z]
+	movsd f3, f1
+	subsd f3, f0
+	mulsd f3, =10.0
+	movsd f4, =28.0
+	subsd f4, f2
+	mulsd f4, f0
+	subsd f4, f1
+	movsd f5, f0
+	mulsd f5, f1
+	movsd f6, f2
+	mulsd f6, =2.66666666666666666
+	subsd f5, f6
+	mulsd f3, =0.01
+	addsd f0, f3
+	mulsd f4, =0.01
+	addsd f1, f4
+	mulsd f5, =0.01
+	addsd f2, f5
+	movsd [x], f0
+	movsd [y], f1
+	movsd [z], f2
+	inc r0
+	cmp r0, $30
+	jl inner
+	outf f0
+	inc r1
+	cmp r1, $3
+	jl more
+	halt
+`
+
+func buildSrc(name, src string) func() (*isa.Program, error) {
+	return func() (*isa.Program, error) {
+		p, err := asm.Assemble(src)
+		if err != nil {
+			return nil, fmt.Errorf("example %s: %w", name, err)
+		}
+		return p, nil
+	}
+}
+
+func buildWorkload(name, key string) func() (*isa.Program, error) {
+	return func() (*isa.Program, error) {
+		w, ok := workloads.Get(key)
+		if !ok {
+			return nil, fmt.Errorf("example %s: workload %q missing", name, key)
+		}
+		return w.Build()
+	}
+}
+
+// All returns every example program in a fixed order.
+func All() []Program {
+	return []Program{
+		{
+			Name:        "quickstart/harmonic",
+			Description: "harmonic series H(100000), the quickstart demo",
+			Build:       buildSrc("quickstart/harmonic", Harmonic),
+		},
+		{
+			Name:        "errorbounds/kahan",
+			Description: "naive vs Kahan summation of 10000 x 0.1",
+			Build:       buildSrc("errorbounds/kahan", Kahan),
+		},
+		{
+			Name:        "errorbounds/lorenz-short",
+			Description: "brief Lorenz bursts for interval-width growth",
+			Build:       buildSrc("errorbounds/lorenz-short", LorenzShort),
+		},
+		{
+			Name:        "lorenz/fig13-trajectory",
+			Description: "the Figure 13 Lorenz run (also the precision example)",
+			Build: func() (*isa.Program, error) {
+				return asm.Assemble(workloads.LorenzSource(workloads.LorenzSteps, 25, 0.02))
+			},
+		},
+		{
+			Name:        "threebody/orbit",
+			Description: "the three-body workload the threebody example sweeps",
+			Build:       buildWorkload("threebody/orbit", "Three-Body/"),
+		},
+	}
+}
+
+// Get returns an example program by name.
+func Get(name string) (Program, bool) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}
+
+// Names lists every example program name, sorted.
+func Names() []string {
+	var out []string
+	for _, p := range All() {
+		out = append(out, p.Name)
+	}
+	sort.Strings(out)
+	return out
+}

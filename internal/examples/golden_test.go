@@ -1,0 +1,87 @@
+package examples
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"fpvm/internal/machine"
+)
+
+// golden pins the native final machine state (registers, memory, and output
+// stream) of every example program to the seed run. Dispatch-pipeline or
+// assembler changes that silently drift any example's results — even in
+// state the program never prints — fail here.
+var golden = map[string]string{
+	"quickstart/harmonic":      "0f35a3407b282e5b82e53448bdc3dd010bfae65548bba585935ff4a84fdf837a",
+	"errorbounds/kahan":        "9c650a1ee7591b9cafab2591db0e3d157946f0e360aaa5c0759a6a83505d9b12",
+	"errorbounds/lorenz-short": "04a93f3b825d408f1163cde7859a32c8ee7c2e518e9c593c185b5fddc763f4a8",
+	"lorenz/fig13-trajectory":  "011ba0fbbc43d1e7d0cad16044261cd9eca42eb3e8a97eac673fff7f905a1f6b",
+	"threebody/orbit":          "32892e7f381f64f2c4179ff0792866d614050903026a721e187d477a348845d6",
+}
+
+// fingerprint hashes the architecturally visible final state: integer
+// registers, both lanes of every FP register, RIP, the full memory image,
+// and everything the program printed. MXCSR and RFLAGS are included too —
+// they are architectural state a successor instruction could observe.
+func fingerprint(m *machine.Machine, output string) string {
+	h := sha256.New()
+	var w [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		h.Write(w[:])
+	}
+	for _, r := range m.R {
+		put(uint64(r))
+	}
+	for _, f := range m.F {
+		put(f[0])
+		put(f[1])
+	}
+	put(m.RIP)
+	put(uint64(m.MXCSR))
+	var flags uint64
+	for i, b := range []bool{m.Flags.ZF, m.Flags.SF, m.Flags.OF, m.Flags.CF, m.Flags.PF} {
+		if b {
+			flags |= 1 << i
+		}
+	}
+	put(flags)
+	h.Write(m.Mem)
+	h.Write([]byte(output))
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func TestGoldenTraces(t *testing.T) {
+	progs := All()
+	if len(progs) != len(golden) {
+		t.Fatalf("registry has %d programs, golden table has %d", len(progs), len(golden))
+	}
+	for _, p := range progs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			want, ok := golden[p.Name]
+			if !ok {
+				t.Fatalf("no golden entry for %s", p.Name)
+			}
+			prog, err := p.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			var out bytes.Buffer
+			m, err := machine.New(prog, &out)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if err := m.Run(200_000_000); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			got := fingerprint(m, out.String())
+			if got != want {
+				t.Errorf("final state drifted from the seed run:\n  got  %s\n  want %s", got, want)
+			}
+		})
+	}
+}

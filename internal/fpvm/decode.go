@@ -92,6 +92,28 @@ var arithTernaryOps = map[isa.Op]arith.Op{
 	isa.OpFmod: arith.OpMod, isa.OpFhypot: arith.OpHypot,
 }
 
+// ArithOp reports the abstract scalar operation a machine FP instruction
+// computes and whether it produces an FP result in its first operand. It is
+// the public face of the decoder's op flattening, used by the differential
+// oracle to key per-op error statistics the same way the emulator keys its
+// dispatch. Compares and FP→int conversions return ok == false: they retire
+// no FP destination.
+func ArithOp(op isa.Op) (arith.Op, bool) {
+	if a, ok := arithBinOps[op]; ok {
+		return a, true
+	}
+	if a, ok := arithUnaryOps[op]; ok {
+		return a, true
+	}
+	if a, ok := arithTernaryOps[op]; ok {
+		return a, true
+	}
+	if op == isa.OpFmaddsd {
+		return arith.OpFMA, true
+	}
+	return 0, false
+}
+
 // translate is the slow path of the decoder: it flattens the ISA's FP
 // instructions down to the ~two dozen abstract operation types.
 func translate(in isa.Inst) *decodedInst {

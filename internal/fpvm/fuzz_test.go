@@ -9,38 +9,13 @@ import (
 	"fpvm/internal/asm"
 	"fpvm/internal/machine"
 	"fpvm/internal/posit"
+	"fpvm/internal/progen"
 )
 
-// buildRandomFPProgram emits a random but well-formed FP computation: a
-// chain of arithmetic over registers seeded from a few constants, with
-// stores/loads mixed in — the adversarial input for the full FPVM pipeline.
-func buildRandomFPProgram(r *rand.Rand) string {
-	ops := []string{"addsd", "subsd", "mulsd", "divsd", "minsd", "maxsd"}
-	un := []string{"sqrtsd", "fsin", "fcos", "fexp", "fatan", "fabs", "ffloor"}
-	src := ".data\nbuf: .zero 128\n.text\n"
-	src += "\tmovsd f0, =1.5\n\tmovsd f1, =-0.75\n\tmovsd f2, =3.14159\n\tmovsd f3, =0.625\n"
-	for i := 0; i < 60; i++ {
-		switch r.Intn(4) {
-		case 0:
-			src += "\t" + ops[r.Intn(len(ops))] +
-				" f" + itoa(int64(r.Intn(6))) + ", f" + itoa(int64(r.Intn(6))) + "\n"
-		case 1:
-			src += "\t" + un[r.Intn(len(un))] +
-				" f" + itoa(int64(r.Intn(6))) + ", f" + itoa(int64(r.Intn(6))) + "\n"
-		case 2:
-			slot := r.Intn(16) * 8
-			src += "\tmovsd [buf+" + itoa(int64(slot)) + "], f" + itoa(int64(r.Intn(6))) + "\n"
-		default:
-			slot := r.Intn(16) * 8
-			src += "\tmovsd f" + itoa(int64(r.Intn(6))) + ", [buf+" + itoa(int64(slot)) + "]\n"
-		}
-	}
-	src += "\toutf f0\n\toutf f1\n\thalt\n"
-	return src
-}
-
-// TestFuzzFPVMPipeline runs random FP programs through every arithmetic
-// system: no panics, no machine faults, and Vanilla stays bit-identical.
+// TestFuzzFPVMPipeline runs random FP programs (from the shared progen
+// generator) through every arithmetic system: no panics, no machine faults,
+// and Vanilla stays bit-identical on the output stream. The stronger
+// register- and memory-level lockstep check lives in internal/oracle.
 func TestFuzzFPVMPipeline(t *testing.T) {
 	r := rand.New(rand.NewSource(110))
 	systems := []arith.System{
@@ -52,7 +27,7 @@ func TestFuzzFPVMPipeline(t *testing.T) {
 		arith.NewAdaptiveMPFR(53, 512),
 	}
 	for i := 0; i < 15; i++ {
-		src := buildRandomFPProgram(r)
+		src := progen.FPSource(r, progen.DefaultFPLen)
 		prog, err := asm.Assemble(src)
 		if err != nil {
 			t.Fatalf("generated program failed to assemble: %v", err)

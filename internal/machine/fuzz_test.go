@@ -5,63 +5,14 @@ import (
 	"math/rand"
 	"testing"
 
-	"fpvm/internal/isa"
+	"fpvm/internal/progen"
 )
-
-// randProgram generates a random-but-decodable program: any operands, any
-// opcodes, halt-terminated. Executing it may fault (that is fine) but must
-// never panic the interpreter.
-func randProgram(r *rand.Rand, n int) *isa.Program {
-	var code []byte
-	for i := 0; i < n; i++ {
-		var op isa.Op
-		for {
-			op = isa.Op(1 + r.Intn(120))
-			if op.Valid() {
-				break
-			}
-		}
-		in := isa.Inst{Op: op}
-		for j := 0; j < isa.NumOperands(op); j++ {
-			switch r.Intn(4) {
-			case 0:
-				in.Ops = append(in.Ops, isa.Reg(uint8(r.Intn(isa.NumIntRegs))))
-			case 1:
-				in.Ops = append(in.Ops, isa.FReg(uint8(r.Intn(isa.NumFPRegs))))
-			case 2:
-				// Immediates biased toward plausible code/data addresses so
-				// some jumps land and some memory accesses hit.
-				in.Ops = append(in.Ops, isa.Imm(int64(r.Intn(4096))))
-			default:
-				scales := []uint8{1, 2, 4, 8}
-				o := isa.Operand{
-					Kind:  isa.KindMem,
-					Base:  uint8(r.Intn(isa.NumIntRegs)),
-					Index: isa.RegNone,
-					Scale: scales[r.Intn(4)],
-					Disp:  int32(r.Intn(1 << 14)),
-				}
-				if r.Intn(2) == 0 {
-					o.Index = uint8(r.Intn(isa.NumIntRegs))
-				}
-				in.Ops = append(in.Ops, o)
-			}
-		}
-		c, err := isa.Encode(code, in)
-		if err != nil {
-			continue // operand combo rejected by the encoder: skip
-		}
-		code = c
-	}
-	code, _ = isa.Encode(code, isa.Inst{Op: isa.OpHalt})
-	return &isa.Program{Code: code, Data: make([]byte, 512), DataBase: 0x1000}
-}
 
 // TestFuzzNativeExecution: random programs never panic the interpreter.
 func TestFuzzNativeExecution(t *testing.T) {
 	r := rand.New(rand.NewSource(100))
 	for i := 0; i < 300; i++ {
-		prog := randProgram(r, 40)
+		prog := progen.Raw(r, 40)
 		m, err := New(prog, io.Discard)
 		if err != nil {
 			continue // predecode may reject; that's a defined outcome
@@ -75,7 +26,7 @@ func TestFuzzNativeExecution(t *testing.T) {
 func TestFuzzTrapHandlers(t *testing.T) {
 	r := rand.New(rand.NewSource(101))
 	for i := 0; i < 300; i++ {
-		prog := randProgram(r, 40)
+		prog := progen.Raw(r, 40)
 		m, err := New(prog, io.Discard)
 		if err != nil {
 			continue
@@ -90,4 +41,36 @@ func TestFuzzTrapHandlers(t *testing.T) {
 		m.CorrectnessTrap = func(f *TrapFrame) error { return nil }
 		_ = m.Run(20_000)
 	}
+}
+
+// FuzzRawExecution is the coverage-guided version of the two tests above: a
+// seed drives the shared progen generator and the resulting program runs
+// both natively and with permissive trap handlers installed. Any panic or
+// interpreter hang is a finding.
+func FuzzRawExecution(f *testing.F) {
+	for _, s := range progen.Seeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		prog := progen.Raw(r, 40)
+		m, err := New(prog, io.Discard)
+		if err != nil {
+			t.Skip()
+		}
+		_ = m.Run(20_000)
+
+		m2, err := New(prog, io.Discard)
+		if err != nil {
+			t.Skip()
+		}
+		m2.MXCSR.SetMasks(0)
+		m2.TrapOnNaNLoad = true
+		m2.FPTrap = func(fr *TrapFrame) error {
+			fr.M.Advance(fr.Inst)
+			return nil
+		}
+		m2.CorrectnessTrap = func(fr *TrapFrame) error { return nil }
+		_ = m2.Run(20_000)
+	})
 }

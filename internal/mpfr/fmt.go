@@ -166,6 +166,14 @@ func (x *Float) Text(digits int) string {
 // String formats x with enough digits to distinguish values at x's precision.
 func (x *Float) String() string { return x.Text(0) }
 
+// exactScaleLimit bounds the binary or decimal exponent magnitude up to
+// which formatting scales exactly with integer arithmetic. Beyond it, the
+// exact scale factor (10^|e10| or 2^|exp| as a full integer) would cost
+// memory and time linear in the exponent — for values like pow(1e10, 1e10)
+// with binary exponents near 10^12 that is an effective hang — so huge
+// exponents take the floating-point scaling path instead.
+const exactScaleLimit = 1 << 14
+
 // decimalDigits returns exactly n decimal digits of |x| (rounded to nearest)
 // and the decimal exponent e10 such that |x| ≈ 0.D... × 10^(e10+1), i.e.
 // the first digit has weight 10^e10.
@@ -173,9 +181,16 @@ func (x *Float) decimalDigits(n int) (string, int) {
 	// Estimate the decimal exponent from the binary exponent.
 	// |x| ∈ [2^(exp-1), 2^exp) so log10|x| ∈ [(exp-1)·log10 2, exp·log10 2).
 	e10 := int64(float64(x.exp-1) * 0.30102999566398119521)
+	huge := x.exp > exactScaleLimit || x.exp < -exactScaleLimit
 
 	for {
-		digits, ok := x.scaledDigits(int64(n), e10)
+		var digits string
+		var ok bool
+		if huge {
+			digits, ok = x.approxDigits(int64(n), e10)
+		} else {
+			digits, ok = x.scaledDigits(int64(n), e10)
+		}
 		if !ok {
 			e10++ // estimate was low: produced too many digits
 			continue
@@ -186,6 +201,69 @@ func (x *Float) decimalDigits(n int) (string, int) {
 		}
 		return digits, int(e10)
 	}
+}
+
+// powTen returns 10^p (p >= 0) at precision prec by binary exponentiation —
+// O(log p) multiplications, each rounded to prec bits, instead of the exact
+// integer power whose size grows linearly with p.
+func powTen(p int64, prec uint) *Float {
+	base := New(prec)
+	base.SetInt64(10, RoundNearestEven)
+	z := New(prec)
+	z.SetInt64(1, RoundNearestEven)
+	for ; p > 0; p >>= 1 {
+		if p&1 == 1 {
+			z.Mul(z, base, RoundNearestEven)
+		}
+		base.Mul(base, base, RoundNearestEven)
+	}
+	return z
+}
+
+// approxDigits computes round(|x| / 10^(e10+1-n)) like scaledDigits, but by
+// floating-point scaling at extended working precision, so its cost depends
+// on the digit count rather than the exponent magnitude. The guard bits make
+// all n digits correct except possibly the last ulp — the documented
+// tolerance of the formatting path.
+func (x *Float) approxDigits(n, e10 int64) (string, bool) {
+	p10 := e10 + 1 - n // y = |x| / 10^p10 is an n-digit integer
+	wp := uint(n)*4 + 64
+	ax := New(wp)
+	ax.Set(x, RoundNearestEven)
+	ax.neg = false
+	abs := p10
+	if abs < 0 {
+		abs = -abs
+	}
+	pw := powTen(abs, wp)
+	y := New(wp)
+	if p10 >= 0 {
+		y.Div(ax, pw, RoundNearestEven)
+	} else {
+		y.Mul(ax, pw, RoundNearestEven)
+	}
+
+	// Round y to the nearest integer.
+	ue := y.unitExp()
+	var q mpnat.Nat
+	switch {
+	case ue >= 0:
+		if ue > exactScaleLimit {
+			return "", false // estimate far off; let the caller re-aim
+		}
+		q = mpnat.Shl(y.mant, uint(ue))
+	default:
+		s := uint(-ue)
+		q = mpnat.Shr(y.mant, s)
+		if y.mant.Bit(int(s)-1) == 1 {
+			q = mpnat.AddWord(q, 1) // round half up, as scaledDigits does
+		}
+	}
+	ds := natDecimal(q)
+	if int64(len(ds)) > n {
+		return "", false
+	}
+	return ds, true
 }
 
 // scaledDigits computes round(|x| / 10^(e10+1-n)) as a decimal string,

@@ -64,14 +64,27 @@ func (z *Float) Pow(x, y *Float, rnd RoundingMode) int {
 		return z.powInt(x, yInt, rnd)
 	}
 
-	// General case: x > 0, z = exp(y · ln x).
+	// General case: z = ± exp(y · ln |x|). A negative base reaches here only
+	// with an integer exponent too large for powInt (|y| ≥ 2^20); the sign
+	// of the result is then decided by the exponent's parity.
+	ax := x
+	negOut := false
+	if x.neg {
+		ax = New(uint(x.effPrec()))
+		ax.Set(x, RoundNearestEven)
+		ax.neg = false
+		negOut = yOdd
+	}
 	wp := z.wprec() + 64
 	lx := New(wp)
-	lx.Log(x, RoundNearestEven)
+	lx.Log(ax, RoundNearestEven)
 	prod := New(wp)
 	prod.Mul(y, lx, RoundNearestEven)
 	r := New(wp)
 	r.Exp(prod, RoundNearestEven)
+	if negOut {
+		r.neg = !r.neg
+	}
 	return z.Set(r, rnd)
 }
 

@@ -1,0 +1,457 @@
+// Package oracle is the repository's differential correctness engine: it
+// runs one program three ways — native machine IEEE, FPVM-virtualized
+// Vanilla, and FPVM-virtualized high-precision shadows (MPFR, posit) — and
+// produces a per-instruction divergence report.
+//
+// The two halves of the oracle certify different things, exactly as the
+// paper's validation methodology (§4.3, §5.2) separates them:
+//
+//   - The Vanilla half is a *bit-exactness* oracle. A vanilla IEEE-double
+//     port pushed through the full trap-and-emulate path must leave the
+//     machine in a byte-for-byte identical state to native execution —
+//     registers, memory, RFLAGS, output stream, and the instruction-by-
+//     instruction RIP trace. Any difference is a virtualization bug, never
+//     numerical noise.
+//
+//   - The shadow half is a *numerical* oracle in the spirit of NSan: a
+//     higher-precision re-execution whose per-operation divergence from the
+//     IEEE trace measures where the program loses accuracy, and whose trap
+//     counts per MXCSR condition class show which exception paths the trap
+//     engine actually exercised (the FlowFPX notion of exception-flow
+//     coverage).
+//
+// Both halves run in lockstep with a fresh native machine, retiring one
+// instruction on each side per step, so divergence is localized to the
+// first PC at which it appears.
+package oracle
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/fpu"
+	"fpvm/internal/fpvm"
+	"fpvm/internal/isa"
+	"fpvm/internal/machine"
+	"fpvm/internal/nanbox"
+	"fpvm/internal/patch"
+	"fpvm/internal/posit"
+)
+
+// Target is one program under the oracle.
+type Target struct {
+	// Name identifies the program in reports ("workload:NAS CG/Class S",
+	// "example:quickstart/harmonic", ...).
+	Name string
+	// Build assembles a fresh program image. It is called once per machine
+	// so no state is shared between the native and virtualized runs.
+	Build func() (*isa.Program, error)
+}
+
+// Options tunes an oracle run.
+type Options struct {
+	// Systems lists the shadow arithmetic systems to run beyond Vanilla
+	// (which always runs — it is the correctness gate). nil selects the
+	// default pair the acceptance report requires: MPFR 200-bit and
+	// posit<32,2>. An empty non-nil slice runs Vanilla only.
+	Systems []arith.System
+	// MaxInst bounds each run's retirements (0 = the 200M default).
+	MaxInst uint64
+	// NoPatch skips static analysis + correctness patching (ablation; the
+	// default mirrors the real pipeline and exercises demotion traps).
+	NoPatch bool
+	// DivergenceTol is the relative error at which a shadow system's
+	// per-instruction trace is declared numerically divergent from IEEE
+	// (first-divergence PC). 0 means 1e-6. Vanilla ignores it: its
+	// tolerance is bit-exactness.
+	DivergenceTol float64
+}
+
+// DefaultMaxInst bounds oracle runs when Options.MaxInst is zero.
+const DefaultMaxInst = 200_000_000
+
+// DefaultSystems returns the shadow systems an all-defaults oracle runs:
+// the paper's MPFR 200-bit port as numerical ground truth and posit<32,2>
+// as the alternative-format port.
+func DefaultSystems() []arith.System {
+	return []arith.System{arith.NewMPFR(200), arith.NewPosit(posit.Posit32)}
+}
+
+// OpError aggregates the relative error of one abstract operation kind
+// between the virtualized trace and the lockstep native IEEE trace.
+type OpError struct {
+	Count   uint64  // lanes compared
+	Diverse uint64  // lanes with any difference at all
+	Max     float64 // worst relative error
+	Sum     float64 // for the mean
+}
+
+// Mean returns the mean relative error over all compared lanes.
+func (e *OpError) Mean() float64 {
+	if e.Count == 0 {
+		return 0
+	}
+	return e.Sum / float64(e.Count)
+}
+
+// CondClasses is the fixed order of the §2 exception condition classes in
+// coverage tables.
+var CondClasses = []fpu.Flags{
+	fpu.FlagInvalid, fpu.FlagDenormal, fpu.FlagDivZero,
+	fpu.FlagOverflow, fpu.FlagUnderflow, fpu.FlagInexact,
+}
+
+// SystemReport is the oracle's verdict for one arithmetic system.
+type SystemReport struct {
+	System string
+
+	// Lockstep results.
+	LockstepInsts     uint64 // instructions retired in lockstep
+	ControlDiverged   bool   // RIP traces separated
+	FirstDivergencePC int64  // address of the first diverging instruction, -1 if none
+	FirstDivergenceOp string // op at that PC ("" if none)
+
+	// Final-state comparison (after demoting every NaN-box).
+	RegsIdentical   bool // R and F files bit-identical to native
+	FlagsIdentical  bool // RFLAGS identical
+	MemIdentical    bool // full memory image byte-for-byte identical
+	OutputIdentical bool // output streams identical
+
+	// Per-op relative error vs the lockstep IEEE trace.
+	OpErrors map[arith.Op]*OpError
+
+	// Trap and exception coverage.
+	FPTraps      uint64            // delivered FP exception traps
+	CorrectTraps uint64            // correctness traps (static sites + NaN loads)
+	ExtTraps     uint64            // external-call traps
+	Emulated     uint64            // scalar emulations
+	TrapsByFlag  map[string]uint64 // trap counts keyed by exact flag set
+	CondCover    map[fpu.Flags]uint64
+
+	// Run size.
+	Instructions uint64
+	Cycles       uint64
+}
+
+// BitIdentical reports the Vanilla acceptance predicate: no control
+// divergence, no per-instruction value divergence, and a byte-for-byte
+// identical final state.
+func (r *SystemReport) BitIdentical() bool {
+	return !r.ControlDiverged && r.FirstDivergencePC < 0 &&
+		r.RegsIdentical && r.FlagsIdentical && r.MemIdentical && r.OutputIdentical
+}
+
+// Report is a full oracle run over one target.
+type Report struct {
+	Name string
+
+	// Native reference run.
+	NativeInstructions   uint64
+	NativeFPInstructions uint64
+	NativeCycles         uint64
+	NativeOutput         string
+
+	// Vanilla is the bit-exactness verdict; Shadows the numerical oracles.
+	Vanilla *SystemReport
+	Shadows []*SystemReport
+}
+
+// Ok reports whether the target passes the correctness gate.
+func (r *Report) Ok() bool { return r.Vanilla.BitIdentical() }
+
+// Run executes the full oracle over one target.
+func Run(t Target, o Options) (*Report, error) {
+	if o.MaxInst == 0 {
+		o.MaxInst = DefaultMaxInst
+	}
+	if o.DivergenceTol == 0 {
+		o.DivergenceTol = 1e-6
+	}
+	shadows := o.Systems
+	if shadows == nil {
+		shadows = DefaultSystems()
+	}
+
+	// Native reference run (standalone, for the report header).
+	prog, err := t.Build()
+	if err != nil {
+		return nil, fmt.Errorf("oracle %s: %w", t.Name, err)
+	}
+	var nout bytes.Buffer
+	nm, err := machine.New(prog, &nout)
+	if err != nil {
+		return nil, fmt.Errorf("oracle %s: %w", t.Name, err)
+	}
+	if err := nm.Run(o.MaxInst); err != nil {
+		return nil, fmt.Errorf("oracle %s: native: %w", t.Name, err)
+	}
+	rep := &Report{
+		Name:                 t.Name,
+		NativeInstructions:   nm.Stats.Instructions,
+		NativeFPInstructions: nm.Stats.FPInstructions,
+		NativeCycles:         nm.Cycles,
+		NativeOutput:         nout.String(),
+	}
+
+	rep.Vanilla, err = runSystem(t, arith.Vanilla{}, o)
+	if err != nil {
+		return nil, err
+	}
+	for _, sys := range shadows {
+		sr, err := runSystem(t, sys, o)
+		if err != nil {
+			return nil, err
+		}
+		rep.Shadows = append(rep.Shadows, sr)
+	}
+	return rep, nil
+}
+
+// runSystem executes the target natively and under FPVM with sys, in
+// lockstep, and compares per instruction and at the end.
+func runSystem(t Target, sys arith.System, o Options) (*SystemReport, error) {
+	bail := func(err error) (*SystemReport, error) {
+		return nil, fmt.Errorf("oracle %s [%s]: %w", t.Name, sys.Name(), err)
+	}
+
+	nprog, err := t.Build()
+	if err != nil {
+		return bail(err)
+	}
+	vprog, err := t.Build()
+	if err != nil {
+		return bail(err)
+	}
+	var nout, vout bytes.Buffer
+	nm, err := machine.New(nprog, &nout)
+	if err != nil {
+		return bail(err)
+	}
+	vmach, err := machine.New(vprog, &vout)
+	if err != nil {
+		return bail(err)
+	}
+	if !o.NoPatch {
+		patched, err := patch.Apply(vprog, nil)
+		if err != nil {
+			return bail(fmt.Errorf("static analysis: %w", err))
+		}
+		patched.Install(vmach)
+	}
+	vm := fpvm.Attach(vmach, fpvm.Config{System: sys})
+
+	sr := &SystemReport{
+		System:            sys.Name(),
+		FirstDivergencePC: -1,
+		OpErrors:          map[arith.Op]*OpError{},
+		TrapsByFlag:       map[string]uint64{},
+		CondCover:         map[fpu.Flags]uint64{},
+	}
+	_, vanilla := sys.(arith.Vanilla)
+
+	// Lockstep: one retirement per side per iteration. The comparison after
+	// each step is demote-aware on the virtualized side — a NaN-boxed value
+	// compares as the IEEE double its shadow demotes to — so the check sees
+	// through FPVM's value representation without perturbing it.
+	steps := uint64(0)
+	for !nm.Halted() && !vmach.Halted() {
+		pc := nm.RIP
+		in, ok := nm.InstAt(pc)
+		if !ok {
+			return bail(fmt.Errorf("native RIP %#x off instruction boundary", pc))
+		}
+		if err := nm.Step(); err != nil {
+			return bail(fmt.Errorf("native: %w", err))
+		}
+		if err := vmach.Step(); err != nil {
+			return bail(fmt.Errorf("virtualized: %w", err))
+		}
+		steps++
+		if steps > o.MaxInst {
+			return bail(fmt.Errorf("lockstep budget (%d) exceeded", o.MaxInst))
+		}
+		sr.LockstepInsts = steps
+
+		if nm.RIP != vmach.RIP {
+			sr.ControlDiverged = true
+			sr.noteDivergence(pc, in, 0)
+			break
+		}
+		if !compareStep(sr, nm, vm, in, pc, vanilla, o.DivergenceTol) && vanilla {
+			// A bit-level divergence under Vanilla: stop immediately — every
+			// later comparison would re-report the same root cause.
+			break
+		}
+	}
+
+	// Drain whichever side has not halted (after a control divergence, or a
+	// Vanilla value divergence) so final statistics describe complete runs.
+	if err := drain(nm, o.MaxInst); err != nil {
+		return bail(fmt.Errorf("native drain: %w", err))
+	}
+	if err := drain(vmach, o.MaxInst); err != nil {
+		return bail(fmt.Errorf("virtualized drain: %w", err))
+	}
+
+	// Demote every remaining NaN-box, converting the virtualized machine
+	// back to pure IEEE state, then compare byte-for-byte.
+	vm.RunGC()
+	vm.DemoteAll()
+	sr.RegsIdentical = nm.R == vmach.R && nm.F == vmach.F
+	sr.FlagsIdentical = nm.Flags == vmach.Flags
+	sr.MemIdentical = bytes.Equal(nm.Mem, vmach.Mem)
+	sr.OutputIdentical = nout.String() == vout.String()
+
+	// Trap and exception coverage.
+	sr.FPTraps = vmach.Stats.FPTraps
+	sr.CorrectTraps = vmach.Stats.CorrectTraps
+	sr.ExtTraps = vmach.Stats.ExtCallTraps
+	sr.Emulated = vm.Stats.Emulated
+	sr.Instructions = vmach.Stats.Instructions
+	sr.Cycles = vmach.Cycles
+	for k, n := range vmach.Stats.TrapByFlag {
+		sr.TrapsByFlag[k] = n
+		for _, c := range CondClasses {
+			if strings.Contains(k, c.String()) {
+				sr.CondCover[c] += n
+			}
+		}
+	}
+	return sr, nil
+}
+
+// compareStep compares the architectural effect of the instruction both
+// machines just retired. It reports false when a Vanilla-fatal (bit-level)
+// divergence was found.
+func compareStep(sr *SystemReport, nm *machine.Machine, vm *fpvm.VM,
+	in isa.Inst, pc uint64, vanilla bool, tol float64) bool {
+	vmach := vm.M
+	identical := true
+
+	// Integer register file: raw bits first, demoted view on mismatch (a
+	// NaN-box that reached an integer register compares as its shadow).
+	for i := range nm.R {
+		nb, vb := uint64(nm.R[i]), uint64(vmach.R[i])
+		if nb != vb && demotedBits(vm, vb) != nb {
+			identical = false
+		}
+	}
+	// FP register file, both lanes.
+	for i := range nm.F {
+		for l := 0; l < 2; l++ {
+			nb, vb := nm.F[i][l], vmach.F[i][l]
+			if nb != vb && demotedBits(vm, vb) != nb {
+				identical = false
+			}
+		}
+	}
+
+	// Per-op error accounting for FP-arithmetic destinations (register or
+	// memory), lane by lane — the NSan-style shadow comparison.
+	if aop, ok := fpvm.ArithOp(in.Op); ok && len(in.Ops) > 0 {
+		lanes := 1
+		if in.Op.IsPacked() {
+			lanes = 2
+		}
+		dst := in.Ops[0]
+		for l := 0; l < lanes; l++ {
+			nb, err1 := nm.ReadOperandFP(dst, l)
+			vb, err2 := vmach.ReadOperandFP(dst, l)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			vb = demotedBits(vm, vb)
+			rel := relError(nb, vb)
+			e := sr.OpErrors[aop]
+			if e == nil {
+				e = &OpError{}
+				sr.OpErrors[aop] = e
+			}
+			e.Count++
+			if nb != vb {
+				e.Diverse++
+				identical = false
+			}
+			e.Sum += rel
+			if rel > e.Max {
+				e.Max = rel
+			}
+			if sr.FirstDivergencePC < 0 {
+				if vanilla && nb != vb {
+					sr.noteDivergence(pc, in, rel)
+				} else if !vanilla && rel > tol {
+					sr.noteDivergence(pc, in, rel)
+				}
+			}
+		}
+	}
+
+	if vanilla && !identical && sr.FirstDivergencePC < 0 {
+		// A divergence outside an FP-arith destination (move, conversion,
+		// integer contamination): still attribute it to this PC.
+		sr.noteDivergence(pc, in, 0)
+	}
+	return !(vanilla && !identical)
+}
+
+func (sr *SystemReport) noteDivergence(pc uint64, in isa.Inst, rel float64) {
+	sr.FirstDivergencePC = int64(pc)
+	sr.FirstDivergenceOp = in.Op.String()
+	_ = rel
+}
+
+// drain runs a machine to completion under the remaining budget.
+func drain(m *machine.Machine, maxInst uint64) error {
+	if m.Halted() {
+		return nil
+	}
+	return m.Run(maxInst)
+}
+
+// demotedBits maps a NaN-boxed bit pattern to the IEEE double bits its
+// shadow value demotes to; unboxed patterns pass through. It never mutates
+// the VM: this is a read-only view of what DemoteAll would write.
+func demotedBits(vm *fpvm.VM, bits uint64) uint64 {
+	key, ok := nanbox.Unbox(bits)
+	if !ok {
+		return bits
+	}
+	v, ok := vm.Arena.Get(key)
+	if !ok {
+		return fpu.QNaN() // universal NaN demotes to the default qNaN
+	}
+	return math.Float64bits(vm.Sys.ToFloat64(v))
+}
+
+// relError computes |v-n| / max(|n|, DBL_MIN-ish) with NaN/Inf handling:
+// agreeing NaNs and exactly equal bits are zero error; a NaN on exactly one
+// side, or disagreeing infinities, count as infinite error.
+func relError(nbits, vbits uint64) float64 {
+	if nbits == vbits {
+		return 0
+	}
+	n := math.Float64frombits(nbits)
+	v := math.Float64frombits(vbits)
+	nNaN, vNaN := math.IsNaN(n), math.IsNaN(v)
+	switch {
+	case nNaN && vNaN:
+		return 0 // same class; payload differences are not numerical error
+	case nNaN || vNaN:
+		return math.Inf(1)
+	}
+	if math.IsInf(n, 0) || math.IsInf(v, 0) {
+		if n == v {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	d := math.Abs(v - n)
+	den := math.Abs(n)
+	if den < math.SmallestNonzeroFloat64*1e16 { // n ~ 0: use absolute error
+		return d
+	}
+	return d / den
+}

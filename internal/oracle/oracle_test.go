@@ -1,0 +1,137 @@
+package oracle
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/asm"
+	"fpvm/internal/isa"
+	"fpvm/internal/posit"
+	"fpvm/internal/progen"
+)
+
+// TestVanillaBitExact is the repository's §5.2 validation: over every
+// workload and every example, the FPVM-virtualized Vanilla run must be
+// bit-identical to native — same RIP trace, same registers, same memory,
+// same output. Shadows are disabled so this stays fast and failures are
+// unambiguous.
+func TestVanillaBitExact(t *testing.T) {
+	for _, tgt := range AllTargets() {
+		tgt := tgt
+		t.Run(tgt.Name, func(t *testing.T) {
+			rep, err := Run(tgt, Options{Systems: []arith.System{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := rep.Vanilla
+			if !rep.Ok() {
+				t.Fatalf("vanilla diverged: control=%v firstPC=%#x op=%s regs=%v flags=%v mem=%v out=%v",
+					v.ControlDiverged, v.FirstDivergencePC, v.FirstDivergenceOp,
+					v.RegsIdentical, v.FlagsIdentical, v.MemIdentical, v.OutputIdentical)
+			}
+			if v.LockstepInsts != rep.NativeInstructions {
+				t.Errorf("lockstep retired %d instructions, native %d",
+					v.LockstepInsts, rep.NativeInstructions)
+			}
+			if v.FPTraps == 0 && rep.NativeFPInstructions > 0 {
+				t.Errorf("virtualized run delivered no FP traps over %d FP instructions — FPVM not engaged",
+					rep.NativeFPInstructions)
+			}
+		})
+	}
+}
+
+// TestShadowReportContents checks the numerical half of the oracle on one
+// real workload: the MPFR and posit shadows must produce per-op error
+// tables and condition-class trap coverage, and MPFR at 200 bits must stay
+// close to IEEE while posit32 visibly diverges in the tail.
+func TestShadowReportContents(t *testing.T) {
+	tgt, err := Lookup("Lorenz Attractor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(tgt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatal("vanilla oracle failed on Lorenz")
+	}
+	if len(rep.Shadows) != 2 {
+		t.Fatalf("want 2 default shadows, got %d", len(rep.Shadows))
+	}
+	for _, sr := range rep.Shadows {
+		if len(sr.OpErrors) == 0 {
+			t.Errorf("%s: empty per-op error table", sr.System)
+		}
+		var lanes, traps uint64
+		for _, e := range sr.OpErrors {
+			lanes += e.Count
+		}
+		if lanes == 0 {
+			t.Errorf("%s: no lanes compared", sr.System)
+		}
+		for _, n := range sr.CondCover {
+			traps += n
+		}
+		if traps == 0 {
+			t.Errorf("%s: empty condition-class coverage", sr.System)
+		}
+	}
+
+	var buf bytes.Buffer
+	rep.Write(&buf)
+	out := buf.String()
+	for _, want := range []string{"PASS", "mpfr200", "posit32e2", "max relerr", "class"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLookupRejectsUnknown pins the error path.
+func TestLookupRejectsUnknown(t *testing.T) {
+	if _, err := Lookup("no-such-target"); err == nil {
+		t.Fatal("want error for unknown target")
+	}
+}
+
+// fuzzTarget wraps one generated program for the oracle.
+func fuzzTarget(src string) Target {
+	return Target{
+		Name:  "fuzz",
+		Build: func() (*isa.Program, error) { return asm.Assemble(src) },
+	}
+}
+
+// FuzzDifferentialOracle is the CI fuzz stage: generate a random FP
+// program, run the full differential oracle over it, and require the
+// virtualized Vanilla run to stay bit-identical to native. Any counter-
+// example is a virtualization bug with a one-instruction-precise report.
+func FuzzDifferentialOracle(f *testing.F) {
+	for _, s := range progen.Seeds() {
+		f.Add(s, int(progen.DefaultFPLen))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, n int) {
+		if n < 1 || n > 400 {
+			n = int(progen.DefaultFPLen)
+		}
+		src := progen.FPSource(rand.New(rand.NewSource(seed)), n)
+		rep, err := Run(fuzzTarget(src), Options{
+			MaxInst: 2_000_000,
+			Systems: []arith.System{arith.NewPosit(posit.Posit32)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			v := rep.Vanilla
+			t.Fatalf("seed %d: vanilla diverged at PC %#x (%s); control=%v regs=%v flags=%v mem=%v out=%v\nprogram:\n%s",
+				seed, v.FirstDivergencePC, v.FirstDivergenceOp, v.ControlDiverged,
+				v.RegsIdentical, v.FlagsIdentical, v.MemIdentical, v.OutputIdentical, src)
+		}
+	})
+}

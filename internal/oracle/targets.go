@@ -1,0 +1,55 @@
+package oracle
+
+import (
+	"fmt"
+
+	"fpvm/internal/examples"
+	"fpvm/internal/workloads"
+)
+
+// WorkloadTargets wraps every Figure-12 workload as an oracle target.
+func WorkloadTargets() []Target {
+	var out []Target
+	for _, w := range workloads.All() {
+		name := w.Name
+		if w.Specifics != "" {
+			name += "/" + w.Specifics
+		}
+		out = append(out, Target{
+			Name:  "workload:" + name,
+			Build: w.Build,
+		})
+	}
+	return out
+}
+
+// ExampleTargets wraps every registered example program as an oracle target.
+func ExampleTargets() []Target {
+	var out []Target
+	for _, p := range examples.All() {
+		out = append(out, Target{
+			Name:  "example:" + p.Name,
+			Build: p.Build,
+		})
+	}
+	return out
+}
+
+// AllTargets returns every workload and example — the full oracle sweep the
+// acceptance criteria run.
+func AllTargets() []Target {
+	return append(WorkloadTargets(), ExampleTargets()...)
+}
+
+// Lookup finds a target by the name AllTargets assigns, with or without the
+// "workload:"/"example:" prefix.
+func Lookup(name string) (Target, error) {
+	var names []string
+	for _, t := range AllTargets() {
+		if t.Name == name || t.Name == "workload:"+name || t.Name == "example:"+name {
+			return t, nil
+		}
+		names = append(names, t.Name)
+	}
+	return Target{}, fmt.Errorf("oracle: unknown target %q (have %v)", name, names)
+}

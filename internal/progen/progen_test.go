@@ -1,0 +1,57 @@
+package progen
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"fpvm/internal/machine"
+)
+
+// TestFPSourceDeterministic: a seed fully determines the emitted program.
+func TestFPSourceDeterministic(t *testing.T) {
+	for _, seed := range Seeds() {
+		a := FPSource(rand.New(rand.NewSource(seed)), DefaultFPLen)
+		b := FPSource(rand.New(rand.NewSource(seed)), DefaultFPLen)
+		if a != b {
+			t.Fatalf("seed %d: FPSource not deterministic", seed)
+		}
+	}
+}
+
+// TestCorpusAssemblesAndHalts: every checked-in seed yields a program that
+// assembles and runs to a clean halt natively.
+func TestCorpusAssemblesAndHalts(t *testing.T) {
+	for _, seed := range Seeds() {
+		prog, err := FPProgram(rand.New(rand.NewSource(seed)), DefaultFPLen)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		m, err := machine.New(prog, io.Discard)
+		if err != nil {
+			t.Fatalf("seed %d: load: %v", seed, err)
+		}
+		if err := m.Run(1_000_000); err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		if !m.Halted() {
+			t.Fatalf("seed %d: did not halt", seed)
+		}
+	}
+}
+
+// TestRawDecodes: Raw output loads (predecodes) without panicking, and the
+// generator is productive (the encoder accepts most of what it emits).
+func TestRawDecodes(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	loaded := 0
+	for i := 0; i < 100; i++ {
+		prog := Raw(r, 40)
+		if _, err := machine.New(prog, io.Discard); err == nil {
+			loaded++
+		}
+	}
+	if loaded < 50 {
+		t.Fatalf("only %d/100 raw programs loaded", loaded)
+	}
+}
