@@ -1,10 +1,10 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race oracle fuzz-smoke bench
+.PHONY: ci fmt vet build test race oracle bench-smoke fuzz-smoke bench
 
 # ci mirrors .github/workflows/ci.yml exactly.
-ci: fmt vet build test race oracle fuzz-smoke
+ci: fmt vet build test race oracle bench-smoke fuzz-smoke
 
 fmt:
 	@files=$$(gofmt -l .); \
@@ -27,6 +27,11 @@ race:
 # FPVM+vanilla must be bit-identical, with MPFR and posit shadow reports.
 oracle:
 	$(GO) run ./cmd/fpvm-run -oracle
+
+# Machine-readable bench records with the sequence-emulation ablation:
+# exercises the -json path and the trap-coalescing runtime end to end.
+bench-smoke:
+	$(GO) run ./cmd/fpvm-bench -json -quick -seqemu > /dev/null
 
 # Short coverage-guided fuzzing passes (beyond the checked-in seed corpus,
 # which already runs as part of `test`).

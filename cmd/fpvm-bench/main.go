@@ -7,6 +7,8 @@
 //	fpvm-bench                 # run every experiment
 //	fpvm-bench -exp fig12      # one experiment
 //	fpvm-bench -exp fig9 -prec 512 -quick
+//	fpvm-bench -seqemu -exp fig9,fig12   # with trap-coalescing ablation columns
+//	fpvm-bench -json -quick              # machine-readable per-workload records
 //	fpvm-bench -list
 package main
 
@@ -22,17 +24,40 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "comma-separated experiment ids (empty = all)")
-		prec  = flag.Uint("prec", 200, "MPFR precision in bits")
-		quick = flag.Bool("quick", false, "smaller configurations for a fast pass")
-		list  = flag.Bool("list", false, "list experiments")
-		jobs  = flag.Int("j", 0, "experiment cells to run concurrently (0 = GOMAXPROCS, 1 = sequential)")
+		exp     = flag.String("exp", "", "comma-separated experiment ids (empty = all)")
+		prec    = flag.Uint("prec", 200, "MPFR precision in bits")
+		quick   = flag.Bool("quick", false, "smaller configurations for a fast pass")
+		list    = flag.Bool("list", false, "list experiments")
+		jobs    = flag.Int("j", 0, "experiment cells to run concurrently (0 = GOMAXPROCS, 1 = sequential)")
+		jsonOut = flag.Bool("json", false, "emit machine-readable per-workload records (cycles, traps, sequences, GC) instead of figure tables")
+		seqemu  = flag.Bool("seqemu", false, "enable sequence emulation (trap coalescing); adds ablation columns to fig9/fig12")
+		seqlen  = flag.Int("seqlen", 16, "max instructions coalesced per trap delivery (with -seqemu)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.Registry {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	maxSeq := 0
+	if *seqemu {
+		maxSeq = *seqlen
+	}
+
+	if *jsonOut {
+		err := experiments.BenchJSON(experiments.Options{
+			W:              os.Stdout,
+			Prec:           *prec,
+			Quick:          *quick,
+			Workers:        *jobs,
+			MaxSequenceLen: maxSeq,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fpvm-bench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -59,10 +84,11 @@ func main() {
 		}
 		start := time.Now()
 		err := e.Run(experiments.Options{
-			W:       os.Stdout,
-			Prec:    *prec,
-			Quick:   *quick,
-			Workers: *jobs,
+			W:              os.Stdout,
+			Prec:           *prec,
+			Quick:          *quick,
+			Workers:        *jobs,
+			MaxSequenceLen: maxSeq,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fpvm-bench: %s: %v\n", e.ID, err)

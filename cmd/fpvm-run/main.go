@@ -43,8 +43,15 @@ func main() {
 		maxInst   = flag.Uint64("max-inst", 0, "instruction budget (0 = unlimited)")
 		spyMode   = flag.Bool("spy", false, "FPSpy mode: record FP events without changing results")
 		oracleRun = flag.Bool("oracle", false, "differential oracle: run native, FPVM+vanilla (must be bit-identical), and high-precision shadows, and report divergence")
+		seqemu    = flag.Bool("seqemu", false, "sequence emulation: coalesce straight-line FP runs into one trap delivery")
+		seqlen    = flag.Int("seqlen", 16, "max instructions coalesced per trap delivery (with -seqemu)")
 	)
 	flag.Parse()
+
+	maxSeq := 0
+	if *seqemu {
+		maxSeq = *seqlen
+	}
 
 	if *list {
 		for _, n := range workloads.Names() {
@@ -54,7 +61,7 @@ func main() {
 	}
 
 	if *oracleRun {
-		runOracle(*workload, *asmFile, *prec, *maxInst, *noPatch)
+		runOracle(*workload, *asmFile, *prec, *maxInst, *noPatch, maxSeq)
 		return
 	}
 
@@ -102,7 +109,7 @@ func main() {
 				p.Summary(os.Stderr)
 			}
 		}
-		vm = fpvm.Attach(m, fpvm.Config{System: sys})
+		vm = fpvm.Attach(m, fpvm.Config{System: sys, MaxSequenceLen: maxSeq})
 		if *patchMode {
 			vm.PatchAllFPArith()
 		}
@@ -120,6 +127,11 @@ func main() {
 			s := vm.Stats
 			fmt.Fprintf(os.Stderr, "fp traps:     %d (decode cache hit rate %.4f)\n",
 				s.Traps, hitRate(s.DecodeHits, s.DecodeMisses))
+			if s.Sequences > 0 {
+				fmt.Fprintf(os.Stderr, "seqemu:       %d sequences, %d coalesced (mean run %.2f)\n",
+					s.Sequences, s.Coalesced,
+					float64(s.Traps+s.Coalesced)/float64(s.Traps))
+			}
 			fmt.Fprintf(os.Stderr, "emulated:     %d scalars (promotions %d, unboxings %d)\n",
 				s.Emulated, s.Promotions, s.Unboxings)
 			fmt.Fprintf(os.Stderr, "correctness:  %d traps, %d demotions\n",
@@ -136,7 +148,7 @@ func main() {
 // -workload or -asm is given, else over every workload and example — and
 // exits non-zero if any virtualized-vanilla run is not bit-identical to
 // native execution.
-func runOracle(workload, asmFile string, prec uint, maxInst uint64, noPatch bool) {
+func runOracle(workload, asmFile string, prec uint, maxInst uint64, noPatch bool, maxSeq int) {
 	var targets []oracle.Target
 	switch {
 	case workload != "":
@@ -159,9 +171,10 @@ func runOracle(workload, asmFile string, prec uint, maxInst uint64, noPatch bool
 	}
 
 	opts := oracle.Options{
-		Systems: []arith.System{arith.NewMPFR(prec), arith.NewPosit(posit.Posit32)},
-		MaxInst: maxInst,
-		NoPatch: noPatch,
+		Systems:        []arith.System{arith.NewMPFR(prec), arith.NewPosit(posit.Posit32)},
+		MaxInst:        maxInst,
+		NoPatch:        noPatch,
+		MaxSequenceLen: maxSeq,
 	}
 	failed := 0
 	for i, t := range targets {

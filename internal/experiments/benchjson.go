@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"encoding/json"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/fpvm"
+	"fpvm/internal/workloads"
+)
+
+// BenchRow is the machine-readable per-workload record behind the
+// fpvm-bench -json output: the modeled run sizes, trap and sequence
+// counters, and allocator/GC statistics a dashboard or regression script
+// needs, without scraping the figure tables.
+type BenchRow struct {
+	Workload  string `json:"workload"`
+	Specifics string `json:"specifics,omitempty"`
+	System    string `json:"system"`
+	SeqLen    int    `json:"max_sequence_len"`
+
+	NativeCycles uint64  `json:"native_cycles"`
+	VirtCycles   uint64  `json:"virt_cycles"`
+	Slowdown     float64 `json:"slowdown"`
+
+	Instructions uint64 `json:"instructions"`
+	FPTraps      uint64 `json:"fp_traps"`
+	CorrectTraps uint64 `json:"correctness_traps"`
+	Emulated     uint64 `json:"emulated"`
+
+	Sequences  uint64   `json:"sequences"`
+	Coalesced  uint64   `json:"coalesced"`
+	SeqLenHist []uint64 `json:"seq_len_hist,omitempty"`
+
+	GCPasses       uint64 `json:"gc_passes"`
+	GCFreed        uint64 `json:"gc_freed"`
+	ArenaAllocs    uint64 `json:"arena_allocs"`
+	ArenaHighWater int    `json:"arena_high_water"`
+	ArenaReuses    uint64 `json:"arena_reuses"`
+}
+
+// benchRow flattens one finished pair into a record.
+func benchRow(w workloads.Workload, sys string, seqLen int, r *RunResult) BenchRow {
+	st := r.VM.Stats
+	row := BenchRow{
+		Workload:       w.Name,
+		Specifics:      w.Specifics,
+		System:         sys,
+		SeqLen:         seqLen,
+		NativeCycles:   r.NativeCycles,
+		VirtCycles:     r.VirtCycles,
+		Slowdown:       r.Slowdown(),
+		Instructions:   r.Virt.Stats.Instructions,
+		FPTraps:        st.Traps,
+		CorrectTraps:   st.CorrectTraps,
+		Emulated:       st.Emulated,
+		Sequences:      st.Sequences,
+		Coalesced:      st.Coalesced,
+		GCPasses:       st.GC.Passes,
+		GCFreed:        st.GC.TotalFreed,
+		ArenaAllocs:    r.VM.Arena.Allocs(),
+		ArenaHighWater: r.VM.Arena.HighWater(),
+		ArenaReuses:    r.VM.Arena.Reuses(),
+	}
+	if seqLen > 0 {
+		row.SeqLenHist = make([]uint64, fpvm.SeqLenBuckets)
+		copy(row.SeqLenHist, st.SeqLenHist[:])
+	}
+	return row
+}
+
+// BenchJSONData runs every benchmark under FPVM+MPFR with sequence emulation
+// off, and — when o.MaxSequenceLen > 0 — a second time with it on, returning
+// one record per run so the pair forms a machine-readable ablation.
+func BenchJSONData(o Options) ([]BenchRow, error) {
+	o.defaults()
+	base := o
+	base.MaxSequenceLen = 0
+	cells, err := forEachCell(o.Workers, allFig12(o), func(_ int, w workloads.Workload) ([]BenchRow, error) {
+		sys := arith.NewMPFR(o.Prec)
+		r, err := runPair(w, sys, base)
+		if err != nil {
+			return nil, err
+		}
+		rows := []BenchRow{benchRow(w, sys.Name(), 0, r)}
+		if o.MaxSequenceLen > 0 {
+			sr, err := runPair(w, arith.NewMPFR(o.Prec), o)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, benchRow(w, sys.Name(), o.MaxSequenceLen, sr))
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []BenchRow
+	for _, c := range cells {
+		rows = append(rows, c...)
+	}
+	return rows, nil
+}
+
+// BenchJSON writes the BenchJSONData records to o.W as indented JSON.
+func BenchJSON(o Options) error {
+	rows, err := BenchJSONData(o)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(o.W)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

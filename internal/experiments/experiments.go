@@ -40,6 +40,11 @@ type Options struct {
 	// counts are identical at any setting. 0 means GOMAXPROCS; 1 is fully
 	// sequential.
 	Workers int
+	// MaxSequenceLen enables sequence emulation (trap coalescing) in the
+	// virtualized runs: after each delivery FPVM keeps emulating up to this
+	// many following straight-line FP instructions for free. 0 keeps the
+	// classic one-trap-one-instruction pipeline (the paper's configuration).
+	MaxSequenceLen int
 }
 
 func (o *Options) defaults() {
@@ -150,7 +155,11 @@ func runPair(w workloads.Workload, sys arith.System, o Options) (*RunResult, err
 		vm2.Delivery = o.Delivery
 		vm2.CorrectnessDelivery = o.Delivery
 	}
-	vm := fpvm.Attach(vm2, fpvm.Config{System: sys, GCEveryNAllocs: o.GCEveryNAllocs})
+	vm := fpvm.Attach(vm2, fpvm.Config{
+		System:         sys,
+		GCEveryNAllocs: o.GCEveryNAllocs,
+		MaxSequenceLen: o.MaxSequenceLen,
+	})
 	if err := vm2.Run(0); err != nil {
 		return nil, fmt.Errorf("%s under FPVM: %w", w.Name, err)
 	}

@@ -312,3 +312,39 @@ func TestNaNLoadEquivalence(t *testing.T) {
 			r.HWCycles, r.PatchedCycles)
 	}
 }
+
+// TestSeqEmuAblation is the acceptance gate for sequence emulation: with
+// coalescing on, at least one Figure 12 workload must deliver >=25% fewer
+// FP traps and run in measurably fewer modeled cycles than the classic
+// one-trap-one-instruction pipeline.
+func TestSeqEmuAblation(t *testing.T) {
+	o := opts()
+	o.MaxSequenceLen = 16
+	rows, err := Fig12Data(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestDrop := 0.0
+	cyclesFell := false
+	for _, r := range rows {
+		if r.Traps == 0 {
+			continue
+		}
+		if r.SeqTraps > r.Traps {
+			t.Errorf("%s: coalescing increased traps %d -> %d", r.Name, r.Traps, r.SeqTraps)
+		}
+		drop := 1 - float64(r.SeqTraps)/float64(r.Traps)
+		if drop > bestDrop {
+			bestDrop = drop
+		}
+		if r.SeqSlowdown > 0 && r.SeqSlowdown < r.Slowdown["R815"] {
+			cyclesFell = true
+		}
+	}
+	if bestDrop < 0.25 {
+		t.Fatalf("best trap drop %.1f%% < 25%%", 100*bestDrop)
+	}
+	if !cyclesFell {
+		t.Fatal("no workload showed a modeled-cycle reduction under coalescing")
+	}
+}

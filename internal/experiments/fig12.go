@@ -15,6 +15,12 @@ type Fig12Row struct {
 	Slowdown  map[string]float64 // profile name → slowdown factor
 	Traps     uint64
 	FPFrac    float64 // dynamic FP instruction fraction (native)
+
+	// Sequence-emulation ablation, populated when Options.MaxSequenceLen > 0:
+	// the same benchmark with trap coalescing on. The main columns always
+	// describe the classic pipeline, so the pair is a direct on/off ablation.
+	SeqTraps    uint64  // FP traps with coalescing on
+	SeqSlowdown float64 // R815 slowdown with coalescing on
 }
 
 // fig12Workloads mirrors the paper's Figure 12 row set. As in the paper,
@@ -30,8 +36,10 @@ var fig12OnlyR815 = map[string]bool{
 // trap delivery cost varies across profiles (see RunResult.SlowdownOn).
 func Fig12Data(o Options) ([]Fig12Row, error) {
 	o.defaults()
+	base := o
+	base.MaxSequenceLen = 0
 	return forEachCell(o.Workers, allFig12(o), func(_ int, w workloads.Workload) (Fig12Row, error) {
-		r, err := runPair(w, arith.NewMPFR(o.Prec), o)
+		r, err := runPair(w, arith.NewMPFR(o.Prec), base)
 		if err != nil {
 			return Fig12Row{}, err
 		}
@@ -47,6 +55,18 @@ func Fig12Data(o Options) ([]Fig12Row, error) {
 				continue
 			}
 			row.Slowdown[p.Name] = r.SlowdownOn(p, trap.DeliverUserSignal)
+		}
+		if o.MaxSequenceLen > 0 {
+			sr, err := runPair(w, arith.NewMPFR(o.Prec), o)
+			if err != nil {
+				return Fig12Row{}, err
+			}
+			row.SeqTraps = sr.VM.Stats.Traps
+			for _, p := range trap.Profiles() {
+				if p.Name == "R815" {
+					row.SeqSlowdown = sr.SlowdownOn(p, trap.DeliverUserSignal)
+				}
+			}
 		}
 		return row, nil
 	})
@@ -72,8 +92,15 @@ func Fig12(o Options) error {
 		return err
 	}
 	fmt.Fprintf(o.W, "Figure 12: Summary of benchmark slowdowns (FPVM + MPFR %d-bit)\n", o.Prec)
-	fmt.Fprintf(o.W, "%-18s %-14s %10s %10s %10s %9s %7s\n",
-		"benchmark", "specifics", "R815", "7220", "R730xd", "traps", "fp%")
+	seq := o.MaxSequenceLen > 0
+	if seq {
+		fmt.Fprintf(o.W, "%-18s %-14s %10s %10s %10s %9s %7s | %9s %8s %10s\n",
+			"benchmark", "specifics", "R815", "7220", "R730xd", "traps", "fp%",
+			"seqtraps", "Δtraps", "seqR815")
+	} else {
+		fmt.Fprintf(o.W, "%-18s %-14s %10s %10s %10s %9s %7s\n",
+			"benchmark", "specifics", "R815", "7220", "R730xd", "traps", "fp%")
+	}
 	for _, r := range rows {
 		cell := func(p string) string {
 			if v, ok := r.Slowdown[p]; ok {
@@ -81,11 +108,23 @@ func Fig12(o Options) error {
 			}
 			return fmt.Sprintf("%10s", "—")
 		}
-		fmt.Fprintf(o.W, "%-18s %-14s %s %s %s %9d %6.1f%%\n",
+		fmt.Fprintf(o.W, "%-18s %-14s %s %s %s %9d %6.1f%%",
 			r.Name, r.Specifics, cell("R815"), cell("7220"), cell("R730xd"),
 			r.Traps, 100*r.FPFrac)
+		if seq {
+			drop := 0.0
+			if r.Traps > 0 {
+				drop = 100 * (1 - float64(r.SeqTraps)/float64(r.Traps))
+			}
+			fmt.Fprintf(o.W, " | %9d %7.1f%% %9.0fx", r.SeqTraps, drop, r.SeqSlowdown)
+		}
+		fmt.Fprintln(o.W)
 	}
 	fmt.Fprintln(o.W, "\nSlowdowns are deterministic cycle-count ratios; the dynamic FP fraction and")
 	fmt.Fprintln(o.W, "per-op emulation cost drive the spread, as in the paper (IS lowest, CG/LU/MG highest).")
+	if seq {
+		fmt.Fprintf(o.W, "Sequence emulation (right of |): MaxSequenceLen=%d; Δtraps is the delivery\n", o.MaxSequenceLen)
+		fmt.Fprintln(o.W, "reduction from coalescing straight-line FP runs into one trap each.")
+	}
 	return nil
 }

@@ -20,47 +20,77 @@ type Fig9Row struct {
 	GC          float64
 	Correctness float64 // amortized correctness-trap cost per FP trap
 	Total       float64
+
+	// Sequence-emulation ablation, populated when Options.MaxSequenceLen > 0.
+	// The main columns always describe the classic one-trap-one-instruction
+	// pipeline; these describe the same benchmark with coalescing on.
+	SeqTraps   uint64  // FP traps with coalescing on
+	SeqTotal   float64 // per-trap total with coalescing on (the run is amortized)
+	MeanSeqLen float64 // mean instructions retired per delivery
+}
+
+// fig9Row computes the per-trap breakdown from one finished run.
+func fig9Row(name string, r *RunResult) *Fig9Row {
+	st := r.VM.Stats
+	traps := st.Traps
+	if traps == 0 {
+		return nil
+	}
+	profile := r.Virt.Profile
+	hw, kern := profile.Breakdown()
+	// Delivery components scale with every delivered trap (FP +
+	// correctness); report per FP trap as the paper does.
+	delivered := r.Virt.Stats.Trap.Delivered
+	corrCycles := st.Cycles.Correctness +
+		(delivered-traps)*(profile.EntryCycles(trap.DeliverUserSignal)+profile.ExitCycles(trap.DeliverUserSignal))
+	row := &Fig9Row{
+		Name:        name,
+		Traps:       traps,
+		Hardware:    float64(hw),
+		Kernel:      float64(kern),
+		Decode:      float64(st.Cycles.Decode) / float64(traps),
+		Bind:        float64(st.Cycles.Bind) / float64(traps),
+		Emulate:     float64(st.Cycles.Emulate) / float64(traps),
+		GC:          float64(st.Cycles.GC) / float64(traps),
+		Correctness: float64(corrCycles) / float64(traps),
+	}
+	row.Total = row.Hardware + row.Kernel + row.Decode + row.Bind +
+		row.Emulate + row.GC + row.Correctness
+	return row
 }
 
 // Fig9Data computes the Figure 9 breakdown for the paper's six codes using
-// MPFR at o.Prec bits (200 in the paper).
+// MPFR at o.Prec bits (200 in the paper). With Options.MaxSequenceLen > 0 it
+// additionally runs each code with sequence emulation on and fills the
+// ablation columns.
 func Fig9Data(o Options) ([]Fig9Row, error) {
 	o.defaults()
 	ws, err := selectWorkloads(fig9Workloads)
 	if err != nil {
 		return nil, err
 	}
+	base := o
+	base.MaxSequenceLen = 0
 	cells, err := forEachCell(o.Workers, ws, func(_ int, w workloads.Workload) (*Fig9Row, error) {
-		r, err := runPair(w, arith.NewMPFR(o.Prec), o)
+		r, err := runPair(w, arith.NewMPFR(o.Prec), base)
 		if err != nil {
 			return nil, err
 		}
-		st := r.VM.Stats
-		traps := st.Traps
-		if traps == 0 {
-			return nil, nil
+		row := fig9Row(w.Name, r)
+		if row == nil || o.MaxSequenceLen <= 0 {
+			return row, nil
 		}
-		profile := r.Virt.Profile
-		hw, kern := profile.Breakdown()
-		// Delivery components scale with every delivered trap (FP +
-		// correctness); report per FP trap as the paper does.
-		delivered := r.Virt.Stats.Trap.Delivered
-		corrCycles := st.Cycles.Correctness +
-			(delivered-traps)*(profile.EntryCycles(trap.DeliverUserSignal)+profile.ExitCycles(trap.DeliverUserSignal))
-		row := Fig9Row{
-			Name:        w.Name,
-			Traps:       traps,
-			Hardware:    float64(hw),
-			Kernel:      float64(kern),
-			Decode:      float64(st.Cycles.Decode) / float64(traps),
-			Bind:        float64(st.Cycles.Bind) / float64(traps),
-			Emulate:     float64(st.Cycles.Emulate) / float64(traps),
-			GC:          float64(st.Cycles.GC) / float64(traps),
-			Correctness: float64(corrCycles) / float64(traps),
+		sr, err := runPair(w, arith.NewMPFR(o.Prec), o)
+		if err != nil {
+			return nil, err
 		}
-		row.Total = row.Hardware + row.Kernel + row.Decode + row.Bind +
-			row.Emulate + row.GC + row.Correctness
-		return &row, nil
+		if srow := fig9Row(w.Name, sr); srow != nil {
+			st := sr.VM.Stats
+			row.SeqTraps = srow.Traps
+			row.SeqTotal = srow.Total
+			row.MeanSeqLen = float64(st.Traps+st.Coalesced) / float64(st.Traps)
+		}
+		return row, nil
 	})
 	if err != nil {
 		return nil, err
@@ -84,14 +114,36 @@ func Fig9(o Options) error {
 		return err
 	}
 	fmt.Fprintf(o.W, "Figure 9: Average cost of virtualizing an FP instruction (cycles/trap, MPFR %d-bit)\n", o.Prec)
-	fmt.Fprintf(o.W, "%-18s %9s %9s %9s %7s %7s %9s %7s %11s %9s\n",
-		"benchmark", "traps", "hardware", "kernel", "decode", "bind", "emulate", "gc", "correctness", "TOTAL")
+	seq := o.MaxSequenceLen > 0
+	hdr := "%-18s %9s %9s %9s %7s %7s %9s %7s %11s %9s"
+	if seq {
+		hdr += " | %9s %9s %7s"
+	}
+	if seq {
+		fmt.Fprintf(o.W, hdr+"\n", "benchmark", "traps", "hardware", "kernel",
+			"decode", "bind", "emulate", "gc", "correctness", "TOTAL",
+			"seqtraps", "seqTOTAL", "len")
+	} else {
+		fmt.Fprintf(o.W, hdr+"\n", "benchmark", "traps", "hardware", "kernel",
+			"decode", "bind", "emulate", "gc", "correctness", "TOTAL")
+	}
 	for _, r := range rows {
-		fmt.Fprintf(o.W, "%-18s %9d %9.0f %9.0f %7.1f %7.1f %9.0f %7.1f %11.1f %9.0f\n",
-			r.Name, r.Traps, r.Hardware, r.Kernel, r.Decode, r.Bind,
-			r.Emulate, r.GC, r.Correctness, r.Total)
+		if seq {
+			fmt.Fprintf(o.W, "%-18s %9d %9.0f %9.0f %7.1f %7.1f %9.0f %7.1f %11.1f %9.0f | %9d %9.0f %7.2f\n",
+				r.Name, r.Traps, r.Hardware, r.Kernel, r.Decode, r.Bind,
+				r.Emulate, r.GC, r.Correctness, r.Total,
+				r.SeqTraps, r.SeqTotal, r.MeanSeqLen)
+		} else {
+			fmt.Fprintf(o.W, "%-18s %9d %9.0f %9.0f %7.1f %7.1f %9.0f %7.1f %11.1f %9.0f\n",
+				r.Name, r.Traps, r.Hardware, r.Kernel, r.Decode, r.Bind,
+				r.Emulate, r.GC, r.Correctness, r.Total)
+		}
 	}
 	fmt.Fprintln(o.W, "\nNote: decode amortizes to near zero through the decode cache (hit rate ~100%);")
 	fmt.Fprintln(o.W, "correctness cost is significant only for Enzo, whose interleaved structs defeat VSA (§5.3).")
+	if seq {
+		fmt.Fprintf(o.W, "Sequence emulation (right of |): MaxSequenceLen=%d; seqTOTAL includes the whole\n", o.MaxSequenceLen)
+		fmt.Fprintln(o.W, "coalesced run per delivery, so cycles per *instruction* fall by roughly the mean length.")
+	}
 	return nil
 }

@@ -14,8 +14,10 @@ type Arena struct {
 	marked []bool
 	free   []uint64
 
-	allocs uint64 // lifetime allocations
-	live   int    // currently allocated cells
+	allocs    uint64 // lifetime allocations
+	reuses    uint64 // allocations served from the free list
+	live      int    // currently allocated cells
+	highWater int    // peak simultaneously-live cells
 }
 
 // NewArena returns an empty arena.
@@ -25,7 +27,11 @@ func NewArena() *Arena { return &Arena{} }
 func (a *Arena) Alloc(v arith.Value) uint64 {
 	a.allocs++
 	a.live++
+	if a.live > a.highWater {
+		a.highWater = a.live
+	}
 	if n := len(a.free); n > 0 {
+		a.reuses++
 		k := a.free[n-1]
 		a.free = a.free[:n-1]
 		a.vals[k] = v
@@ -51,6 +57,15 @@ func (a *Arena) Live() int { return a.live }
 
 // Allocs returns the lifetime allocation count.
 func (a *Arena) Allocs() uint64 { return a.allocs }
+
+// HighWater returns the peak number of simultaneously live cells: the
+// table's real memory footprint, since swept slots are recycled through the
+// free list rather than returned to the Go heap.
+func (a *Arena) HighWater() int { return a.highWater }
+
+// Reuses returns how many allocations were served from the free list
+// instead of growing the slot table.
+func (a *Arena) Reuses() uint64 { return a.reuses }
 
 // Mark flags key as reachable during a GC pass; it reports whether the key
 // named a live cell (the conservative scanner probes arbitrary bit

@@ -13,6 +13,7 @@ const (
 	kindCompare                 // writes RFLAGS, no destination value
 	kindToInt                   // double → integer conversion
 	kindFromInt                 // integer → double conversion
+	kindMove                    // bit transport (sequence emulation only)
 )
 
 // decodedInst is FPVM's decoder-independent instruction representation: the
@@ -161,6 +162,12 @@ func translate(in isa.Inst) *decodedInst {
 		d.srcs = []isa.Operand{in.Ops[1]}
 		d.dst = in.Ops[0]
 		d.truncate = in.Op == isa.OpCvttsd2si
+	case isa.OpMovsd, isa.OpMovapd:
+		// FP moves never raise exceptions, so they reach the decoder only
+		// through sequence emulation's forward walk.
+		d.kind = kindMove
+		d.srcs = []isa.Operand{in.Ops[1]}
+		d.dst = in.Ops[0]
 	default:
 		panic("fpvm: decoder fed non-FP instruction " + in.Op.String())
 	}

@@ -3,6 +3,7 @@ package fpvm
 import (
 	"fpvm/internal/arith"
 	"fpvm/internal/fpu"
+	"fpvm/internal/isa"
 	"fpvm/internal/machine"
 )
 
@@ -10,9 +11,10 @@ import (
 // system and retires it: results are boxed into the destination, compares
 // write RFLAGS, conversions cross the IEEE/shadow boundary, and RIP
 // advances past the instruction. This is §4.1's emulator: one scalar
-// function per abstract operation, invoked once per vector lane.
-func (vm *VM) emulate(f *machine.TrapFrame, d *decodedInst) error {
-	m := f.M
+// function per abstract operation, invoked once per vector lane. It is
+// called both for the faulting instruction of a trap and for every
+// instruction coalesced into the same delivery by sequence emulation.
+func (vm *VM) emulate(m *machine.Machine, d *decodedInst) error {
 	vm.Stats.Cycles.Emulate += vm.costs.EmulateBase
 	m.Cycles += vm.costs.EmulateBase
 
@@ -93,6 +95,37 @@ func (vm *VM) emulate(f *machine.TrapFrame, d *decodedInst) error {
 		vm.Stats.Emulated++
 		if err := m.WriteOperandFP(d.dst, 0, vm.boxResult(res)); err != nil {
 			return err
+		}
+
+	case kindMove:
+		// Moves never fault and carry no arithmetic: the handler transports
+		// the raw (possibly NaN-boxed) bits exactly as the hardware would,
+		// so a coalesced run continues through register/memory shuffling.
+		// Mirrors Machine.execFPMove: movsd from memory zeroes the upper
+		// destination lane; movapd copies both lanes.
+		if d.lanes == 1 {
+			bits, err := m.ReadOperandFP(d.srcs[0], 0)
+			if err != nil {
+				return err
+			}
+			if d.dst.Kind == isa.KindFPReg && d.srcs[0].Kind == isa.KindMem {
+				if err := m.WriteOperandFP(d.dst, 1, 0); err != nil {
+					return err
+				}
+			}
+			if err := m.WriteOperandFP(d.dst, 0, bits); err != nil {
+				return err
+			}
+		} else {
+			for lane := 0; lane < 2; lane++ {
+				bits, err := m.ReadOperandFP(d.srcs[0], lane)
+				if err != nil {
+					return err
+				}
+				if err := m.WriteOperandFP(d.dst, lane, bits); err != nil {
+					return err
+				}
+			}
 		}
 	}
 

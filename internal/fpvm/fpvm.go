@@ -59,6 +59,15 @@ type Config struct {
 	// a 1-second wall-clock epoch; an allocation budget is the
 	// deterministic analog. 0 means the default (200k).
 	GCEveryNAllocs uint64
+	// MaxSequenceLen bounds sequence emulation, the software amortization of
+	// trap delivery: after handling the faulting instruction the handler
+	// keeps walking the dense instruction stream and emulating while the
+	// next instruction is plain FP arithmetic or an FP move with no patch,
+	// correctness-site, or other side-table entry, up to this many extra
+	// instructions per delivery. Each coalesced instruction pays decode,
+	// bind, and emulate cost but zero delivery cost. 0 disables coalescing
+	// and preserves the one-trap-one-instruction behavior bit for bit.
+	MaxSequenceLen int
 	// DisableDecodeCache forces a full decode on every trap (ablation).
 	DisableDecodeCache bool
 	// DisableGC turns garbage collection off entirely (ablation; memory
@@ -90,8 +99,14 @@ type Stats struct {
 	ExtDemotions uint64 // demotions at external call sites
 	OutputHooks  uint64 // hijacked output conversions
 	UniversalNaN uint64 // sNaNs with no shadow cell (treated as true NaN)
-	GC           GCStats
-	Cycles       CycleBreakdown
+
+	// Sequence-emulation counters (Config.MaxSequenceLen > 0).
+	Sequences  uint64                // deliveries that coalesced at least one extra instruction
+	Coalesced  uint64                // instructions emulated with zero delivery cost
+	SeqLenHist [SeqLenBuckets]uint64 // histogram of per-delivery run lengths (faulting inst included)
+
+	GC     GCStats
+	Cycles CycleBreakdown
 }
 
 // VM is an attached floating point virtual machine.
@@ -143,7 +158,8 @@ func Attach(m *machine.Machine, cfg Config) *VM {
 }
 
 // handleFPTrap is the SIGFPE-analog entry point: decode (cached), bind,
-// emulate, and occasionally collect garbage (§4.1).
+// emulate, optionally coalesce the following straight-line FP run into the
+// same delivery, and occasionally collect garbage (§4.1).
 func (vm *VM) handleFPTrap(f *machine.TrapFrame) error {
 	vm.Stats.Traps++
 	// Read and clear the sticky condition flags, as the paper's handler
@@ -153,8 +169,18 @@ func (vm *VM) handleFPTrap(f *machine.TrapFrame) error {
 	d := vm.decode(f.Idx, f.Inst)
 	vm.bind(d) // charge binding (address resolution happens per access)
 
-	if err := vm.emulate(f, d); err != nil {
+	if err := vm.emulate(f.M, d); err != nil {
 		return err
+	}
+
+	// Sequence emulation: one delivery has been paid; amortize it over the
+	// rest of the basic block's FP work.
+	if vm.cfg.MaxSequenceLen > 0 {
+		n, err := vm.coalesce(f)
+		if err != nil {
+			return err
+		}
+		f.Coalesced = n
 	}
 
 	// Epoch GC, driven by allocation volume.

@@ -9,19 +9,25 @@ import (
 
 // GCStats records garbage collector behavior, the data behind Figure 10.
 type GCStats struct {
-	Passes      uint64
-	TotalFreed  uint64
-	TotalMarked uint64
-	LastAlive   int
-	LastFreed   int
-	LastCycles  uint64        // modeled cost of the last pass
-	LastWall    time.Duration // measured wall time of the last pass
+	Passes         uint64
+	TotalFreed     uint64
+	TotalMarked    uint64
+	LastAlive      int
+	LastFreed      int
+	LastCycles     uint64        // modeled cost of the last pass
+	LastWall       time.Duration // measured wall time of the last pass
+	ArenaHighWater int           // peak simultaneously-live shadow cells
+	ArenaReuses    uint64        // allocations served from the free list
 }
 
 // RunGC performs one conservative mark-and-sweep pass over all writable
 // program state (§4.1): every FP register lane, every integer register, and
-// every aligned 8-byte word of memory is tested for the NaN-box pattern;
-// hits mark their arena cell, and unmarked cells are swept.
+// every aligned 8-byte word of *writable* memory — the data segment and the
+// heap/stack above it — is tested for the NaN-box pattern; hits mark their
+// arena cell, and unmarked cells are swept. The code segment's address range
+// is read-only program text (the paper scans "writable program memory"), so
+// skipping it both avoids false-positive marks from code bytes that happen
+// to look like NaN-boxes and shrinks the modeled scan cost.
 //
 // The pointer graph is bipartite — program locations point at shadow cells,
 // never the reverse — so a single scan pass suffices; there is no
@@ -47,7 +53,11 @@ func (vm *VM) RunGC() {
 		probe(uint64(m.R[r]))
 	}
 	mem := m.Mem
-	for off := 0; off+8 <= len(mem); off += 8 {
+	lo := int(m.WritableBase()) &^ 7
+	if lo > len(mem) {
+		lo = len(mem)
+	}
+	for off := lo; off+8 <= len(mem); off += 8 {
 		probe(binary.LittleEndian.Uint64(mem[off:]))
 		scanned++
 	}
@@ -64,5 +74,7 @@ func (vm *VM) RunGC() {
 	vm.Stats.GC.LastFreed = freed
 	vm.Stats.GC.LastCycles = cost
 	vm.Stats.GC.LastWall = time.Since(start)
+	vm.Stats.GC.ArenaHighWater = vm.Arena.HighWater()
+	vm.Stats.GC.ArenaReuses = vm.Arena.Reuses()
 	vm.lastGC = vm.Arena.Allocs()
 }

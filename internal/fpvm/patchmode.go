@@ -65,7 +65,7 @@ func (vm *VM) patchSiteHandler(f *machine.TrapFrame) (bool, error) {
 	// Check failed: invoke FPVM internals directly (no trap delivery).
 	vm.Stats.Traps++
 	vm.bind(d)
-	if err := vm.emulate(f, d); err != nil {
+	if err := vm.emulate(f.M, d); err != nil {
 		return false, err
 	}
 	if !vm.cfg.DisableGC && vm.Arena.Allocs()-vm.lastGC >= vm.gcEvery {

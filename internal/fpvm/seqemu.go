@@ -1,0 +1,95 @@
+package fpvm
+
+import (
+	"fpvm/internal/isa"
+	"fpvm/internal/machine"
+)
+
+// Sequence emulation amortizes one trap delivery across a run of FP
+// instructions. Figure 9 shows per-trap cost dominated by delivery (~1,000
+// cycles of hardware dispatch plus ~2,600 of kernel signal path); §6 attacks
+// that cost with cheaper delivery hardware. The orthogonal, software-only
+// attack implemented here is coalescing: once the handler has eaten one
+// delivery it keeps decoding and emulating the *following* instructions in
+// the alternative arithmetic until a non-emulatable one is reached, so a
+// basic block's worth of FP work pays for one trap instead of N. Each
+// coalesced instruction costs decode-cache + bind + emulate but zero
+// delivery.
+
+// SeqLenBuckets is the number of buckets in Stats.SeqLenHist. Bucket
+// boundaries are powers of two; SeqLenBucketLabel names them.
+const SeqLenBuckets = 8
+
+// seqBucket maps a per-delivery run length (faulting instruction included)
+// to its histogram bucket: 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, 65+.
+func seqBucket(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n == 2:
+		return 1
+	case n <= 4:
+		return 2
+	case n <= 8:
+		return 3
+	case n <= 16:
+		return 4
+	case n <= 32:
+		return 5
+	case n <= 64:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// SeqLenBucketLabel returns the human-readable range of histogram bucket i.
+func SeqLenBucketLabel(i int) string {
+	return [...]string{"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65+"}[i]
+}
+
+// coalesce walks forward from the faulting instruction through the dense
+// predecoded stream, emulating while the stop conditions permit, and returns
+// how many extra instructions it retired. The machine advances RIP past the
+// whole run (emulate moves RIP per instruction) and credits the retirements
+// from TrapFrame.Coalesced.
+func (vm *VM) coalesce(f *machine.TrapFrame) (int, error) {
+	m := f.M
+	insts := m.Insts()
+	packed := f.Inst.Op.IsPacked()
+	n := 0
+	for idx := f.Idx + 1; idx < len(insts) && n < vm.cfg.MaxSequenceLen; idx++ {
+		if !coalescable(m, idx, insts[idx].Op, packed) {
+			break
+		}
+		d := vm.decode(idx, insts[idx])
+		vm.bind(d)
+		if err := vm.emulate(m, d); err != nil {
+			return n, err
+		}
+		vm.Stats.Coalesced++
+		n++
+	}
+	if n > 0 {
+		vm.Stats.Sequences++
+	}
+	vm.Stats.SeqLenHist[seqBucket(1+n)]++
+	return n, nil
+}
+
+// coalescable is the conservative stop-condition predicate, mirroring the
+// §4.2 virtualizability holes. A run continues only through instructions
+// that are (a) plain FP arithmetic or FP moves — anything else (integer
+// ops, branches, bitwise FP, I/O, callext/trapc, halt) must go back through
+// the machine's dispatcher; (b) in the same scalar/packed lane mode as the
+// faulting instruction; and (c) free of side-table entries (patch sites and
+// correctness sites carry their own required dispatch semantics).
+func coalescable(m *machine.Machine, idx int, op isa.Op, packed bool) bool {
+	if !op.IsFPArith() && !op.IsFPMove() {
+		return false
+	}
+	if op.IsPacked() != packed {
+		return false
+	}
+	return !m.SeqBarrier(idx)
+}

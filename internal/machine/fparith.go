@@ -144,7 +144,11 @@ func (m *Machine) execFPArith(in isa.Inst) error {
 		if err := m.deliverTrap(m.FPTrap, m.Delivery, f); err != nil {
 			return err
 		}
-		m.Stats.Instructions++
+		// Multi-retire: a sequence-emulating handler may have retired a run
+		// of instructions beyond the faulting one (f.Coalesced of them), all
+		// inside the single delivery charged above.
+		m.Stats.Instructions += 1 + uint64(f.Coalesced)
+		m.Stats.CoalescedFP += uint64(f.Coalesced)
 		return nil
 	}
 

@@ -55,6 +55,13 @@ func (c TrapCause) String() string {
 // TrapFrame is the signal-frame analog handed to trap handlers. Handlers may
 // mutate machine state freely (like writing through a ucontext) and must
 // advance RIP past the faulting instruction if they emulated it.
+//
+// A handler may retire more than one instruction per delivery: after
+// emulating the faulting instruction it can keep walking the dense stream
+// and emulate the following instructions too (sequence emulation, the
+// software amortization of the Figure 9 delivery cost). It reports the
+// number of *additional* instructions it retired in Coalesced; the machine
+// credits them to Stats.Instructions so retirement accounting stays exact.
 type TrapFrame struct {
 	M     *Machine
 	Cause TrapCause
@@ -62,6 +69,12 @@ type TrapFrame struct {
 	Idx   int       // dense instruction index of Inst (see Machine.InstIndex)
 	Flags fpu.Flags // MXCSR condition flags observed (FP exceptions)
 	Site  int64     // correctness-trap site id (trapc immediate)
+
+	// Coalesced is set by the FP trap handler: the number of instructions
+	// beyond Inst that it decoded, emulated, and advanced RIP past inside
+	// this one delivery. Zero means the classic one-trap-one-instruction
+	// contract.
+	Coalesced int
 }
 
 // TrapHandler processes a delivered trap. A nil return resumes execution at
@@ -78,6 +91,7 @@ type Stats struct {
 	Instructions   uint64            // retired instructions (incl. emulated)
 	FPInstructions uint64            // retired FP-arithmetic instructions
 	FPTraps        uint64            // delivered FP exception traps
+	CoalescedFP    uint64            // instructions retired inside a trap delivery beyond the faulting one
 	CorrectTraps   uint64            // delivered correctness traps
 	ExtCallTraps   uint64            // delivered external-call traps
 	PatchInvokes   uint64            // trap-and-patch handler invocations
@@ -108,11 +122,12 @@ type Machine struct {
 	// Program image: a dense predecoded instruction stream (the "silicon"
 	// decoder), an addr→index table for control flow, and the per-index
 	// side table carrying patch and correctness-site slots.
-	Prog    *isa.Program
-	insts   []isa.Inst
-	addrIdx []int32 // code address → index into insts; -1 off-boundary
-	slots   []instSlot
-	curIdx  int // index of the instruction currently being dispatched
+	Prog     *isa.Program
+	insts    []isa.Inst
+	addrIdx  []int32 // code address → index into insts; -1 off-boundary
+	slots    []instSlot
+	curIdx   int    // index of the instruction currently being dispatched
+	dataBase uint64 // base of the writable data segment (code space below is read-only text)
 
 	// Virtualization hooks.
 	FPTrap          TrapHandler // SIGFPE-analog handler (FPVM)
@@ -188,6 +203,7 @@ func (m *Machine) Load(prog *isa.Program) error {
 	if int(base)+len(prog.Data) > len(m.Mem) {
 		return fmt.Errorf("machine: data segment (%d bytes at %#x) exceeds memory", len(prog.Data), base)
 	}
+	m.dataBase = base
 	copy(m.Mem[base:], prog.Data)
 	m.RIP = prog.Entry
 	m.R[isa.RegSP] = int64(len(m.Mem)) // empty descending stack
@@ -314,6 +330,24 @@ func (m *Machine) CorrectnessSiteCount() int {
 	return n
 }
 
+// SeqBarrier reports whether the instruction at dense index idx carries a
+// side-table entry — a trap-and-patch handler or a correctness site — that a
+// coalescing FP trap handler must not emulate past: those sites demand their
+// own dispatch through the machine (§4.2 virtualizability holes).
+func (m *Machine) SeqBarrier(idx int) bool {
+	if idx < 0 || idx >= len(m.slots) {
+		return true
+	}
+	return m.slots[idx].patch != nil || m.slots[idx].hasSite
+}
+
+// WritableBase returns the base of writable program memory: the data segment
+// (and the heap/stack above it). Addresses below it shadow the read-only code
+// segment and are never written by a well-formed program, so conservative
+// scanners (FPVM's GC) need not probe them — the paper's §4.1 collector scans
+// "all writable program memory", not text.
+func (m *Machine) WritableBase() uint64 { return m.dataBase }
+
 // deliverTrap charges delivery costs and invokes a handler.
 func (m *Machine) deliverTrap(h TrapHandler, k trap.Kind, f *TrapFrame) error {
 	m.Stats.Trap.Record(m.Profile, k)
@@ -323,9 +357,15 @@ func (m *Machine) deliverTrap(h TrapHandler, k trap.Kind, f *TrapFrame) error {
 	return err
 }
 
-// Step executes a single instruction (or delivers a trap for it). Fetch is
-// one bounds-checked table access into the dense stream; the patch and
+// Step executes one dispatch (or delivers a trap for it). Fetch is one
+// bounds-checked table access into the dense stream; the patch and
 // correctness side tables ride in the same per-index slot.
+//
+// Contract: a Step normally retires exactly one guest instruction, but when
+// an FP trap handler performs sequence emulation it may retire a whole
+// straight-line run (1 + TrapFrame.Coalesced instructions) under one
+// delivery. Callers that count on one-instruction granularity (lockstep
+// comparators) must resynchronize on Stats.Instructions, not on Step calls.
 func (m *Machine) Step() error {
 	if m.halted {
 		return nil

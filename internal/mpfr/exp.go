@@ -67,7 +67,7 @@ func expSmall(r *Float, wp uint) *Float {
 	}
 	s := expTaylor(rr, wp)
 	for i := 0; i < j; i++ {
-		s.Mul(s, s, RoundNearestEven)
+		s.Sqr(s, RoundNearestEven)
 	}
 	return s
 }

@@ -215,7 +215,7 @@ func powTen(p int64, prec uint) *Float {
 		if p&1 == 1 {
 			z.Mul(z, base, RoundNearestEven)
 		}
-		base.Mul(base, base, RoundNearestEven)
+		base.Sqr(base, RoundNearestEven)
 	}
 	return z
 }

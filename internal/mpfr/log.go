@@ -71,7 +71,7 @@ func atanhSmall(t *Float, wp uint) *Float {
 		return sum
 	}
 	t2 := New(wp)
-	t2.Mul(t, t, RoundNearestEven)
+	t2.Sqr(t, RoundNearestEven)
 	pow := New(wp)
 	pow.Set(t, RoundNearestEven)
 	term := New(wp)

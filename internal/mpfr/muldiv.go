@@ -24,6 +24,27 @@ func (z *Float) Mul(x, y *Float, rnd RoundingMode) int {
 	return z.setRounded(neg, m, x.unitExp()+y.unitExp(), false, rnd)
 }
 
+// Sqr sets z to x² rounded to z's precision and returns the ternary value.
+// It is semantically Mul(x, x, rnd) but uses mpnat's dedicated squaring
+// kernel, which computes each symmetric cross product once — the win that
+// makes exponentiation's square-and-multiply ladders and the argument-
+// reduction squarings in exp/atan/atanh measurably cheaper.
+func (z *Float) Sqr(x *Float, rnd RoundingMode) int {
+	switch x.form {
+	case nan:
+		z.setNaN()
+		return 0
+	case inf:
+		z.setInf(false) // (±Inf)² = +Inf
+		return 0
+	case zero:
+		z.setZero(false) // (±0)² = +0
+		return 0
+	}
+	m := mpnat.Sqr(x.mant)
+	return z.setRounded(false, m, 2*x.unitExp(), false, rnd)
+}
+
 // Div sets z to x / y rounded to z's precision and returns the ternary value.
 func (z *Float) Div(x, y *Float, rnd RoundingMode) int {
 	neg := x.neg != y.neg

@@ -143,7 +143,7 @@ func (z *Float) powInt(x *Float, n int64, rnd RoundingMode) int {
 		if m&1 == 1 {
 			acc.Mul(acc, base, RoundNearestEven)
 		}
-		base.Mul(base, base, RoundNearestEven)
+		base.Sqr(base, RoundNearestEven)
 		m >>= 1
 	}
 	if n < 0 {
@@ -167,8 +167,8 @@ func (z *Float) Hypot(x, y *Float, rnd RoundingMode) int {
 	wp := z.wprec() + 32
 	xx := New(wp)
 	yy := New(wp)
-	xx.Mul(x, x, RoundNearestEven)
-	yy.Mul(y, y, RoundNearestEven)
+	xx.Sqr(x, RoundNearestEven)
+	yy.Sqr(y, RoundNearestEven)
 	s := New(wp)
 	s.Add(xx, yy, RoundNearestEven)
 	r := New(wp)

@@ -46,7 +46,7 @@ func sinTaylor(r *Float, wp uint) *Float {
 		return sum
 	}
 	r2 := New(wp)
-	r2.Mul(r, r, RoundNearestEven)
+	r2.Sqr(r, RoundNearestEven)
 	term := New(wp)
 	term.Set(r, RoundNearestEven)
 	df := New(wp)
@@ -76,7 +76,7 @@ func cosTaylor(r *Float, wp uint) *Float {
 		return sum
 	}
 	r2 := New(wp)
-	r2.Mul(r, r, RoundNearestEven)
+	r2.Sqr(r, RoundNearestEven)
 	term := New(wp)
 	term.SetUint64(1, RoundNearestEven)
 	df := New(wp)
@@ -189,7 +189,7 @@ func atanSmall(t *Float, wp uint) *Float {
 		return sum
 	}
 	t2 := New(wp)
-	t2.Mul(t, t, RoundNearestEven)
+	t2.Sqr(t, RoundNearestEven)
 	pow := New(wp)
 	pow.Set(t, RoundNearestEven)
 	term := New(wp)
@@ -243,7 +243,7 @@ func (z *Float) Atan(x *Float, rnd RoundingMode) int {
 	tmp := New(wp)
 	den := New(wp)
 	for i := 0; i < k; i++ {
-		tmp.Mul(t, t, RoundNearestEven)
+		tmp.Sqr(t, RoundNearestEven)
 		tmp.Add(tmp, one, RoundNearestEven)
 		tmp.Sqrt(tmp, RoundNearestEven)
 		den.Add(tmp, one, RoundNearestEven)
@@ -290,7 +290,7 @@ func (z *Float) Asin(x *Float, rnd RoundingMode) int {
 	// asin(x) = atan(x / sqrt(1 − x²)).
 	wp := z.wprec() + 64
 	t := New(wp)
-	t.Mul(x, x, RoundNearestEven)
+	t.Sqr(x, RoundNearestEven)
 	t.Sub(one, t, RoundNearestEven)
 	t.Sqrt(t, RoundNearestEven)
 	t.Div(x, t, RoundNearestEven)

@@ -269,8 +269,88 @@ func mulKaratsuba(x, y Nat) Nat {
 	return res
 }
 
-// Sqr returns x * x.
-func Sqr(x Nat) Nat { return Mul(x, x) }
+// Sqr returns x * x using a dedicated squaring kernel: the cross partial
+// products x[i]*x[j] (i != j) are symmetric, so they are computed once and
+// doubled, roughly halving the multiply work relative to Mul(x, x). GMP's
+// mpn layer makes the same specialization (mpn_sqr), and mpfr's
+// exponentiation loops lean on it heavily.
+func Sqr(x Nat) Nat {
+	x = x.Norm()
+	if len(x) == 0 {
+		return nil
+	}
+	if len(x) < karatsubaThreshold {
+		return sqrSchoolbook(x)
+	}
+	return sqrKaratsuba(x)
+}
+
+// sqrSchoolbook computes x² via the triangle-and-double decomposition:
+//
+//	x² = 2 * Σ_{i<j} x[i]x[j]·B^(i+j)  +  Σ_i x[i]²·B^(2i)
+//
+// Only the strictly-upper triangle of cross products is materialized; the
+// doubling is a one-bit shift of the accumulated triangle; the diagonal of
+// 128-bit squares is added last.
+func sqrSchoolbook(x Nat) Nat {
+	n := len(x)
+	z := make(Nat, 2*n)
+
+	// Upper triangle: z += x[i] * x[j] at limb offset i+j for every j > i.
+	for i := 0; i < n-1; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		var carry uint64
+		for j := i + 1; j < n; j++ {
+			hi, lo := bits.Mul64(xi, x[j])
+			s, c1 := bits.Add64(lo, z[i+j], 0)
+			s, c2 := bits.Add64(s, carry, 0)
+			z[i+j] = s
+			carry = hi + c1 + c2
+		}
+		z[i+n] += carry
+	}
+
+	// Double the triangle: z <<= 1 in place.
+	var top uint64
+	for i := range z {
+		w := z[i]
+		z[i] = w<<1 | top
+		top = w >> 63
+	}
+
+	// Diagonal: z += Σ x[i]² at limb offset 2i.
+	var carry uint64
+	for i := 0; i < n; i++ {
+		hi, lo := bits.Mul64(x[i], x[i])
+		s, c := bits.Add64(z[2*i], lo, carry)
+		z[2*i] = s
+		s, c2 := bits.Add64(z[2*i+1], hi, c)
+		z[2*i+1] = s
+		carry = c2
+	}
+	// carry can only propagate into limbs above 2n-1 if the square
+	// overflowed 2n limbs, which it cannot: (B^n - 1)² < B^(2n).
+	return z.Norm()
+}
+
+// sqrKaratsuba recurses with three squarings instead of three general
+// multiplies: (x1·B + x0)² = x1²·B² + ((x0+x1)² − x0² − x1²)·B + x0².
+func sqrKaratsuba(x Nat) Nat {
+	half := (len(x) + 1) / 2
+	x0 := Nat(x[:half]).Norm()
+	x1 := Nat(x[half:]).Norm()
+
+	z0 := Sqr(x0)
+	z2 := Sqr(x1)
+	z1 := Sub(Sub(Sqr(Add(x0, x1)), z0), z2)
+
+	res := Add(z0, Shl(z1, uint(64*half)))
+	res = Add(res, Shl(z2, uint(128*half)))
+	return res
+}
 
 // DivMod returns the quotient and remainder of x / y. It panics when y is 0.
 func DivMod(x, y Nat) (q, r Nat) {

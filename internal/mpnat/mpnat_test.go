@@ -375,3 +375,98 @@ func BenchmarkDivMod(b *testing.B) {
 		DivMod(x, y)
 	}
 }
+
+func TestSqrProperty(t *testing.T) {
+	// Both squaring kernels against math/big: small sizes exercise
+	// sqrSchoolbook, sizes above karatsubaThreshold exercise sqrKaratsuba
+	// (including its recursion back into the schoolbook base case).
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 400; i++ {
+		x := randNat(r, 6)
+		if toBig(Sqr(x)).Cmp(new(big.Int).Mul(toBig(x), toBig(x))) != 0 {
+			t.Fatalf("Sqr(%v) wrong (schoolbook)", toBig(x))
+		}
+	}
+	for i := 0; i < 40; i++ {
+		x := randNat(r, 90)
+		if toBig(Sqr(x)).Cmp(new(big.Int).Mul(toBig(x), toBig(x))) != 0 {
+			t.Fatalf("Sqr wrong at %d limbs (karatsuba)", len(x))
+		}
+	}
+}
+
+func TestSqrMatchesMul(t *testing.T) {
+	// Sqr must be a pure optimization: bit-identical to Mul(x, x) at every
+	// size, including boundary cases around the Karatsuba threshold.
+	r := rand.New(rand.NewSource(13))
+	sizes := []int{0, 1, 2, 3, karatsubaThreshold - 1, karatsubaThreshold,
+		karatsubaThreshold + 1, 2 * karatsubaThreshold, 100}
+	for _, n := range sizes {
+		x := make(Nat, n)
+		for i := range x {
+			x[i] = r.Uint64()
+		}
+		x = x.Norm()
+		if Sqr(x).Cmp(Mul(x, x)) != 0 {
+			t.Fatalf("Sqr != Mul(x,x) at %d limbs", n)
+		}
+	}
+	// Carry-chain stress: all-ones limbs maximize partial products.
+	for _, n := range []int{1, 4, 24, 64} {
+		x := make(Nat, n)
+		for i := range x {
+			x[i] = ^uint64(0)
+		}
+		if Sqr(x).Cmp(Mul(x, x)) != 0 {
+			t.Fatalf("Sqr != Mul(x,x) for all-ones at %d limbs", n)
+		}
+	}
+}
+
+func BenchmarkSqrSchoolbook(b *testing.B) {
+	r := rand.New(rand.NewSource(14))
+	x := make(Nat, 16)
+	for i := range x {
+		x[i] = r.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sqr(x)
+	}
+}
+
+func BenchmarkSqrViaMul16(b *testing.B) {
+	r := rand.New(rand.NewSource(14))
+	x := make(Nat, 16)
+	for i := range x {
+		x[i] = r.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, x)
+	}
+}
+
+func BenchmarkSqrKaratsuba(b *testing.B) {
+	r := rand.New(rand.NewSource(15))
+	x := make(Nat, 128)
+	for i := range x {
+		x[i] = r.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sqr(x)
+	}
+}
+
+func BenchmarkSqrViaMul128(b *testing.B) {
+	r := rand.New(rand.NewSource(15))
+	x := make(Nat, 128)
+	for i := range x {
+		x[i] = r.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, x)
+	}
+}

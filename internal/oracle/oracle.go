@@ -20,9 +20,12 @@
 //     engine actually exercised (the FlowFPX notion of exception-flow
 //     coverage).
 //
-// Both halves run in lockstep with a fresh native machine, retiring one
-// instruction on each side per step, so divergence is localized to the
-// first PC at which it appears.
+// Both halves run in lockstep with a fresh native machine, resynchronized on
+// retirement counts: the virtualized side steps once (which may retire a
+// whole coalesced sequence when sequence emulation is enabled), the native
+// side catches up to the same Stats.Instructions, and state is compared at
+// that boundary — so divergence is localized to the first RIP-sync point at
+// which it appears.
 package oracle
 
 import (
@@ -68,6 +71,12 @@ type Options struct {
 	// (first-divergence PC). 0 means 1e-6. Vanilla ignores it: its
 	// tolerance is bit-exactness.
 	DivergenceTol float64
+	// MaxSequenceLen is passed through to fpvm.Config: 0 runs the classic
+	// one-trap-one-instruction pipeline; >0 enables sequence emulation on
+	// the virtualized side, which the lockstep comparator absorbs by
+	// resynchronizing on retirement counts. The Vanilla bit-exactness gate
+	// must pass either way.
+	MaxSequenceLen int
 }
 
 // DefaultMaxInst bounds oracle runs when Options.MaxInst is zero.
@@ -241,7 +250,7 @@ func runSystem(t Target, sys arith.System, o Options) (*SystemReport, error) {
 		}
 		patched.Install(vmach)
 	}
-	vm := fpvm.Attach(vmach, fpvm.Config{System: sys})
+	vm := fpvm.Attach(vmach, fpvm.Config{System: sys, MaxSequenceLen: o.MaxSequenceLen})
 
 	sr := &SystemReport{
 		System:            sys.Name(),
@@ -252,28 +261,45 @@ func runSystem(t Target, sys arith.System, o Options) (*SystemReport, error) {
 	}
 	_, vanilla := sys.(arith.Vanilla)
 
-	// Lockstep: one retirement per side per iteration. The comparison after
-	// each step is demote-aware on the virtualized side — a NaN-boxed value
-	// compares as the IEEE double its shadow demotes to — so the check sees
-	// through FPVM's value representation without perturbing it.
+	// Lockstep, resynchronized on retirement counts. The virtualized side
+	// steps once — which under sequence emulation may retire a whole
+	// coalesced run inside one trap delivery — and the native side then
+	// catches up until both machines have retired the same number of
+	// instructions. At that boundary the RIPs must agree again (a RIP-sync
+	// point) and the comparison is demote-aware on the virtualized side — a
+	// NaN-boxed value compares as the IEEE double its shadow demotes to — so
+	// the check sees through FPVM's value representation without perturbing
+	// it. With MaxSequenceLen == 0 every step retires exactly one
+	// instruction on each side and this degenerates to the classic
+	// per-instruction lockstep.
 	steps := uint64(0)
 	for !nm.Halted() && !vmach.Halted() {
-		pc := nm.RIP
-		in, ok := nm.InstAt(pc)
-		if !ok {
-			return bail(fmt.Errorf("native RIP %#x off instruction boundary", pc))
-		}
-		if err := nm.Step(); err != nil {
-			return bail(fmt.Errorf("native: %w", err))
-		}
 		if err := vmach.Step(); err != nil {
 			return bail(fmt.Errorf("virtualized: %w", err))
 		}
-		steps++
+		var pc uint64
+		var in isa.Inst
+		stepped := false
+		for nm.Stats.Instructions < vmach.Stats.Instructions && !nm.Halted() {
+			pc = nm.RIP
+			var ok bool
+			in, ok = nm.InstAt(pc)
+			if !ok {
+				return bail(fmt.Errorf("native RIP %#x off instruction boundary", pc))
+			}
+			if err := nm.Step(); err != nil {
+				return bail(fmt.Errorf("native: %w", err))
+			}
+			stepped = true
+		}
+		steps = vmach.Stats.Instructions
 		if steps > o.MaxInst {
 			return bail(fmt.Errorf("lockstep budget (%d) exceeded", o.MaxInst))
 		}
 		sr.LockstepInsts = steps
+		if !stepped {
+			continue // defensive: nothing retired natively this boundary
+		}
 
 		if nm.RIP != vmach.RIP {
 			sr.ControlDiverged = true

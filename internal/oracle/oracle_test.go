@@ -135,3 +135,51 @@ func FuzzDifferentialOracle(f *testing.F) {
 		}
 	})
 }
+
+// TestVanillaBitExactWithCoalescing reruns the §5.2 bit-exactness gate with
+// sequence emulation enabled: one trap delivery now retires a whole
+// straight-line FP run, the comparator resynchronizes on retirement counts,
+// and the final state must STILL be byte-identical to native. This is the
+// tentpole correctness claim for trap coalescing.
+func TestVanillaBitExactWithCoalescing(t *testing.T) {
+	for _, tgt := range AllTargets() {
+		tgt := tgt
+		t.Run(tgt.Name, func(t *testing.T) {
+			rep, err := Run(tgt, Options{Systems: []arith.System{}, MaxSequenceLen: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := rep.Vanilla
+			if !rep.Ok() {
+				t.Fatalf("vanilla+seqemu diverged: control=%v firstPC=%#x op=%s regs=%v flags=%v mem=%v out=%v",
+					v.ControlDiverged, v.FirstDivergencePC, v.FirstDivergenceOp,
+					v.RegsIdentical, v.FlagsIdentical, v.MemIdentical, v.OutputIdentical)
+			}
+			if v.LockstepInsts != rep.NativeInstructions {
+				t.Errorf("lockstep retired %d instructions, native %d",
+					v.LockstepInsts, rep.NativeInstructions)
+			}
+		})
+	}
+}
+
+// TestCoalescingReducesTraps checks the oracle sees fewer deliveries with
+// coalescing on, for a target known to have straight-line FP runs.
+func TestCoalescingReducesTraps(t *testing.T) {
+	tgt, err := Lookup("Lorenz Attractor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(tgt, Options{Systems: []arith.System{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Run(tgt, Options{Systems: []arith.System{}, MaxSequenceLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Vanilla.FPTraps >= off.Vanilla.FPTraps {
+		t.Fatalf("traps did not drop under coalescing: %d (on) vs %d (off)",
+			on.Vanilla.FPTraps, off.Vanilla.FPTraps)
+	}
+}

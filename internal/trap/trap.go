@@ -174,7 +174,10 @@ type Stats struct {
 	ExitCycles  uint64 // total cycles spent returning
 }
 
-// Record charges one delivery round trip to the stats.
+// Record charges one delivery round trip to the stats. The machine calls it
+// once per deliverTrap, so under sequence emulation a whole coalesced run of
+// instructions is charged exactly one round trip — that amortization is the
+// entire point of coalescing.
 func (s *Stats) Record(p *CostProfile, k Kind) {
 	s.Delivered++
 	s.EntryCycles += p.EntryCycles(k)
