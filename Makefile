@@ -1,10 +1,12 @@
 GO ?= go
 FUZZTIME ?= 30s
+# Minimum aggregate statement coverage (percent) over ./internal/...
+COVERFLOOR ?= 80
 
-.PHONY: ci fmt vet build test race oracle bench-smoke fuzz-smoke bench
+.PHONY: ci fmt vet build test race cover oracle bench-smoke fuzz-smoke bench
 
 # ci mirrors .github/workflows/ci.yml exactly.
-ci: fmt vet build test race oracle bench-smoke fuzz-smoke
+ci: fmt vet build test race cover oracle bench-smoke fuzz-smoke
 
 fmt:
 	@files=$$(gofmt -l .); \
@@ -22,6 +24,16 @@ test:
 # The parallel experiment harness under the race detector.
 race:
 	$(GO) test -race ./internal/experiments
+
+# Coverage gate: the aggregate statement coverage of ./internal/... must not
+# fall below COVERFLOOR percent. The profile is left in coverage.out (CI
+# publishes it as an artifact).
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total internal coverage: $$total% (floor $(COVERFLOOR)%)"; \
+	awk -v t="$$total" -v floor="$(COVERFLOOR)" 'BEGIN { exit (t+0 < floor+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the $(COVERFLOOR)% floor"; exit 1; }
 
 # Differential oracle over every workload and example: native vs
 # FPVM+vanilla must be bit-identical, with MPFR and posit shadow reports.

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fpvm/internal/asm"
@@ -20,12 +21,27 @@ import (
 	"fpvm/internal/workloads"
 )
 
-func main() {
+func main() { os.Exit(Run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// Run is the testable entry point: it executes the CLI with the given
+// arguments and output streams and returns the process exit code. Every
+// failure path — unknown workload, unreadable input file, assembly error,
+// analysis error, missing arguments — returns non-zero so the tool is safe
+// to use in build pipelines.
+func Run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fpvm-analyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload = flag.String("workload", "", "named workload to analyze")
-		verbose  = flag.Bool("v", false, "also list sources and externals")
+		workload = fs.String("workload", "", "named workload to analyze")
+		verbose  = fs.Bool("v", false, "also list sources and externals")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "fpvm-analyze:", err)
+		return 1
+	}
 
 	var prog *isa.Program
 	var err error
@@ -33,12 +49,12 @@ func main() {
 	case *workload != "":
 		w, ok := workloads.Get(*workload)
 		if !ok {
-			fatal(fmt.Errorf("unknown workload %q", *workload))
+			return fail(fmt.Errorf("unknown workload %q", *workload))
 		}
 		prog, err = w.Build()
-	case flag.NArg() == 1:
+	case fs.NArg() == 1:
 		var src []byte
-		src, err = os.ReadFile(flag.Arg(0))
+		src, err = os.ReadFile(fs.Arg(0))
 		if err == nil {
 			prog, err = asm.Assemble(string(src))
 		}
@@ -46,31 +62,27 @@ func main() {
 		err = fmt.Errorf("usage: fpvm-analyze [-workload name | prog.s]")
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	rep, err := vsa.Analyze(prog, 0)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	p, err := patch.Apply(prog, rep)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	p.Summary(os.Stdout)
+	p.Summary(stdout)
 	if *verbose {
-		fmt.Println("sources:")
+		fmt.Fprintln(stdout, "sources:")
 		for _, s := range rep.Sources {
-			fmt.Printf("  %#06x  %v\n", s.Addr, s.Inst)
+			fmt.Fprintf(stdout, "  %#06x  %v\n", s.Addr, s.Inst)
 		}
-		fmt.Println("externals:")
+		fmt.Fprintln(stdout, "externals:")
 		for _, s := range rep.Externals {
-			fmt.Printf("  %#06x  %v\n", s.Addr, s.Inst)
+			fmt.Fprintf(stdout, "  %#06x  %v\n", s.Addr, s.Inst)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fpvm-analyze:", err)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = Run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestAnalyzeExitCodes pins that every failure path returns non-zero with a
+// diagnostic on stderr — the tool must never fail silently with exit 0 when
+// its input cannot be read or analyzed.
+func TestAnalyzeExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	badAsm := filepath.Join(dir, "bad.s")
+	if err := os.WriteFile(badAsm, []byte("\tfrobnicate r0, r1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	goodAsm := filepath.Join(dir, "good.s")
+	if err := os.WriteFile(goodAsm, []byte("\tmovsd f0, =1.5\n\taddsd f0, f0\n\thalt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"no args", nil, 1},
+		{"unknown workload", []string{"-workload", "nope"}, 1},
+		{"unreadable file", []string{filepath.Join(dir, "missing.s")}, 1},
+		{"bad assembly", []string{badAsm}, 1},
+		{"bad flag", []string{"-no-such-flag"}, 2},
+		{"valid file", []string{goodAsm}, 0},
+		{"valid workload", []string{"-workload", "FBench/"}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tt.args...)
+			if code != tt.code {
+				t.Errorf("args %v exited %d, want %d (stderr: %s)",
+					tt.args, code, tt.code, stderr)
+			}
+			if tt.code != 0 && stderr == "" {
+				t.Errorf("args %v failed with no diagnostic", tt.args)
+			}
+		})
+	}
+}
+
+func TestAnalyzeSummaryOutput(t *testing.T) {
+	code, out, stderr := runCLI(t, "-workload", "Lorenz Attractor/", "-v")
+	if code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr)
+	}
+	for _, want := range []string{"sources:", "externals:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-v output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -9,12 +9,14 @@
 //	fpvm-bench -exp fig9 -prec 512 -quick
 //	fpvm-bench -seqemu -exp fig9,fig12   # with trap-coalescing ablation columns
 //	fpvm-bench -json -quick              # machine-readable per-workload records
+//	fpvm-bench -json -quick -topsites 5  # records with per-PC trap-site rankings
 //	fpvm-bench -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -22,24 +24,33 @@ import (
 	"fpvm/internal/experiments"
 )
 
-func main() {
+func main() { os.Exit(Run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// Run is the testable entry point: it executes the CLI with the given
+// arguments and output streams and returns the process exit code.
+func Run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fpvm-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp     = flag.String("exp", "", "comma-separated experiment ids (empty = all)")
-		prec    = flag.Uint("prec", 200, "MPFR precision in bits")
-		quick   = flag.Bool("quick", false, "smaller configurations for a fast pass")
-		list    = flag.Bool("list", false, "list experiments")
-		jobs    = flag.Int("j", 0, "experiment cells to run concurrently (0 = GOMAXPROCS, 1 = sequential)")
-		jsonOut = flag.Bool("json", false, "emit machine-readable per-workload records (cycles, traps, sequences, GC) instead of figure tables")
-		seqemu  = flag.Bool("seqemu", false, "enable sequence emulation (trap coalescing); adds ablation columns to fig9/fig12")
-		seqlen  = flag.Int("seqlen", 16, "max instructions coalesced per trap delivery (with -seqemu)")
+		exp      = fs.String("exp", "", "comma-separated experiment ids (empty = all)")
+		prec     = fs.Uint("prec", 200, "MPFR precision in bits")
+		quick    = fs.Bool("quick", false, "smaller configurations for a fast pass")
+		list     = fs.Bool("list", false, "list experiments")
+		jobs     = fs.Int("j", 0, "experiment cells to run concurrently (0 = GOMAXPROCS, 1 = sequential)")
+		jsonOut  = fs.Bool("json", false, "emit machine-readable per-workload records (cycles, traps, sequences, GC) instead of figure tables")
+		seqemu   = fs.Bool("seqemu", false, "enable sequence emulation (trap coalescing); adds ablation columns to fig9/fig12")
+		seqlen   = fs.Int("seqlen", 16, "max instructions coalesced per trap delivery (with -seqemu)")
+		topSites = fs.Int("topsites", 0, "with -json: attach trap telemetry and export the N hottest trap sites per record")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range experiments.Registry {
-			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-12s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	maxSeq := 0
@@ -49,17 +60,18 @@ func main() {
 
 	if *jsonOut {
 		err := experiments.BenchJSON(experiments.Options{
-			W:              os.Stdout,
+			W:              stdout,
 			Prec:           *prec,
 			Quick:          *quick,
 			Workers:        *jobs,
 			MaxSequenceLen: maxSeq,
+			TopSites:       *topSites,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fpvm-bench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "fpvm-bench: %v\n", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	var ids []string
@@ -74,26 +86,28 @@ func main() {
 	for i, id := range ids {
 		e, ok := experiments.Lookup(strings.TrimSpace(id))
 		if !ok {
-			fmt.Fprintf(os.Stderr, "fpvm-bench: unknown experiment %q (try -list)\n", id)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "fpvm-bench: unknown experiment %q (try -list)\n", id)
+			return 1
 		}
 		if i > 0 {
-			fmt.Println()
-			fmt.Println(strings.Repeat("=", 100))
-			fmt.Println()
+			fmt.Fprintln(stdout)
+			fmt.Fprintln(stdout, strings.Repeat("=", 100))
+			fmt.Fprintln(stdout)
 		}
 		start := time.Now()
 		err := e.Run(experiments.Options{
-			W:              os.Stdout,
+			W:              stdout,
 			Prec:           *prec,
 			Quick:          *quick,
 			Workers:        *jobs,
 			MaxSequenceLen: maxSeq,
+			TopSites:       *topSites,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fpvm-bench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "fpvm-bench: %s: %v\n", e.ID, err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stderr, "[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

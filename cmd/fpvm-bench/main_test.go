@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = Run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestBenchList(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, want := range []string{"fig9", "fig12", "validation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBenchErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unknown experiment", []string{"-exp", "fig99"}, 1},
+		{"bad flag", []string{"-no-such-flag"}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tt.args...)
+			if code != tt.code {
+				t.Errorf("args %v exited %d, want %d", tt.args, code, tt.code)
+			}
+			if stderr == "" {
+				t.Errorf("args %v failed silently", tt.args)
+			}
+		})
+	}
+}
+
+func TestBenchExperimentTable(t *testing.T) {
+	code, out, stderr := runCLI(t, "-exp", "fig14", "-quick")
+	if code != 0 {
+		t.Fatalf("-exp fig14 exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(out, "trap") {
+		t.Errorf("fig14 table missing expected content:\n%s", out)
+	}
+	if !strings.Contains(stderr, "completed in") {
+		t.Errorf("timing line missing from stderr:\n%s", stderr)
+	}
+}
+
+// TestBenchJSONTopSites golden-checks the shape of the machine-readable
+// records: each row carries the run's counters, and with -topsites the
+// embedded per-PC site ranking whose trap counts must be consistent with the
+// row's aggregate trap counters.
+func TestBenchJSONTopSites(t *testing.T) {
+	code, out, stderr := runCLI(t, "-json", "-quick", "-topsites", "2")
+	if code != 0 {
+		t.Fatalf("-json exited %d: %s", code, stderr)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal([]byte(out), &rows); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("-json produced no records")
+	}
+	for _, row := range rows {
+		for _, k := range []string{"workload", "system", "native_cycles",
+			"virt_cycles", "slowdown", "fp_traps", "top_sites"} {
+			if _, ok := row[k]; !ok {
+				t.Fatalf("record missing field %q: %v", k, row)
+			}
+		}
+		sites, ok := row["top_sites"].([]any)
+		if !ok {
+			t.Fatalf("top_sites is %T, want array", row["top_sites"])
+		}
+		if len(sites) == 0 || len(sites) > 2 {
+			t.Fatalf("top_sites has %d entries, want 1..2", len(sites))
+		}
+		fpTraps := row["fp_traps"].(float64)
+		var siteTraps float64
+		for _, s := range sites {
+			site := s.(map[string]any)
+			for _, k := range []string{"pc", "op", "traps", "cycles"} {
+				if _, ok := site[k]; !ok {
+					t.Fatalf("site entry missing field %q: %v", k, site)
+				}
+			}
+			siteTraps += site["traps"].(float64)
+		}
+		if siteTraps > fpTraps {
+			t.Errorf("%s: top-2 sites claim %v traps, row has only %v",
+				row["workload"], siteTraps, fpTraps)
+		}
+	}
+}
+
+// TestBenchJSONOmitsSitesByDefault pins that telemetry stays detached (and
+// the field absent) when -topsites is not given.
+func TestBenchJSONOmitsSitesByDefault(t *testing.T) {
+	code, out, stderr := runCLI(t, "-json", "-quick")
+	if code != 0 {
+		t.Fatalf("-json exited %d: %s", code, stderr)
+	}
+	if strings.Contains(out, "top_sites") {
+		t.Error("-json without -topsites still embeds top_sites records")
+	}
+}

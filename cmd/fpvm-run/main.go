@@ -8,6 +8,7 @@
 //	fpvm-run -workload "Lorenz Attractor" -arith mpfr -prec 200
 //	fpvm-run -bin prog.fpvm -arith posit32
 //	fpvm-run -asm prog.s -arith vanilla -stats
+//	fpvm-run -workload "Lorenz Attractor/" -arith mpfr -trace out.jsonl -topsites 10
 //	fpvm-run -oracle                          # differential oracle, all targets
 //	fpvm-run -oracle -workload "Three-Body"   # oracle on one workload
 package main
@@ -15,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fpvm/internal/arith"
@@ -25,28 +27,45 @@ import (
 	"fpvm/internal/oracle"
 	"fpvm/internal/patch"
 	"fpvm/internal/posit"
+	"fpvm/internal/telemetry"
 	"fpvm/internal/trap"
 	"fpvm/internal/workloads"
 )
 
-func main() {
+func main() { os.Exit(Run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// Run is the testable entry point: it executes the CLI with the given
+// arguments and output streams and returns the process exit code. main is a
+// one-line wrapper, so end-to-end tests drive the exact flag surface and
+// output shapes users see.
+func Run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fpvm-run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload  = flag.String("workload", "", "named workload to run (see -list)")
-		asmFile   = flag.String("asm", "", "assembly source file to assemble and run")
-		arithName = flag.String("arith", "", "arithmetic system: vanilla, mpfr, adaptive, interval, bfloat16, posit8/16/32/64 (empty = native, no FPVM)")
-		prec      = flag.Uint("prec", 200, "MPFR precision in bits")
-		noPatch   = flag.Bool("no-patch", false, "skip static analysis and correctness patching")
-		patchMode = flag.Bool("patch-mode", false, "use trap-and-patch instead of trap-and-emulate (§3.2)")
-		delivery  = flag.String("delivery", "user-signal", "trap delivery model: user-signal, kernel, user-to-user")
-		stats     = flag.Bool("stats", false, "print execution statistics")
-		list      = flag.Bool("list", false, "list available workloads")
-		maxInst   = flag.Uint64("max-inst", 0, "instruction budget (0 = unlimited)")
-		spyMode   = flag.Bool("spy", false, "FPSpy mode: record FP events without changing results")
-		oracleRun = flag.Bool("oracle", false, "differential oracle: run native, FPVM+vanilla (must be bit-identical), and high-precision shadows, and report divergence")
-		seqemu    = flag.Bool("seqemu", false, "sequence emulation: coalesce straight-line FP runs into one trap delivery")
-		seqlen    = flag.Int("seqlen", 16, "max instructions coalesced per trap delivery (with -seqemu)")
+		workload  = fs.String("workload", "", "named workload to run (see -list)")
+		asmFile   = fs.String("asm", "", "assembly source file to assemble and run")
+		arithName = fs.String("arith", "", "arithmetic system: vanilla, mpfr, adaptive, interval, bfloat16, posit8/16/32/64 (empty = native, no FPVM)")
+		prec      = fs.Uint("prec", 200, "MPFR precision in bits")
+		noPatch   = fs.Bool("no-patch", false, "skip static analysis and correctness patching")
+		patchMode = fs.Bool("patch-mode", false, "use trap-and-patch instead of trap-and-emulate (§3.2)")
+		delivery  = fs.String("delivery", "user-signal", "trap delivery model: user-signal, kernel, user-to-user")
+		stats     = fs.Bool("stats", false, "print execution statistics")
+		list      = fs.Bool("list", false, "list available workloads")
+		maxInst   = fs.Uint64("max-inst", 0, "instruction budget (0 = unlimited)")
+		spyMode   = fs.Bool("spy", false, "FPSpy mode: record FP events without changing results")
+		oracleRun = fs.Bool("oracle", false, "differential oracle: run native, FPVM+vanilla (must be bit-identical), and high-precision shadows, and report divergence")
+		seqemu    = fs.Bool("seqemu", false, "sequence emulation: coalesce straight-line FP runs into one trap delivery")
+		seqlen    = fs.Int("seqlen", 16, "max instructions coalesced per trap delivery (with -seqemu)")
+		traceOut  = fs.String("trace", "", "write the telemetry event stream (trap entry/exit, promotions, demotions, GC epochs, sequences) to this JSONL file")
+		topSites  = fs.Int("topsites", 0, "print the N hottest trap sites (per-PC hits, attributed cycles, exception flags) after the run")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "fpvm-run:", err)
+		return 1
+	}
 
 	maxSeq := 0
 	if *seqemu {
@@ -55,24 +74,23 @@ func main() {
 
 	if *list {
 		for _, n := range workloads.Names() {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
-		return
+		return 0
 	}
 
 	if *oracleRun {
-		runOracle(*workload, *asmFile, *prec, *maxInst, *noPatch, maxSeq)
-		return
+		return runOracle(stdout, stderr, *workload, *asmFile, *prec, *maxInst, *noPatch, maxSeq)
 	}
 
 	prog, err := loadProgram(*workload, *asmFile)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
-	m, err := machine.New(prog, os.Stdout)
+	m, err := machine.New(prog, stdout)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	switch *delivery {
 	case "user-signal":
@@ -81,32 +99,40 @@ func main() {
 	case "user-to-user":
 		m.Delivery, m.CorrectnessDelivery = trap.DeliverUserToUser, trap.DeliverUserToUser
 	default:
-		fatal(fmt.Errorf("unknown delivery model %q", *delivery))
+		return fail(fmt.Errorf("unknown delivery model %q", *delivery))
+	}
+
+	// Telemetry: attach the collector before any handler is installed so
+	// every delivery in the run is attributed.
+	var telem *telemetry.Collector
+	if *traceOut != "" || *topSites > 0 {
+		telem = telemetry.NewCollector(0)
+		m.Telem = telem
 	}
 
 	if *spyMode {
 		spy := fpvm.AttachSpy(m)
 		if err := m.Run(*maxInst); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		spy.Report(os.Stderr, 10)
-		return
+		spy.Report(stderr, 10)
+		return finishTelemetry(stdout, stderr, telem, *traceOut, *topSites)
 	}
 
 	var vm *fpvm.VM
 	if *arithName != "" {
 		sys, err := selectArith(*arithName, *prec)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if !*noPatch {
 			p, err := patch.Apply(prog, nil)
 			if err != nil {
-				fatal(fmt.Errorf("static analysis: %w", err))
+				return fail(fmt.Errorf("static analysis: %w", err))
 			}
 			p.Install(m)
 			if *stats {
-				p.Summary(os.Stderr)
+				p.Summary(stderr)
 			}
 		}
 		vm = fpvm.Attach(m, fpvm.Config{System: sys, MaxSequenceLen: maxSeq})
@@ -116,51 +142,84 @@ func main() {
 	}
 
 	if err := m.Run(*maxInst); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	if *stats {
-		fmt.Fprintf(os.Stderr, "instructions: %d (fp: %d)\n",
+		fmt.Fprintf(stderr, "instructions: %d (fp: %d)\n",
 			m.Stats.Instructions, m.Stats.FPInstructions)
-		fmt.Fprintf(os.Stderr, "cycles:       %d\n", m.Cycles)
+		fmt.Fprintf(stderr, "cycles:       %d\n", m.Cycles)
 		if vm != nil {
 			s := vm.Stats
-			fmt.Fprintf(os.Stderr, "fp traps:     %d (decode cache hit rate %.4f)\n",
+			fmt.Fprintf(stderr, "fp traps:     %d (decode cache hit rate %.4f)\n",
 				s.Traps, hitRate(s.DecodeHits, s.DecodeMisses))
 			if s.Sequences > 0 {
-				fmt.Fprintf(os.Stderr, "seqemu:       %d sequences, %d coalesced (mean run %.2f)\n",
+				fmt.Fprintf(stderr, "seqemu:       %d sequences, %d coalesced (mean run %.2f)\n",
 					s.Sequences, s.Coalesced,
 					float64(s.Traps+s.Coalesced)/float64(s.Traps))
 			}
-			fmt.Fprintf(os.Stderr, "emulated:     %d scalars (promotions %d, unboxings %d)\n",
+			fmt.Fprintf(stderr, "emulated:     %d scalars (promotions %d, unboxings %d)\n",
 				s.Emulated, s.Promotions, s.Unboxings)
-			fmt.Fprintf(os.Stderr, "correctness:  %d traps, %d demotions\n",
+			fmt.Fprintf(stderr, "correctness:  %d traps, %d demotions\n",
 				s.CorrectTraps, s.Demotions)
-			fmt.Fprintf(os.Stderr, "gc:           %d passes, %d freed, %d alive\n",
+			fmt.Fprintf(stderr, "gc:           %d passes, %d freed, %d alive\n",
 				s.GC.Passes, s.GC.TotalFreed, vm.Arena.Live())
-			fmt.Fprintf(os.Stderr, "trap delivery: %d cycles over %d traps\n",
+			fmt.Fprintf(stderr, "trap delivery: %d cycles over %d traps\n",
 				m.Stats.Trap.TotalCycles(), m.Stats.Trap.Delivered)
 		}
 	}
+	return finishTelemetry(stdout, stderr, telem, *traceOut, *topSites)
+}
+
+// finishTelemetry renders the post-run telemetry artifacts: the hot-site
+// ranking to stdout and the JSONL event trace to the -trace file.
+func finishTelemetry(stdout, stderr io.Writer, telem *telemetry.Collector, traceOut string, topSites int) int {
+	if telem == nil {
+		return 0
+	}
+	if topSites > 0 {
+		telem.WriteTopSites(stdout, topSites)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "fpvm-run:", err)
+			return 1
+		}
+		werr := telem.WriteJSONL(f)
+		cerr := f.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "fpvm-run: writing trace:", werr)
+			return 1
+		}
+	}
+	return 0
 }
 
 // runOracle executes the differential oracle — over one named target when
 // -workload or -asm is given, else over every workload and example — and
-// exits non-zero if any virtualized-vanilla run is not bit-identical to
+// returns non-zero if any virtualized-vanilla run is not bit-identical to
 // native execution.
-func runOracle(workload, asmFile string, prec uint, maxInst uint64, noPatch bool, maxSeq int) {
+func runOracle(stdout, stderr io.Writer, workload, asmFile string, prec uint, maxInst uint64, noPatch bool, maxSeq int) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "fpvm-run:", err)
+		return 1
+	}
 	var targets []oracle.Target
 	switch {
 	case workload != "":
 		t, err := oracle.Lookup(workload)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		targets = []oracle.Target{t}
 	case asmFile != "":
 		src, err := os.ReadFile(asmFile)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		targets = []oracle.Target{{
 			Name:  asmFile,
@@ -180,21 +239,22 @@ func runOracle(workload, asmFile string, prec uint, maxInst uint64, noPatch bool
 	for i, t := range targets {
 		rep, err := oracle.Run(t, opts)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		rep.Write(os.Stdout)
+		rep.Write(stdout)
 		if !rep.Ok() {
 			failed++
 		}
 	}
-	fmt.Printf("\noracle: %d/%d targets bit-identical under virtualized vanilla\n",
+	fmt.Fprintf(stdout, "\noracle: %d/%d targets bit-identical under virtualized vanilla\n",
 		len(targets)-failed, len(targets))
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func loadProgram(workload, asmFile string) (*isa.Program, error) {
@@ -246,9 +306,4 @@ func hitRate(hits, misses uint64) float64 {
 		return 0
 	}
 	return float64(hits) / float64(hits+misses)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fpvm-run:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/examples"
+	"fpvm/internal/machine"
+)
+
+// TestRunMatchesGoldenRegistry ties the example to the shared registry: the
+// program this demo executes is the same "quickstart/harmonic" entry the
+// golden-trace tests and the differential oracle cover.
+func TestRunMatchesGoldenRegistry(t *testing.T) {
+	reg, ok := examples.Get("quickstart/harmonic")
+	if !ok {
+		t.Fatal("quickstart/harmonic missing from the example registry")
+	}
+	prog, err := reg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regOut bytes.Buffer
+	m, err := machine.New(prog, &regOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	native, vm, err := run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm != nil {
+		t.Error("native run attached a VM")
+	}
+	if native != regOut.String() {
+		t.Errorf("example output %q differs from registry program output %q",
+			native, regOut.String())
+	}
+}
+
+func TestVanillaBitIdentical(t *testing.T) {
+	native, _, err := run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vanilla, vm, err := run(arith.Vanilla{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vanilla != native {
+		t.Errorf("FPVM+Vanilla output %q differs from native %q", vanilla, native)
+	}
+	if vm == nil || vm.Stats.Traps == 0 {
+		t.Error("vanilla run virtualized no FP instructions")
+	}
+}
+
+func TestMPFRChangesResult(t *testing.T) {
+	native, _, err := run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, vm, err := run(arith.NewMPFR(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp == native {
+		t.Error("200-bit MPFR printed the same digits as IEEE double")
+	}
+	if vm.Stats.Emulated == 0 {
+		t.Error("MPFR run emulated no scalars")
+	}
+}

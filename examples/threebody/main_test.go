@@ -1,0 +1,77 @@
+package main
+
+import (
+	"testing"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/examples"
+)
+
+// TestRegistryCoversThisExample pins that the workload this demo sweeps is
+// registered as "threebody/orbit", so the golden-trace tests and the
+// differential oracle execute the same program the example shows off.
+func TestRegistryCoversThisExample(t *testing.T) {
+	reg, ok := examples.Get("threebody/orbit")
+	if !ok {
+		t.Fatal("threebody/orbit missing from the example registry")
+	}
+	if _, err := reg.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeRunShape(t *testing.T) {
+	vals, vm, err := run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm != nil {
+		t.Error("native run attached a VM")
+	}
+	if len(vals) < 6 {
+		t.Fatalf("run printed %d values, want at least 6 (three body positions)", len(vals))
+	}
+}
+
+func TestVanillaMatchesNative(t *testing.T) {
+	native, _, err := run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vanilla, vm, err := run(arith.Vanilla{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm == nil || vm.Stats.Traps == 0 {
+		t.Fatal("vanilla run virtualized no FP instructions")
+	}
+	if len(vanilla) != len(native) {
+		t.Fatalf("vanilla printed %d values, native %d", len(vanilla), len(native))
+	}
+	for i := range native {
+		if vanilla[i] != native[i] {
+			t.Errorf("value %d: vanilla %v != native %v", i, vanilla[i], native[i])
+		}
+	}
+}
+
+func TestLowPrecisionDiverges(t *testing.T) {
+	native, _, err := run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _, err := run(arith.BFloat16System{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range native {
+		if lo[i] != native[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("bfloat16 integration matched IEEE double exactly; precision sweep is vacuous")
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"fpvm/internal/machine"
 	"fpvm/internal/patch"
 	"fpvm/internal/posit"
+	"fpvm/internal/telemetry"
 )
 
 // Re-exported core types: the minimal surface a downstream user needs.
@@ -115,6 +116,17 @@ func AttachSpy(m *Machine) *Spy { return fpvm.AttachSpy(m) }
 
 // Spy is the FPSpy-mode runtime.
 type Spy = fpvm.Spy
+
+// Telemetry is the trap-attribution and exception-flow tracing collector.
+// Assign one to Machine.Telem before running to record the event stream
+// (drainable as JSONL via WriteJSONL) and the per-PC trap-site table
+// (rendered via WriteTopSites). With no collector attached the runtime's
+// behavior and modeled cycle counts are bit-identical.
+type Telemetry = telemetry.Collector
+
+// NewTelemetry returns a telemetry collector whose event ring holds ringCap
+// events (<= 0 selects the default capacity).
+func NewTelemetry(ringCap int) *Telemetry { return telemetry.NewCollector(ringCap) }
 
 // Standard posit formats, re-exported for NewPositSystem.
 var (

@@ -1,0 +1,208 @@
+// Tests of the public package surface: construction, config validation, and
+// a smoke run of every arithmetic system a downstream user can select.
+package fpvm_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fpvm"
+	"fpvm/internal/asm"
+)
+
+const apiProg = `
+	movsd f0, =0.1
+	movsd f1, =0.2
+	movsd f2, =0.0
+	mov   r0, $0
+loop:
+	addsd f2, f0
+	mulsd f1, f0
+	divsd f1, f0
+	add   r0, $1
+	cmp   r0, $100
+	jl    loop
+	outf  f2
+	halt
+`
+
+func buildAPIProg(t *testing.T) *fpvm.Program {
+	t.Helper()
+	prog, err := asm.Assemble(apiProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestNewMachine(t *testing.T) {
+	var out bytes.Buffer
+	m, err := fpvm.NewMachine(buildAPIProg(t), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles == 0 || m.Stats.Instructions == 0 {
+		t.Errorf("native run recorded no work: cycles=%d insts=%d",
+			m.Cycles, m.Stats.Instructions)
+	}
+	if out.Len() == 0 {
+		t.Error("program produced no output")
+	}
+}
+
+func TestAttachRequiresSystem(t *testing.T) {
+	m, err := fpvm.NewMachine(buildAPIProg(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Attach with zero Config did not panic")
+		}
+	}()
+	fpvm.Attach(m, fpvm.Config{})
+}
+
+// TestEverySystemSmoke attaches each public arithmetic-system constructor
+// under the same program and checks the run completes with FP work emulated.
+func TestEverySystemSmoke(t *testing.T) {
+	systems := []struct {
+		name string
+		sys  fpvm.System
+	}{
+		{"vanilla", fpvm.NewVanillaSystem()},
+		{"mpfr", fpvm.NewMPFRSystem(200)},
+		{"adaptive", fpvm.NewAdaptiveMPFRSystem(64, 1024)},
+		{"interval", fpvm.NewIntervalSystem()},
+		{"bfloat16", fpvm.NewBFloat16System()},
+		{"posit8", fpvm.NewPositSystem(fpvm.Posit8)},
+		{"posit16", fpvm.NewPositSystem(fpvm.Posit16)},
+		{"posit32", fpvm.NewPositSystem(fpvm.Posit32)},
+		{"posit64", fpvm.NewPositSystem(fpvm.Posit64)},
+	}
+	var native bytes.Buffer
+	nm, err := fpvm.NewMachine(buildAPIProg(t), &native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range systems {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.sys == nil {
+				t.Fatal("constructor returned nil system")
+			}
+			prog := buildAPIProg(t)
+			var out bytes.Buffer
+			m, err := fpvm.NewMachine(prog, &out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fpvm.AnalyzeAndPatch(prog, m); err != nil {
+				t.Fatal(err)
+			}
+			vm := fpvm.Attach(m, fpvm.Config{System: tc.sys})
+			if err := m.Run(0); err != nil {
+				t.Fatal(err)
+			}
+			if vm.Stats.Traps == 0 || vm.Stats.Emulated == 0 {
+				t.Errorf("no FP work virtualized: traps=%d emulated=%d",
+					vm.Stats.Traps, vm.Stats.Emulated)
+			}
+			if tc.name == "vanilla" && out.String() != native.String() {
+				t.Errorf("vanilla output differs from native:\n%q\nvs\n%q",
+					out.String(), native.String())
+			}
+			if out.Len() == 0 {
+				t.Error("virtualized program produced no output")
+			}
+		})
+	}
+}
+
+func TestAttachSpy(t *testing.T) {
+	var native, spied bytes.Buffer
+	nm, err := fpvm.NewMachine(buildAPIProg(t), &native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := fpvm.NewMachine(buildAPIProg(t), &spied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spy := fpvm.AttachSpy(m)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if spied.String() != native.String() {
+		t.Errorf("FPSpy mode changed program output:\n%q\nvs\n%q",
+			spied.String(), native.String())
+	}
+	var rep bytes.Buffer
+	spy.Report(&rep, 5)
+	if rep.Len() == 0 {
+		t.Error("spy report is empty")
+	}
+}
+
+// TestTelemetryPublicSurface exercises the re-exported collector end to end:
+// attach via Machine.Telem, run, render both artifacts.
+func TestTelemetryPublicSurface(t *testing.T) {
+	prog := buildAPIProg(t)
+	m, err := fpvm.NewMachine(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	telem := fpvm.NewTelemetry(0)
+	m.Telem = telem
+	vm := fpvm.Attach(m, fpvm.Config{System: fpvm.NewMPFRSystem(100)})
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	fp, _, _ := telem.TrapTotals()
+	if fp != vm.Stats.Traps {
+		t.Errorf("telemetry fp traps = %d, vm.Stats.Traps = %d", fp, vm.Stats.Traps)
+	}
+	var sites, trace bytes.Buffer
+	telem.WriteTopSites(&sites, 3)
+	if !strings.Contains(sites.String(), "trap telemetry:") {
+		t.Errorf("top-sites report malformed:\n%s", sites.String())
+	}
+	if err := telem.WriteJSONL(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(trace.String(), `{"ev":"trace-header"`) {
+		t.Errorf("JSONL trace missing header line:\n%.120s", trace.String())
+	}
+}
+
+// TestConfigDefaults pins that the zero values of the optional Config knobs
+// are usable: default GC epoch, no sequence emulation, default costs.
+func TestConfigDefaults(t *testing.T) {
+	prog := buildAPIProg(t)
+	m, err := fpvm.NewMachine(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := fpvm.Attach(m, fpvm.Config{System: fpvm.NewVanillaSystem()})
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Stats.Sequences != 0 {
+		t.Errorf("sequence emulation ran with MaxSequenceLen 0: %d sequences",
+			vm.Stats.Sequences)
+	}
+	if vm.Stats.Traps == 0 {
+		t.Error("default config virtualized no FP instructions")
+	}
+}

@@ -1,0 +1,70 @@
+package examples
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestGet(t *testing.T) {
+	for _, p := range All() {
+		got, ok := Get(p.Name)
+		if !ok {
+			t.Errorf("Get(%q) not found", p.Name)
+			continue
+		}
+		if got.Name != p.Name || got.Description != p.Description {
+			t.Errorf("Get(%q) returned a different program: %+v", p.Name, got)
+		}
+	}
+	if _, ok := Get("no/such-example"); ok {
+		t.Error("Get of an unknown name reported found")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	if len(names) != len(All()) {
+		t.Errorf("Names() has %d entries, registry has %d", len(names), len(All()))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate example name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestRegistryEntriesWellFormed(t *testing.T) {
+	for _, p := range All() {
+		if p.Name == "" || p.Description == "" || p.Build == nil {
+			t.Errorf("incomplete registry entry: %+v", p)
+			continue
+		}
+		prog, err := p.Build()
+		if err != nil {
+			t.Errorf("%s: build failed: %v", p.Name, err)
+			continue
+		}
+		if prog == nil || len(prog.Code) == 0 {
+			t.Errorf("%s: built an empty program", p.Name)
+		}
+	}
+}
+
+func TestBuildWorkloadMissingKey(t *testing.T) {
+	build := buildWorkload("test/missing", "No Such Workload/")
+	if _, err := build(); err == nil {
+		t.Error("buildWorkload with an unknown key returned no error")
+	}
+}
+
+func TestBuildSrcBadSource(t *testing.T) {
+	build := buildSrc("test/bad", "\tfrobnicate r0\n")
+	if _, err := build(); err == nil {
+		t.Error("buildSrc with invalid assembly returned no error")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"fpvm/internal/arith"
 	"fpvm/internal/fpvm"
+	"fpvm/internal/telemetry"
 	"fpvm/internal/workloads"
 )
 
@@ -36,10 +37,16 @@ type BenchRow struct {
 	ArenaAllocs    uint64 `json:"arena_allocs"`
 	ArenaHighWater int    `json:"arena_high_water"`
 	ArenaReuses    uint64 `json:"arena_reuses"`
+
+	// TopSites is the per-PC trap-site ranking (hits, attributed cycles,
+	// coalesced-run shape, exception flags), present when the run was made
+	// with Options.TopSites > 0 (fpvm-bench -topsites N).
+	TopSites []telemetry.SiteRank `json:"top_sites,omitempty"`
 }
 
-// benchRow flattens one finished pair into a record.
-func benchRow(w workloads.Workload, sys string, seqLen int, r *RunResult) BenchRow {
+// benchRow flattens one finished pair into a record. topSites bounds the
+// exported per-PC site ranking (0 omits it).
+func benchRow(w workloads.Workload, sys string, seqLen, topSites int, r *RunResult) BenchRow {
 	st := r.VM.Stats
 	row := BenchRow{
 		Workload:       w.Name,
@@ -65,6 +72,9 @@ func benchRow(w workloads.Workload, sys string, seqLen int, r *RunResult) BenchR
 		row.SeqLenHist = make([]uint64, fpvm.SeqLenBuckets)
 		copy(row.SeqLenHist, st.SeqLenHist[:])
 	}
+	if r.Telem != nil && topSites > 0 {
+		row.TopSites = r.Telem.TopSites(topSites)
+	}
 	return row
 }
 
@@ -81,13 +91,13 @@ func BenchJSONData(o Options) ([]BenchRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows := []BenchRow{benchRow(w, sys.Name(), 0, r)}
+		rows := []BenchRow{benchRow(w, sys.Name(), 0, o.TopSites, r)}
 		if o.MaxSequenceLen > 0 {
 			sr, err := runPair(w, arith.NewMPFR(o.Prec), o)
 			if err != nil {
 				return nil, err
 			}
-			rows = append(rows, benchRow(w, sys.Name(), o.MaxSequenceLen, sr))
+			rows = append(rows, benchRow(w, sys.Name(), o.MaxSequenceLen, o.TopSites, sr))
 		}
 		return rows, nil
 	})

@@ -19,6 +19,7 @@ import (
 	"fpvm/internal/fpvm"
 	"fpvm/internal/machine"
 	"fpvm/internal/patch"
+	"fpvm/internal/telemetry"
 	"fpvm/internal/trap"
 	"fpvm/internal/workloads"
 )
@@ -45,6 +46,11 @@ type Options struct {
 	// many following straight-line FP instructions for free. 0 keeps the
 	// classic one-trap-one-instruction pipeline (the paper's configuration).
 	MaxSequenceLen int
+	// TopSites, when > 0, attaches a telemetry collector to every
+	// virtualized run and exports the N hottest trap sites per workload in
+	// the BenchJSON records. Telemetry is observational — the modeled cycle
+	// counts are identical with it on or off.
+	TopSites int
 }
 
 func (o *Options) defaults() {
@@ -101,6 +107,7 @@ type RunResult struct {
 	Virt         *machine.Machine
 	VM           *fpvm.VM
 	Patched      *patch.Patched
+	Telem        *telemetry.Collector // non-nil when Options.TopSites > 0
 	NativeCycles uint64
 	VirtCycles   uint64
 }
@@ -155,6 +162,11 @@ func runPair(w workloads.Workload, sys arith.System, o Options) (*RunResult, err
 		vm2.Delivery = o.Delivery
 		vm2.CorrectnessDelivery = o.Delivery
 	}
+	var telem *telemetry.Collector
+	if o.TopSites > 0 {
+		telem = telemetry.NewCollector(0)
+		vm2.Telem = telem
+	}
 	vm := fpvm.Attach(vm2, fpvm.Config{
 		System:         sys,
 		GCEveryNAllocs: o.GCEveryNAllocs,
@@ -171,6 +183,7 @@ func runPair(w workloads.Workload, sys arith.System, o Options) (*RunResult, err
 		Virt:         vm2,
 		VM:           vm,
 		Patched:      patched,
+		Telem:        telem,
 		NativeCycles: nm.Cycles,
 		VirtCycles:   vm2.Cycles,
 	}, nil

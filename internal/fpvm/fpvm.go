@@ -122,6 +122,9 @@ type VM struct {
 	scratch [3]arith.Value // reusable operand buffer for the emulation hot path
 	gcEvery uint64
 	lastGC  uint64 // arena alloc count at last GC
+	telemPC uint64 // PC that promote/demote/unbox events attribute to
+	// (maintained by the trap handlers only while a telemetry collector is
+	// attached to the machine; see M.Telem)
 }
 
 // Attach installs FPVM underneath the program loaded in m: it unmasks all
@@ -162,6 +165,9 @@ func Attach(m *machine.Machine, cfg Config) *VM {
 // same delivery, and occasionally collect garbage (§4.1).
 func (vm *VM) handleFPTrap(f *machine.TrapFrame) error {
 	vm.Stats.Traps++
+	if f.M.Telem != nil {
+		vm.telemPC = f.Inst.Addr
+	}
 	// Read and clear the sticky condition flags, as the paper's handler
 	// does in preparation for the next instruction.
 	f.M.MXCSR.ClearFlags()
@@ -211,6 +217,9 @@ func (vm *VM) value(bits uint64) arith.Value {
 	if key, ok := nanbox.Unbox(bits); ok {
 		if v, ok := vm.Arena.Get(key); ok {
 			vm.Stats.Unboxings++
+			if t := vm.M.Telem; t != nil {
+				t.Unboxing(vm.telemPC, vm.M.Cycles)
+			}
 			return v
 		}
 		// A signaling NaN with no shadow: a universal NaN (§2).
@@ -218,6 +227,9 @@ func (vm *VM) value(bits uint64) arith.Value {
 		return vm.Sys.FromFloat64(math.NaN())
 	}
 	vm.Stats.Promotions++
+	if t := vm.M.Telem; t != nil {
+		t.Promotion(vm.telemPC, vm.M.Cycles)
+	}
 	return vm.Sys.FromFloat64(math.Float64frombits(bits))
 }
 
@@ -241,6 +253,9 @@ func (vm *VM) demoteBits(bits uint64) (uint64, bool) {
 	}
 	vm.Stats.Demotions++
 	vm.M.Cycles += vm.costs.Demote
+	if t := vm.M.Telem; t != nil {
+		t.Demotion(vm.telemPC, vm.M.Cycles)
+	}
 	return math.Float64bits(vm.Sys.ToFloat64(val)), true
 }
 
@@ -252,6 +267,10 @@ func (vm *VM) handleCorrectnessTrap(f *machine.TrapFrame) error {
 	vm.Stats.CorrectTraps++
 	vm.Stats.Cycles.Correctness += vm.costs.CorrectBase
 	vm.M.Cycles += vm.costs.CorrectBase
+	if t := vm.M.Telem; t != nil {
+		vm.telemPC = f.Inst.Addr
+		t.Correctness(f.Idx, f.Inst.Addr, f.Inst.Op, f.Site, vm.M.Cycles)
+	}
 	for _, o := range f.Inst.Ops {
 		if err := vm.demoteOperand(f, o, f.Inst.Op.IsPacked()); err != nil {
 			return err
@@ -300,6 +319,9 @@ func (vm *VM) demoteOperand(f *machine.TrapFrame, o isa.Operand, packed bool) er
 // un-analyzed external library is entered (§4.2: "we demote NaN-boxed
 // floating point registers at the call site").
 func (vm *VM) handleExternalCall(f *machine.TrapFrame) error {
+	if f.M.Telem != nil {
+		vm.telemPC = f.Inst.Addr
+	}
 	for r := 0; r < isa.NumFPRegs; r++ {
 		for l := 0; l < 2; l++ {
 			if nb, ok := vm.demoteBits(f.M.F[r][l]); ok {
@@ -316,6 +338,9 @@ func (vm *VM) handleExternalCall(f *machine.TrapFrame) error {
 // tests to compare final states).
 func (vm *VM) DemoteAll() {
 	m := vm.M
+	if m.Telem != nil {
+		vm.telemPC = m.RIP
+	}
 	for r := range m.F {
 		for l := 0; l < 2; l++ {
 			if nb, ok := vm.demoteBits(m.F[r][l]); ok {

@@ -77,4 +77,7 @@ func (vm *VM) RunGC() {
 	vm.Stats.GC.ArenaHighWater = vm.Arena.HighWater()
 	vm.Stats.GC.ArenaReuses = vm.Arena.Reuses()
 	vm.lastGC = vm.Arena.Allocs()
+	if t := m.Telem; t != nil {
+		t.GCEpoch(freed, alive, m.Cycles)
+	}
 }

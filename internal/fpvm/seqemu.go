@@ -64,6 +64,9 @@ func (vm *VM) coalesce(f *machine.TrapFrame) (int, error) {
 		}
 		d := vm.decode(idx, insts[idx])
 		vm.bind(d)
+		if m.Telem != nil {
+			vm.telemPC = insts[idx].Addr // attribute this run step's events
+		}
 		if err := vm.emulate(m, d); err != nil {
 			return n, err
 		}
@@ -72,6 +75,9 @@ func (vm *VM) coalesce(f *machine.TrapFrame) (int, error) {
 	}
 	if n > 0 {
 		vm.Stats.Sequences++
+		if t := m.Telem; t != nil {
+			t.Sequence(f.Idx, f.Inst.Addr, f.Inst.Op, 1+n, m.Cycles)
+		}
 	}
 	vm.Stats.SeqLenHist[seqBucket(1+n)]++
 	return n, nil

@@ -15,6 +15,7 @@ import (
 
 	"fpvm/internal/fpu"
 	"fpvm/internal/isa"
+	"fpvm/internal/telemetry"
 	"fpvm/internal/trap"
 )
 
@@ -139,6 +140,11 @@ type Machine struct {
 	// unnecessary. Site id -2 marks these hardware-detected traps.
 	TrapOnNaNLoad bool
 	OutFilter     func(bits uint64) (string, bool) // printf hijack (§2 printing problem)
+	// Telem, when non-nil, receives trap entry/exit events and per-PC site
+	// attribution for every delivered trap. The nil default keeps the
+	// dispatch loop's behavior and cost accounting bit-identical — telemetry
+	// is strictly observational and never charges cycles.
+	Telem *telemetry.Collector
 
 	// Cost accounting.
 	Cost                CostModel
@@ -348,13 +354,40 @@ func (m *Machine) SeqBarrier(idx int) bool {
 // "all writable program memory", not text.
 func (m *Machine) WritableBase() uint64 { return m.dataBase }
 
-// deliverTrap charges delivery costs and invokes a handler.
+// deliverTrap charges delivery costs and invokes a handler. When a telemetry
+// collector is attached it also emits trap entry/exit events and attributes
+// the delivery's full modeled cost (entry + handler + exit) to the trap site;
+// the nil path is the exact pre-telemetry sequence.
 func (m *Machine) deliverTrap(h TrapHandler, k trap.Kind, f *TrapFrame) error {
 	m.Stats.Trap.Record(m.Profile, k)
+	if m.Telem == nil {
+		m.Cycles += m.Profile.EntryCycles(k)
+		err := h(f)
+		m.Cycles += m.Profile.ExitCycles(k)
+		return err
+	}
+	cause := telemetryCause(f.Cause)
+	before := m.Cycles
 	m.Cycles += m.Profile.EntryCycles(k)
+	m.Telem.TrapEnter(cause, f.Idx, f.Inst.Addr, f.Inst.Op, f.Flags, m.Cycles)
 	err := h(f)
 	m.Cycles += m.Profile.ExitCycles(k)
+	m.Telem.TrapExit(cause, f.Idx, f.Inst.Addr, f.Inst.Op, f.Flags,
+		m.Cycles-before, f.Coalesced, m.Cycles)
 	return err
+}
+
+// telemetryCause maps the machine's trap cause onto the telemetry package's
+// import-cycle-free mirror.
+func telemetryCause(c TrapCause) telemetry.Cause {
+	switch c {
+	case CauseCorrectness:
+		return telemetry.CauseCorrectness
+	case CauseExternalCall:
+		return telemetry.CauseExternal
+	default:
+		return telemetry.CauseFP
+	}
 }
 
 // Step executes one dispatch (or delivers a trap for it). Fetch is one

@@ -32,6 +32,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"fpvm/internal/arith"
@@ -106,6 +107,46 @@ func (e *OpError) Mean() float64 {
 	return e.Sum / float64(e.Count)
 }
 
+// SiteError aggregates the shadow divergence attributed to one instruction
+// address — the NSan-style sampling that names the operation which produced
+// an error, rather than only the operation kind.
+type SiteError struct {
+	PC      uint64  // guest code address
+	Op      string  // mnemonic at that address
+	Count   uint64  // lanes compared
+	Diverse uint64  // lanes with any difference at all
+	Max     float64 // worst relative error produced here
+	Sum     float64 // for the mean
+}
+
+// Mean returns the mean relative error over all lanes compared at the site.
+func (e *SiteError) Mean() float64 {
+	if e.Count == 0 {
+		return 0
+	}
+	return e.Sum / float64(e.Count)
+}
+
+// TopDivergentSites returns the n sites with the worst attributed relative
+// error, ranked by Max descending (ties broken by PC for stable output).
+// n <= 0 returns every site.
+func (r *SystemReport) TopDivergentSites(n int) []*SiteError {
+	out := make([]*SiteError, 0, len(r.SiteErrors))
+	for _, se := range r.SiteErrors {
+		out = append(out, se)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Max != out[j].Max {
+			return out[i].Max > out[j].Max
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
 // CondClasses is the fixed order of the §2 exception condition classes in
 // coverage tables.
 var CondClasses = []fpu.Flags{
@@ -131,6 +172,9 @@ type SystemReport struct {
 
 	// Per-op relative error vs the lockstep IEEE trace.
 	OpErrors map[arith.Op]*OpError
+	// SiteErrors attributes the same lockstep divergence to the individual
+	// instruction that produced it, keyed by PC.
+	SiteErrors map[uint64]*SiteError
 
 	// Trap and exception coverage.
 	FPTraps      uint64            // delivered FP exception traps
@@ -256,6 +300,7 @@ func runSystem(t Target, sys arith.System, o Options) (*SystemReport, error) {
 		System:            sys.Name(),
 		FirstDivergencePC: -1,
 		OpErrors:          map[arith.Op]*OpError{},
+		SiteErrors:        map[uint64]*SiteError{},
 		TrapsByFlag:       map[string]uint64{},
 		CondCover:         map[fpu.Flags]uint64{},
 	}
@@ -396,14 +441,25 @@ func compareStep(sr *SystemReport, nm *machine.Machine, vm *fpvm.VM,
 				e = &OpError{}
 				sr.OpErrors[aop] = e
 			}
+			se := sr.SiteErrors[pc]
+			if se == nil {
+				se = &SiteError{PC: pc, Op: in.Op.String()}
+				sr.SiteErrors[pc] = se
+			}
 			e.Count++
+			se.Count++
 			if nb != vb {
 				e.Diverse++
+				se.Diverse++
 				identical = false
 			}
 			e.Sum += rel
+			se.Sum += rel
 			if rel > e.Max {
 				e.Max = rel
+			}
+			if rel > se.Max {
+				se.Max = rel
 			}
 			if sr.FirstDivergencePC < 0 {
 				if vanilla && nb != vb {

@@ -72,6 +72,21 @@ func writeShadow(w io.Writer, sr *SystemReport) {
 		}
 	}
 
+	// Per-site divergence attribution: which instructions produced the
+	// worst shadow-vs-IEEE errors (NSan-style sampling).
+	if sites := sr.TopDivergentSites(5); len(sites) > 0 && sites[0].Max > 0 {
+		fmt.Fprintf(w, "  worst-divergence sites:\n")
+		fmt.Fprintf(w, "  %-8s %-10s %10s %10s %12s %12s\n",
+			"pc", "op", "lanes", "differ", "max relerr", "mean relerr")
+		for _, s := range sites {
+			if s.Max == 0 {
+				break
+			}
+			fmt.Fprintf(w, "  %#06x   %-10s %10d %10d %12.3e %12.3e\n",
+				s.PC, s.Op, s.Count, s.Diverse, s.Max, s.Mean())
+		}
+	}
+
 	// Trap coverage per §2 condition class.
 	fmt.Fprintf(w, "  trap coverage: %d fp traps, %d correctness traps\n",
 		sr.FPTraps, sr.CorrectTraps)

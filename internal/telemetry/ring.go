@@ -1,0 +1,59 @@
+package telemetry
+
+// Ring is a fixed-capacity, allocation-free event buffer. Record is a struct
+// copy into a preallocated slot; when the ring is full the oldest event is
+// overwritten (the newest data is always retained, and Dropped reports how
+// many events were lost). This is the FlowFPX/FPSpy trade: a trace of the
+// most recent window plus exact aggregate tables, rather than an unbounded
+// log that would perturb the run it is observing.
+type Ring struct {
+	buf   []Event
+	total uint64 // lifetime events recorded
+}
+
+// NewRing returns a ring holding up to capacity events (<= 0 selects
+// DefaultRingCap).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCap
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record appends ev, overwriting the oldest event when full.
+func (r *Ring) Record(ev Event) {
+	r.buf[r.total%uint64(len(r.buf))] = ev
+	r.total++
+}
+
+// Cap returns the ring's event capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns how many events are currently retained.
+func (r *Ring) Len() int {
+	if r.total < uint64(len(r.buf)) {
+		return int(r.total)
+	}
+	return len(r.buf)
+}
+
+// Total returns the lifetime event count, including overwritten events.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Dropped returns how many events have been overwritten.
+func (r *Ring) Dropped() uint64 { return r.total - uint64(r.Len()) }
+
+// Snapshot returns the retained events oldest-first. It allocates (cold
+// path: report generation, not event recording).
+func (r *Ring) Snapshot() []Event {
+	n := r.Len()
+	out := make([]Event, n)
+	if n == 0 {
+		return out
+	}
+	start := r.total - uint64(n)
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(start+uint64(i))%uint64(len(r.buf))]
+	}
+	return out
+}
