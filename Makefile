@@ -3,10 +3,10 @@ FUZZTIME ?= 30s
 # Minimum aggregate statement coverage (percent) over ./internal/...
 COVERFLOOR ?= 80
 
-.PHONY: ci fmt vet build test race cover oracle bench-smoke fuzz-smoke bench
+.PHONY: ci fmt vet build test race cover oracle chaos bench-smoke fuzz-smoke bench
 
 # ci mirrors .github/workflows/ci.yml exactly.
-ci: fmt vet build test race cover oracle bench-smoke fuzz-smoke
+ci: fmt vet build test race cover oracle chaos bench-smoke fuzz-smoke
 
 fmt:
 	@files=$$(gofmt -l .); \
@@ -39,6 +39,13 @@ cover:
 # FPVM+vanilla must be bit-identical, with MPFR and posit shadow reports.
 oracle:
 	$(GO) run ./cmd/fpvm-run -oracle
+
+# Chaos suite: every workload and example under seeded fault-injection
+# campaigns, enforcing the degradation invariants (no panics, termination,
+# error-tier bit-identity, no NaN-box leaks). Failures print the reproducing
+# seed; replay one with `fpvm-run -chaos -faults seed=N,...`.
+chaos:
+	$(GO) test -run '^TestChaosFull$$' -v ./internal/chaos
 
 # Machine-readable bench records with the sequence-emulation ablation:
 # exercises the -json path and the trap-coalescing runtime end to end.

@@ -41,6 +41,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		seqemu   = fs.Bool("seqemu", false, "enable sequence emulation (trap coalescing); adds ablation columns to fig9/fig12")
 		seqlen   = fs.Int("seqlen", 16, "max instructions coalesced per trap delivery (with -seqemu)")
 		topSites = fs.Int("topsites", 0, "with -json: attach trap telemetry and export the N hottest trap sites per record")
+		storm    = fs.Uint64("storm", 0, "trap-storm governor threshold: sites trapping more than N times are patched to demote and stay native (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -66,6 +67,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 			Workers:        *jobs,
 			MaxSequenceLen: maxSeq,
 			TopSites:       *topSites,
+			StormThreshold: *storm,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "fpvm-bench: %v\n", err)
@@ -102,6 +104,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 			Workers:        *jobs,
 			MaxSequenceLen: maxSeq,
 			TopSites:       *topSites,
+			StormThreshold: *storm,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "fpvm-bench: %s: %v\n", e.ID, err)

@@ -11,6 +11,10 @@
 //	fpvm-run -workload "Lorenz Attractor/" -arith mpfr -trace out.jsonl -topsites 10
 //	fpvm-run -oracle                          # differential oracle, all targets
 //	fpvm-run -oracle -workload "Three-Body"   # oracle on one workload
+//	fpvm-run -workload FBench -arith vanilla -faults seed=7,rate=0.001 -stats
+//	fpvm-run -workload FBench -arith mpfr -storm 2000 -stats
+//	fpvm-run -chaos -seeds 4                  # chaos suite, all targets
+//	fpvm-run -chaos -workload FBench -faults seed=9,rate=0.002
 package main
 
 import (
@@ -21,6 +25,8 @@ import (
 
 	"fpvm/internal/arith"
 	"fpvm/internal/asm"
+	"fpvm/internal/chaos"
+	"fpvm/internal/faultinject"
 	"fpvm/internal/fpvm"
 	"fpvm/internal/isa"
 	"fpvm/internal/machine"
@@ -58,6 +64,10 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		seqlen    = fs.Int("seqlen", 16, "max instructions coalesced per trap delivery (with -seqemu)")
 		traceOut  = fs.String("trace", "", "write the telemetry event stream (trap entry/exit, promotions, demotions, GC epochs, sequences) to this JSONL file")
 		topSites  = fs.Int("topsites", 0, "print the N hottest trap sites (per-PC hits, attributed cycles, exception flags) after the run")
+		storm     = fs.Uint64("storm", 0, "trap-storm governor threshold: sites trapping more than N times are patched to demote and stay native (0 = off)")
+		faults    = fs.String("faults", "", "fault-injection spec, e.g. seed=7,rate=0.001,decode=0.01,corrupt=0.0001,site=0x40:emulate")
+		chaosRun  = fs.Bool("chaos", false, "chaos suite: sweep targets through seeded fault-injection campaigns and enforce the degradation invariants")
+		seeds     = fs.Int("seeds", 3, "injection seeds per target per tier (with -chaos)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -79,8 +89,21 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	var injectCfg *faultinject.Config
+	if *faults != "" {
+		cfg, err := faultinject.ParseSpec(*faults)
+		if err != nil {
+			return fail(fmt.Errorf("-faults: %w", err))
+		}
+		injectCfg = &cfg
+	}
+
+	if *chaosRun {
+		return runChaos(stdout, stderr, *workload, injectCfg, *seeds, *storm, *maxInst)
+	}
+
 	if *oracleRun {
-		return runOracle(stdout, stderr, *workload, *asmFile, *prec, *maxInst, *noPatch, maxSeq)
+		return runOracle(stdout, stderr, *workload, *asmFile, *prec, *maxInst, *noPatch, maxSeq, *storm, injectCfg)
 	}
 
 	prog, err := loadProgram(*workload, *asmFile)
@@ -120,6 +143,10 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var vm *fpvm.VM
+	if *arithName == "" && (injectCfg != nil || *storm > 0) {
+		return fail(fmt.Errorf("-faults and -storm act on the FPVM runtime; pick an -arith system"))
+	}
+	var inj *faultinject.Injector
 	if *arithName != "" {
 		sys, err := selectArith(*arithName, *prec)
 		if err != nil {
@@ -135,7 +162,15 @@ func Run(args []string, stdout, stderr io.Writer) int {
 				p.Summary(stderr)
 			}
 		}
-		vm = fpvm.Attach(m, fpvm.Config{System: sys, MaxSequenceLen: maxSeq})
+		if injectCfg != nil {
+			inj = faultinject.New(*injectCfg)
+		}
+		vm = fpvm.Attach(m, fpvm.Config{
+			System:         sys,
+			MaxSequenceLen: maxSeq,
+			StormThreshold: *storm,
+			Inject:         inj,
+		})
 		if *patchMode {
 			vm.PatchAllFPArith()
 		}
@@ -164,6 +199,14 @@ func Run(args []string, stdout, stderr io.Writer) int {
 				s.CorrectTraps, s.Demotions)
 			fmt.Fprintf(stderr, "gc:           %d passes, %d freed, %d alive\n",
 				s.GC.Passes, s.GC.TotalFreed, vm.Arena.Live())
+			if s.Degradations > 0 || s.StormPatches > 0 {
+				fmt.Fprintf(stderr, "resilience:   %d degradations, %d storm patches (%d native retirements)\n",
+					s.Degradations, s.StormPatches, s.StormNative)
+			}
+			if inj != nil {
+				fmt.Fprintf(stderr, "injected:     %s (%d boxes corrupted)\n",
+					inj.Summary(), inj.Corrupted)
+			}
 			fmt.Fprintf(stderr, "trap delivery: %d cycles over %d traps\n",
 				m.Stats.Trap.TotalCycles(), m.Stats.Trap.Delivered)
 		}
@@ -203,7 +246,7 @@ func finishTelemetry(stdout, stderr io.Writer, telem *telemetry.Collector, trace
 // -workload or -asm is given, else over every workload and example — and
 // returns non-zero if any virtualized-vanilla run is not bit-identical to
 // native execution.
-func runOracle(stdout, stderr io.Writer, workload, asmFile string, prec uint, maxInst uint64, noPatch bool, maxSeq int) int {
+func runOracle(stdout, stderr io.Writer, workload, asmFile string, prec uint, maxInst uint64, noPatch bool, maxSeq int, storm uint64, inject *faultinject.Config) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "fpvm-run:", err)
 		return 1
@@ -234,6 +277,8 @@ func runOracle(stdout, stderr io.Writer, workload, asmFile string, prec uint, ma
 		MaxInst:        maxInst,
 		NoPatch:        noPatch,
 		MaxSequenceLen: maxSeq,
+		StormThreshold: storm,
+		Inject:         inject,
 	}
 	failed := 0
 	for i, t := range targets {
@@ -252,6 +297,45 @@ func runOracle(stdout, stderr io.Writer, workload, asmFile string, prec uint, ma
 	fmt.Fprintf(stdout, "\noracle: %d/%d targets bit-identical under virtualized vanilla\n",
 		len(targets)-failed, len(targets))
 	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runChaos executes the chaos suite: seeded fault-injection campaigns over
+// the selected targets (all of them when -workload is empty), enforcing the
+// hard degradation invariants. A -faults spec seeds the sweep: its seed
+// becomes the base seed, its highest seam rate the uniform error rate, and
+// its corrupt rate the corruption-tier rate.
+func runChaos(stdout, stderr io.Writer, workload string, inject *faultinject.Config, seeds int, storm uint64, maxInst uint64) int {
+	opts := chaos.Options{
+		Seeds:          seeds,
+		StormThreshold: storm,
+		MaxInst:        maxInst,
+		Log:            stderr,
+	}
+	if workload != "" {
+		t, err := oracle.Lookup(workload)
+		if err != nil {
+			fmt.Fprintln(stderr, "fpvm-run:", err)
+			return 1
+		}
+		opts.Targets = []oracle.Target{t}
+	}
+	if inject != nil {
+		opts.BaseSeed = inject.Seed
+		for _, r := range inject.Rate {
+			if r > opts.Rate {
+				opts.Rate = r
+			}
+		}
+		if inject.CorruptRate > 0 {
+			opts.CorruptRate = inject.CorruptRate
+		}
+	}
+	s := chaos.Run(opts)
+	s.WriteReport(stdout)
+	if !s.Ok() {
 		return 1
 	}
 	return 0

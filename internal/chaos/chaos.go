@@ -1,0 +1,213 @@
+// Package chaos is the resilience proof for the graceful-degradation engine:
+// it sweeps every workload through seeded fault-injection campaigns and
+// enforces hard invariants that turn the paper's §4.1–4.2 escape-hatch claim
+// into a testable property. The invariants, per run:
+//
+//   - no panic escapes the runtime (every failure is classified and either
+//     degraded or reported as an ordinary machine fault);
+//   - the run terminates within its instruction budget;
+//   - with error-seam injection only (no payload corruption), the degraded
+//     Vanilla run is BIT-IDENTICAL to native execution — degradation falls
+//     back to the same masked IEEE semantics the hardware would have used,
+//     so absorbing a fault may cost cycles but never changes an output bit;
+//   - no NaN-box leaks: after the final demote pass and a closing GC sweep,
+//     zero shadow cells survive and zero boxed patterns remain in machine
+//     state.
+//
+// A separate corruption tier scrambles NaN-box payloads to exercise the
+// universal-NaN path; there bit-identity cannot hold (a scrambled key *is* a
+// value change), so only the no-panic / termination / no-leak invariants
+// apply. Every failure message leads with the seed so the exact campaign is
+// reproducible with `fpvm-run -chaos -faults seed=N,...`.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/faultinject"
+	"fpvm/internal/oracle"
+)
+
+// Options tunes a chaos sweep.
+type Options struct {
+	// Targets lists the programs to sweep. nil selects every workload and
+	// example (oracle.AllTargets).
+	Targets []oracle.Target
+	// Seeds is the number of injection seeds per target per tier.
+	// 0 selects 2.
+	Seeds int
+	// BaseSeed is the first seed; run i uses BaseSeed+i.
+	BaseSeed uint64
+	// Rate is the per-crossing fault probability applied uniformly to every
+	// error seam. 0 selects 2e-4 — small enough that runs complete, large
+	// enough that realistic workloads degrade hundreds of times.
+	Rate float64
+	// CorruptRate is the NaN-box corruption probability for the corruption
+	// tier. 0 selects 1e-4. Negative disables the corruption tier.
+	CorruptRate float64
+	// StormThreshold arms the trap-storm governor during chaos runs (0
+	// leaves it off).
+	StormThreshold uint64
+	// ArenaSoftCap / ArenaHardCap exercise arena-pressure handling (0 = off).
+	ArenaSoftCap int
+	ArenaHardCap int
+	// MaxInst bounds each run (0 = 20M, far above any workload's length).
+	MaxInst uint64
+	// Log receives one line per run when non-nil.
+	Log io.Writer
+}
+
+// Failure describes one violated invariant, with the seed that reproduces it.
+type Failure struct {
+	Target    string
+	Tier      string // "error" or "corrupt"
+	Seed      uint64
+	Invariant string // which hard invariant broke
+	Detail    string
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("seed=%d target=%s tier=%s invariant=%s: %s",
+		f.Seed, f.Target, f.Tier, f.Invariant, f.Detail)
+}
+
+// Summary aggregates a sweep.
+type Summary struct {
+	Runs         int
+	Degradations uint64
+	StormPatches uint64
+	Failures     []Failure
+}
+
+// Ok reports whether every run upheld every invariant.
+func (s *Summary) Ok() bool { return len(s.Failures) == 0 }
+
+// Run executes the chaos sweep.
+func Run(o Options) *Summary {
+	targets := o.Targets
+	if targets == nil {
+		targets = oracle.AllTargets()
+	}
+	if o.Seeds == 0 {
+		o.Seeds = 2
+	}
+	if o.Rate == 0 {
+		o.Rate = 2e-4
+	}
+	if o.CorruptRate == 0 {
+		o.CorruptRate = 1e-4
+	}
+	if o.MaxInst == 0 {
+		o.MaxInst = 20_000_000
+	}
+
+	s := &Summary{}
+	for _, t := range targets {
+		for i := 0; i < o.Seeds; i++ {
+			seed := o.BaseSeed + uint64(i)
+
+			// Error tier: seam faults only. Degradation must be invisible
+			// in the outputs — full Vanilla bit-identity plus the leak gate.
+			errCfg := faultinject.Config{Seed: seed}.UniformRate(o.Rate)
+			s.runOne(t, "error", seed, errCfg, o, true)
+
+			// Corruption tier: scrambled NaN-box payloads drive the
+			// universal-NaN path. Values legitimately change, so only the
+			// survival invariants apply.
+			if o.CorruptRate > 0 {
+				corCfg := faultinject.Config{Seed: seed, CorruptRate: o.CorruptRate}
+				s.runOne(t, "corrupt", seed, corCfg, o, false)
+			}
+		}
+	}
+	return s
+}
+
+// runOne executes one seeded campaign and checks its tier's invariants.
+func (s *Summary) runOne(t oracle.Target, tier string, seed uint64,
+	cfg faultinject.Config, o Options, wantIdentical bool) {
+	s.Runs++
+	failuresBefore := len(s.Failures)
+	fail := func(invariant, detail string) {
+		s.Failures = append(s.Failures, Failure{
+			Target: t.Name, Tier: tier, Seed: seed,
+			Invariant: invariant, Detail: detail,
+		})
+	}
+
+	rep, err := func() (rep *oracle.Report, err error) {
+		// The no-panic invariant is checked here, not assumed: a panic
+		// anywhere under the trap handlers is converted to a failure
+		// carrying the reproducing seed.
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		return oracle.Run(t, oracle.Options{
+			// Empty non-nil slice: Vanilla only. The bit-exactness gate is
+			// the invariant; shadow systems would only slow the sweep.
+			Systems:        []arith.System{},
+			MaxInst:        o.MaxInst,
+			Inject:         &cfg,
+			StormThreshold: o.StormThreshold,
+			ArenaSoftCap:   o.ArenaSoftCap,
+			ArenaHardCap:   o.ArenaHardCap,
+		})
+	}()
+
+	var v *oracle.SystemReport
+	switch {
+	case err == nil:
+		v = rep.Vanilla
+		s.Degradations += v.Degradations
+		s.StormPatches += v.StormPatches
+		if wantIdentical && !v.BitIdentical() {
+			fail("bit-identical", fmt.Sprintf(
+				"degraded Vanilla diverged from native (first PC %#x op %s; inject %s)",
+				v.FirstDivergencePC, v.FirstDivergenceOp, v.InjectSummary))
+		}
+		if v.ArenaLive != 0 || v.LeakedBoxes != 0 {
+			fail("no-leaks", fmt.Sprintf("arena live=%d, boxed patterns=%d after final sweep",
+				v.ArenaLive, v.LeakedBoxes))
+		}
+	case tier == "corrupt" && strings.Contains(err.Error(), "budget"):
+		// A corrupted guest may legitimately never converge (a scrambled
+		// box is a value change, and convergence tests eat the resulting
+		// NaN). The invariant is that the harness regains control within
+		// its bounded budget — which it just did.
+	default:
+		fail("terminates", err.Error())
+	}
+
+	if o.Log != nil {
+		verdict := "ok"
+		if len(s.Failures) > failuresBefore {
+			verdict = "FAIL"
+		}
+		if v != nil {
+			fmt.Fprintf(o.Log, "chaos %-34s tier=%-7s seed=%-4d degradations=%-6d storm=%-3d inject[%s] %s\n",
+				t.Name, tier, seed, v.Degradations, v.StormPatches, v.InjectSummary, verdict)
+		} else {
+			fmt.Fprintf(o.Log, "chaos %-34s tier=%-7s seed=%-4d %s (%v)\n",
+				t.Name, tier, seed, verdict, err)
+		}
+	}
+}
+
+// WriteReport renders the sweep outcome; failed runs print their reproducing
+// seeds first.
+func (s *Summary) WriteReport(w io.Writer) {
+	for _, f := range s.Failures {
+		fmt.Fprintf(w, "FAIL %s\n", f)
+	}
+	verdict := "PASS"
+	if !s.Ok() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "chaos: %s — %d runs, %d degradations absorbed, %d storm patches, %d invariant violations\n",
+		verdict, s.Runs, s.Degradations, s.StormPatches, len(s.Failures))
+}

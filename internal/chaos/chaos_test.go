@@ -1,0 +1,73 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+
+	"fpvm/internal/oracle"
+)
+
+// TestChaosQuick sweeps a fast subset of targets through both tiers with
+// every resilience knob armed — the suite the ordinary `go test ./...` run
+// executes. The full-target sweep with more seeds runs under `make chaos`.
+func TestChaosQuick(t *testing.T) {
+	var targets []oracle.Target
+	for _, name := range []string{
+		"example:quickstart/harmonic",
+		"workload:FBench",
+		"workload:NAS LU/Class S",
+	} {
+		tg, err := oracle.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets = append(targets, tg)
+	}
+	var log bytes.Buffer
+	s := Run(Options{
+		Targets:        targets,
+		Seeds:          2,
+		Rate:           1e-3,
+		StormThreshold: 500,
+		ArenaSoftCap:   1 << 14,
+		ArenaHardCap:   1 << 15,
+		Log:            &log,
+	})
+	if !s.Ok() {
+		s.WriteReport(&log)
+		t.Fatalf("chaos invariants violated:\n%s", log.String())
+	}
+	if s.Runs != len(targets)*2*2 {
+		t.Fatalf("ran %d campaigns, want %d", s.Runs, len(targets)*2*2)
+	}
+	if s.Degradations == 0 {
+		t.Fatal("sweep absorbed no degradations — injection not reaching the runtime")
+	}
+}
+
+// TestChaosFull is the acceptance sweep: every workload and example, enough
+// seeds for 50+ runs. Skipped under -short; `make chaos` runs it.
+func TestChaosFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos sweep skipped in -short mode (run `make chaos`)")
+	}
+	var log bytes.Buffer
+	s := Run(Options{
+		Seeds:          2,
+		Rate:           5e-4,
+		CorruptRate:    1e-4,
+		StormThreshold: 2000,
+		ArenaSoftCap:   1 << 16,
+		ArenaHardCap:   1 << 17,
+		Log:            &log,
+	})
+	t.Logf("\n%s", log.String())
+	if !s.Ok() {
+		var rep bytes.Buffer
+		s.WriteReport(&rep)
+		t.Fatalf("chaos invariants violated:\n%s", rep.String())
+	}
+	if s.Runs < 50 {
+		t.Fatalf("acceptance requires >= 50 seeded runs, got %d", s.Runs)
+	}
+}

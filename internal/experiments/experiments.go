@@ -51,6 +51,10 @@ type Options struct {
 	// the BenchJSON records. Telemetry is observational — the modeled cycle
 	// counts are identical with it on or off.
 	TopSites int
+	// StormThreshold arms the trap-storm governor in the virtualized runs:
+	// sites that trap more than this many times are patched to demote and
+	// stay native. 0 (the paper's configuration) leaves it off.
+	StormThreshold uint64
 }
 
 func (o *Options) defaults() {
@@ -171,6 +175,7 @@ func runPair(w workloads.Workload, sys arith.System, o Options) (*RunResult, err
 		System:         sys,
 		GCEveryNAllocs: o.GCEveryNAllocs,
 		MaxSequenceLen: o.MaxSequenceLen,
+		StormThreshold: o.StormThreshold,
 	})
 	if err := vm2.Run(0); err != nil {
 		return nil, fmt.Errorf("%s under FPVM: %w", w.Name, err)

@@ -1,0 +1,150 @@
+package faultinject
+
+import "testing"
+
+// TestDeterminism pins the injector's central contract: two injectors built
+// from the same config make identical decisions at identical crossings.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42}.UniformRate(0.1)
+	cfg.CorruptRate = 0.1
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 10_000; i++ {
+		s := Seam(i % NumSeams)
+		pc := uint64(i * 8)
+		if a.Fire(s, pc) != b.Fire(s, pc) {
+			t.Fatalf("crossing %d: decisions diverged", i)
+		}
+		ab, aok := a.CorruptBox(0x7FF4_0000_0000_0000 | uint64(i))
+		bb, bok := b.CorruptBox(0x7FF4_0000_0000_0000 | uint64(i))
+		if ab != bb || aok != bok {
+			t.Fatalf("crossing %d: corruption diverged", i)
+		}
+	}
+	if a.TotalFired() != b.TotalFired() || a.Corrupted != b.Corrupted {
+		t.Fatalf("counters diverged: %d/%d vs %d/%d",
+			a.TotalFired(), a.Corrupted, b.TotalFired(), b.Corrupted)
+	}
+	if a.TotalFired() == 0 {
+		t.Fatal("a 10% rate over 10k crossings never fired")
+	}
+}
+
+// TestSeedsDecorrelate checks nearby seeds produce different streams.
+func TestSeedsDecorrelate(t *testing.T) {
+	a, b := New(Config{Seed: 1}.UniformRate(0.5)), New(Config{Seed: 2}.UniformRate(0.5))
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if a.Fire(SeamDecode, 0) == b.Fire(SeamDecode, 0) {
+			same++
+		}
+	}
+	if same > n*3/4 || same < n/4 {
+		t.Fatalf("seeds 1 and 2 agree on %d/%d decisions — streams correlated", same, n)
+	}
+}
+
+// TestSiteForcing: a site-forced seam fires on every crossing at its PC and
+// never (at rate 0) elsewhere — including seam Sites[pc] mismatches, the
+// zero-value trap a plain map lookup invites.
+func TestSiteForcing(t *testing.T) {
+	j := New(Config{Seed: 1, Sites: map[uint64]Seam{0x40: SeamEmulate}})
+	for i := 0; i < 100; i++ {
+		if !j.Fire(SeamEmulate, 0x40) {
+			t.Fatal("site-forced seam did not fire at its PC")
+		}
+		if j.Fire(SeamEmulate, 0x48) {
+			t.Fatal("fired at a PC with no site entry and rate 0")
+		}
+		if j.Fire(SeamDecode, 0x40) {
+			t.Fatal("forced PC fired the wrong seam (Seam zero-value is decode)")
+		}
+		if j.Fire(SeamDecode, 0x48) {
+			t.Fatal("decode fired at an unforced PC — the missing-map-entry zero value")
+		}
+	}
+}
+
+// TestCorruptBoxStaysNaN: corruption must keep the pattern inside the NaN
+// space (exponent all-ones) and never zero the mantissa (which would encode
+// infinity).
+func TestCorruptBoxStaysNaN(t *testing.T) {
+	j := New(Config{Seed: 5, CorruptRate: 1})
+	const expMask = uint64(0x7FF) << 52
+	const mantMask = uint64(1)<<52 - 1
+	box := uint64(0x7FF4_0000_0000_0001) // an sNaN-shaped box
+	for i := 0; i < 10_000; i++ {
+		out, corrupted := j.CorruptBox(box + uint64(i)&0xFFFF)
+		if !corrupted {
+			t.Fatal("CorruptRate=1 did not corrupt")
+		}
+		if out&expMask != expMask {
+			t.Fatalf("corrupted pattern %#x left the NaN exponent space", out)
+		}
+		if out&mantMask == 0 {
+			t.Fatalf("corrupted pattern %#x has an all-zero mantissa (infinity)", out)
+		}
+	}
+	if j.Corrupted != 10_000 {
+		t.Fatalf("Corrupted = %d, want 10000", j.Corrupted)
+	}
+}
+
+// TestParseSpec covers the fpvm-run -faults grammar.
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=42,rate=0.001,decode=0.01,corrupt=0.0005,site=0x40:emulate,site=64:gc-scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 42 {
+		t.Fatalf("seed = %d", cfg.Seed)
+	}
+	if cfg.Rate[SeamDecode] != 0.01 {
+		t.Fatalf("decode override lost: %v", cfg.Rate)
+	}
+	if cfg.Rate[SeamBind] != 0.001 || cfg.Rate[SeamGCScan] != 0.001 {
+		t.Fatalf("uniform rate lost: %v", cfg.Rate)
+	}
+	if cfg.CorruptRate != 0.0005 {
+		t.Fatalf("corrupt = %g", cfg.CorruptRate)
+	}
+	// Both site syntaxes name the same PC; the later entry wins.
+	if cfg.Sites[0x40] != SeamGCScan {
+		t.Fatalf("sites = %v", cfg.Sites)
+	}
+	if !cfg.Enabled() {
+		t.Fatal("parsed config reports disabled")
+	}
+
+	for _, bad := range []string{
+		"", "rate", "rate=2", "rate=x", "bogus=0.5", "site=0x40", "site=zz:decode",
+		"site=0x40:bogus", "seed=zz", "corrupt=-1",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+// TestChanceAlwaysAdvances: the decision stream must not depend on which
+// probabilities are zero, or changing one seam's rate would reshuffle every
+// other seam's decisions and break seed reproduction.
+func TestChanceAlwaysAdvances(t *testing.T) {
+	mixed := Config{Seed: 9}
+	mixed.Rate[SeamBind] = 0.5
+	a := New(mixed)
+	b := New(Config{Seed: 9}.UniformRate(0.5))
+	for i := 0; i < 1000; i++ {
+		af := a.Fire(SeamDecode, 0) // rate 0: never fires, but draws
+		bf := b.Fire(SeamBind, 0)
+		_ = af
+		_ = bf
+	}
+	// After the same number of draws, the two streams must be in the same
+	// state: the next decision at an identical probability must agree.
+	av := a.Fire(SeamBind, 0)
+	bv := b.Fire(SeamBind, 0)
+	if av != bv {
+		t.Fatal("zero-rate crossings did not advance the stream identically")
+	}
+}

@@ -1,8 +1,12 @@
 package fpvm
 
 import (
+	"fmt"
+
 	"fpvm/internal/arith"
+	"fpvm/internal/faultinject"
 	"fpvm/internal/isa"
+	"fpvm/internal/telemetry"
 )
 
 // instKind classifies a decoded FP instruction for the emulator.
@@ -36,33 +40,45 @@ type decodedInst struct {
 // consulting the decode cache first (§4.1: "this decode cache is critical
 // to lowering latencies"). The cache is a dense side table keyed by the
 // machine's instruction index — a single bounds-checked slot access instead
-// of the seed's address-keyed map probe.
-func (vm *VM) decode(idx int, in isa.Inst) *decodedInst {
+// of the seed's address-keyed map probe. A translation failure (non-FP or
+// unsupported form) is a degradable fault, never cached, so the degradation
+// engine can retire the instruction natively.
+func (vm *VM) decode(idx int, in isa.Inst) (*decodedInst, error) {
+	if j := vm.inject; j != nil && j.Fire(faultinject.SeamDecode, in.Addr) {
+		return nil, degradeFault(telemetry.DegradeDecode, errInjected)
+	}
 	if !vm.cfg.DisableDecodeCache {
 		if d := vm.dcache[idx]; d != nil {
 			vm.Stats.DecodeHits++
 			vm.Stats.Cycles.Decode += vm.costs.DecodeHit
 			vm.M.Cycles += vm.costs.DecodeHit
-			return d
+			return d, nil
 		}
 	}
 	vm.Stats.DecodeMisses++
 	vm.Stats.Cycles.Decode += vm.costs.DecodeMiss
 	vm.M.Cycles += vm.costs.DecodeMiss
 
-	d := translate(in)
+	d, err := translate(in)
+	if err != nil {
+		return nil, err
+	}
 	if !vm.cfg.DisableDecodeCache {
 		vm.dcache[idx] = d
 	}
-	return d
+	return d, nil
 }
 
 // bind charges the operand-binding cost. The actual address resolution
 // happens lazily through the machine's operand accessors, but the paper's
 // binder pre-resolves pointers; the cost is what matters for Figure 9.
-func (vm *VM) bind(d *decodedInst) {
+func (vm *VM) bind(d *decodedInst) error {
 	vm.Stats.Cycles.Bind += vm.costs.Bind
 	vm.M.Cycles += vm.costs.Bind
+	if j := vm.inject; j != nil && j.Fire(faultinject.SeamBind, d.inst.Addr) {
+		return degradeFault(telemetry.DegradeBind, errInjected)
+	}
+	return nil
 }
 
 // arithBinOps maps two-operand x64-style instructions (dst = dst op src)
@@ -116,8 +132,11 @@ func ArithOp(op isa.Op) (arith.Op, bool) {
 }
 
 // translate is the slow path of the decoder: it flattens the ISA's FP
-// instructions down to the ~two dozen abstract operation types.
-func translate(in isa.Inst) *decodedInst {
+// instructions down to the ~two dozen abstract operation types. An
+// instruction outside that set is a degradable fault — not a panic — so a
+// mispatched or misdelivered site degrades to native execution instead of
+// killing the process.
+func translate(in isa.Inst) (*decodedInst, error) {
 	d := &decodedInst{inst: in, lanes: 1}
 	if in.Op.IsPacked() {
 		d.lanes = 2
@@ -127,21 +146,21 @@ func translate(in isa.Inst) *decodedInst {
 		d.aop = a
 		d.srcs = []isa.Operand{in.Ops[0], in.Ops[1]}
 		d.dst = in.Ops[0]
-		return d
+		return d, nil
 	}
 	if a, ok := arithUnaryOps[in.Op]; ok {
 		d.kind = kindArith
 		d.aop = a
 		d.srcs = []isa.Operand{in.Ops[1]}
 		d.dst = in.Ops[0]
-		return d
+		return d, nil
 	}
 	if a, ok := arithTernaryOps[in.Op]; ok {
 		d.kind = kindArith
 		d.aop = a
 		d.srcs = []isa.Operand{in.Ops[1], in.Ops[2]}
 		d.dst = in.Ops[0]
-		return d
+		return d, nil
 	}
 	switch in.Op {
 	case isa.OpFmaddsd:
@@ -169,7 +188,8 @@ func translate(in isa.Inst) *decodedInst {
 		d.srcs = []isa.Operand{in.Ops[1]}
 		d.dst = in.Ops[0]
 	default:
-		panic("fpvm: decoder fed non-FP instruction " + in.Op.String())
+		return nil, degradeFault(telemetry.DegradeDecode,
+			fmt.Errorf("decoder fed non-FP instruction %s", in.Op))
 	}
-	return d
+	return d, nil
 }

@@ -2,9 +2,11 @@ package fpvm
 
 import (
 	"fpvm/internal/arith"
+	"fpvm/internal/faultinject"
 	"fpvm/internal/fpu"
 	"fpvm/internal/isa"
 	"fpvm/internal/machine"
+	"fpvm/internal/telemetry"
 )
 
 // emulate executes one decoded instruction in the alternative arithmetic
@@ -15,17 +17,26 @@ import (
 // called both for the faulting instruction of a trap and for every
 // instruction coalesced into the same delivery by sequence emulation.
 func (vm *VM) emulate(m *machine.Machine, d *decodedInst) error {
+	if j := vm.inject; j != nil && j.Fire(faultinject.SeamEmulate, d.inst.Addr) {
+		return degradeFault(telemetry.DegradeEmulate, errInjected)
+	}
 	vm.Stats.Cycles.Emulate += vm.costs.EmulateBase
 	m.Cycles += vm.costs.EmulateBase
 
 	switch d.kind {
 	case kindArith:
+		// Lane results are buffered and written only after every lane has
+		// computed (the same atomic retire the native executor performs), so
+		// a degradable fault on lane 1 leaves the destination — which is
+		// also a source for binary ops — untouched for the degradation
+		// engine's native re-execution.
+		var results [2]uint64
 		for lane := 0; lane < d.lanes; lane++ {
 			// The per-VM scratch buffer keeps the hot path allocation-free
 			// (the seed allocated a fresh []arith.Value per lane per trap).
 			args := vm.scratch[:len(d.srcs)]
 			for i, s := range d.srcs {
-				bits, err := m.ReadOperandFP(s, lane)
+				bits, err := vm.readFP(m, s, lane)
 				if err != nil {
 					return err
 				}
@@ -36,17 +47,24 @@ func (vm *VM) emulate(m *machine.Machine, d *decodedInst) error {
 			opCycles := vm.Sys.OpCycles(d.aop)
 			vm.Stats.Cycles.Emulate += opCycles
 			m.Cycles += opCycles
-			if err := m.WriteOperandFP(d.dst, lane, vm.boxResult(res)); err != nil {
+			bits, err := vm.boxResult(res)
+			if err != nil {
+				return err
+			}
+			results[lane] = bits
+		}
+		for lane := 0; lane < d.lanes; lane++ {
+			if err := m.WriteOperandFP(d.dst, lane, results[lane]); err != nil {
 				return err
 			}
 		}
 
 	case kindCompare:
-		abits, err := m.ReadOperandFP(d.srcs[0], 0)
+		abits, err := vm.readFP(m, d.srcs[0], 0)
 		if err != nil {
 			return err
 		}
-		bbits, err := m.ReadOperandFP(d.srcs[1], 0)
+		bbits, err := vm.readFP(m, d.srcs[1], 0)
 		if err != nil {
 			return err
 		}
@@ -68,7 +86,7 @@ func (vm *VM) emulate(m *machine.Machine, d *decodedInst) error {
 		}
 
 	case kindToInt:
-		bits, err := m.ReadOperandFP(d.srcs[0], 0)
+		bits, err := vm.readFP(m, d.srcs[0], 0)
 		if err != nil {
 			return err
 		}
@@ -93,7 +111,11 @@ func (vm *VM) emulate(m *machine.Machine, d *decodedInst) error {
 		}
 		res := vm.Sys.FromInt64(iv)
 		vm.Stats.Emulated++
-		if err := m.WriteOperandFP(d.dst, 0, vm.boxResult(res)); err != nil {
+		bits, err := vm.boxResult(res)
+		if err != nil {
+			return err
+		}
+		if err := m.WriteOperandFP(d.dst, 0, bits); err != nil {
 			return err
 		}
 
@@ -104,7 +126,7 @@ func (vm *VM) emulate(m *machine.Machine, d *decodedInst) error {
 		// Mirrors Machine.execFPMove: movsd from memory zeroes the upper
 		// destination lane; movapd copies both lanes.
 		if d.lanes == 1 {
-			bits, err := m.ReadOperandFP(d.srcs[0], 0)
+			bits, err := vm.readFP(m, d.srcs[0], 0)
 			if err != nil {
 				return err
 			}
@@ -118,7 +140,7 @@ func (vm *VM) emulate(m *machine.Machine, d *decodedInst) error {
 			}
 		} else {
 			for lane := 0; lane < 2; lane++ {
-				bits, err := m.ReadOperandFP(d.srcs[0], lane)
+				bits, err := vm.readFP(m, d.srcs[0], lane)
 				if err != nil {
 					return err
 				}
@@ -131,4 +153,15 @@ func (vm *VM) emulate(m *machine.Machine, d *decodedInst) error {
 
 	m.Advance(d.inst)
 	return nil
+}
+
+// readFP reads one FP operand lane for the emulator. Memory operands cross
+// the guest-memory seam, where the fault injector can force a degradable
+// access failure; with no injector attached this is a plain read behind one
+// nil compare.
+func (vm *VM) readFP(m *machine.Machine, o isa.Operand, lane int) (uint64, error) {
+	if j := vm.inject; j != nil && o.Kind == isa.KindMem && j.Fire(faultinject.SeamMemAccess, vm.injectPC) {
+		return 0, degradeFault(telemetry.DegradeMem, errInjected)
+	}
+	return m.ReadOperandFP(o, lane)
 }

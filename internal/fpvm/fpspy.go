@@ -63,7 +63,10 @@ func (s *Spy) handle(f *machine.TrapFrame) error {
 
 	d := s.dcache[f.Idx]
 	if d == nil {
-		d = translate(f.Inst)
+		var err error
+		if d, err = translate(f.Inst); err != nil {
+			return err // FPSpy has no emulator to fall back from
+		}
 		s.dcache[f.Idx] = d
 	}
 	s.M.Cycles += s.costs.DecodeHit + s.costs.Bind

@@ -13,9 +13,12 @@ import (
 	"math"
 
 	"fpvm/internal/arith"
+	"fpvm/internal/faultinject"
+	"fpvm/internal/fpu"
 	"fpvm/internal/isa"
 	"fpvm/internal/machine"
 	"fpvm/internal/nanbox"
+	"fpvm/internal/telemetry"
 )
 
 // Costs models the cycle cost of FPVM's own runtime components, the upper
@@ -68,6 +71,24 @@ type Config struct {
 	// bind, and emulate cost but zero delivery cost. 0 disables coalescing
 	// and preserves the one-trap-one-instruction behavior bit for bit.
 	MaxSequenceLen int
+	// StormThreshold arms the trap-storm governor: a site whose per-site
+	// FP-trap count crosses this value (under a decaying window, so the rate
+	// must be sustained) is degraded once and then blacklisted with a
+	// demote-and-stay-native patch, capping the delivery cost a pathological
+	// hot site can charge. 0 disables the governor and preserves behavior bit
+	// for bit.
+	StormThreshold uint64
+	// ArenaSoftCap triggers a GC pass when the number of live shadow cells
+	// reaches it (in addition to the allocation-epoch trigger). 0 disables.
+	ArenaSoftCap int
+	// ArenaHardCap is the absolute live-cell ceiling: an allocation that
+	// would exceed it degrades the faulting instruction to native execution
+	// instead of growing the arena (and never aborts the run). 0 disables.
+	ArenaHardCap int
+	// Inject attaches a fault injector to the runtime's seams (testing /
+	// chaos suite). nil disables injection and preserves behavior bit for
+	// bit.
+	Inject *faultinject.Injector
 	// DisableDecodeCache forces a full decode on every trap (ablation).
 	DisableDecodeCache bool
 	// DisableGC turns garbage collection off entirely (ablation; memory
@@ -105,6 +126,12 @@ type Stats struct {
 	Coalesced  uint64                // instructions emulated with zero delivery cost
 	SeqLenHist [SeqLenBuckets]uint64 // histogram of per-delivery run lengths (faulting inst included)
 
+	// Resilience counters (graceful degradation and the storm governor).
+	Degradations   uint64 // emulation-path failures absorbed by native re-execution
+	DegradeByCause [telemetry.NumDegradeCauses]uint64
+	StormPatches   uint64 // sites blacklisted by the trap-storm governor
+	StormNative    uint64 // native executions at storm-patched sites
+
 	GC     GCStats
 	Cycles CycleBreakdown
 }
@@ -125,6 +152,16 @@ type VM struct {
 	telemPC uint64 // PC that promote/demote/unbox events attribute to
 	// (maintained by the trap handlers only while a telemetry collector is
 	// attached to the machine; see M.Telem)
+
+	inject   *faultinject.Injector // nil = no injection (the common case)
+	injectPC uint64                // PC injected faults attribute to (maintained only when inject != nil)
+
+	// Trap-storm governor state (allocated only when Config.StormThreshold
+	// is set): per-site delivery counters under a decaying window, and the
+	// per-site promotion blacklist.
+	stormCounts  []uint32
+	stormPatched []bool
+	stormTick    uint64
 }
 
 // Attach installs FPVM underneath the program loaded in m: it unmasks all
@@ -151,6 +188,11 @@ func Attach(m *machine.Machine, cfg Config) *VM {
 		cfg:     cfg,
 		dcache:  make([]*decodedInst, len(m.Insts())),
 		gcEvery: gcEvery,
+		inject:  cfg.Inject,
+	}
+	if cfg.StormThreshold > 0 {
+		vm.stormCounts = make([]uint32, len(m.Insts()))
+		vm.stormPatched = make([]bool, len(m.Insts()))
 	}
 	m.MXCSR.SetMasks(0) // unmask everything: rounding, NaN, overflow, ...
 	m.FPTrap = vm.handleFPTrap
@@ -162,21 +204,33 @@ func Attach(m *machine.Machine, cfg Config) *VM {
 
 // handleFPTrap is the SIGFPE-analog entry point: decode (cached), bind,
 // emulate, optionally coalesce the following straight-line FP run into the
-// same delivery, and occasionally collect garbage (§4.1).
+// same delivery, and occasionally collect garbage (§4.1). Any degradable
+// failure on that path — unsupported form, injected fault, arena hard cap —
+// falls back to the graceful-degradation engine instead of killing the run.
 func (vm *VM) handleFPTrap(f *machine.TrapFrame) error {
 	vm.Stats.Traps++
 	if f.M.Telem != nil {
 		vm.telemPC = f.Inst.Addr
 	}
+	if vm.inject != nil {
+		vm.injectPC = f.Inst.Addr
+	}
 	// Read and clear the sticky condition flags, as the paper's handler
 	// does in preparation for the next instruction.
 	f.M.MXCSR.ClearFlags()
 
-	d := vm.decode(f.Idx, f.Inst)
-	vm.bind(d) // charge binding (address resolution happens per access)
+	// Trap-storm governor: the crossing delivery itself degrades, and the
+	// site stops promoting from here on.
+	if vm.cfg.StormThreshold > 0 && vm.noteStorm(f) {
+		return vm.degrade(f.M, f.Inst, f.Idx, telemetry.DegradeStorm)
+	}
 
-	if err := vm.emulate(f.M, d); err != nil {
-		return err
+	if err := vm.emulateOne(f.M, f.Idx, f.Inst); err != nil {
+		cause, ok := asDegrade(err)
+		if !ok {
+			return err // genuine machine fault: native execution would die too
+		}
+		return vm.degrade(f.M, f.Inst, f.Idx, cause)
 	}
 
 	// Sequence emulation: one delivery has been paid; amortize it over the
@@ -194,6 +248,18 @@ func (vm *VM) handleFPTrap(f *machine.TrapFrame) error {
 		vm.RunGC()
 	}
 	return nil
+}
+
+// emulateOne runs the full decode → bind → emulate path for one instruction.
+func (vm *VM) emulateOne(m *machine.Machine, idx int, in isa.Inst) error {
+	d, err := vm.decode(idx, in)
+	if err != nil {
+		return err
+	}
+	if err := vm.bind(d); err != nil {
+		return err
+	}
+	return vm.emulate(m, d)
 }
 
 // outputFilter implements the §2 "printing problem" hijack: boxed values
@@ -234,10 +300,31 @@ func (vm *VM) value(bits uint64) arith.Value {
 }
 
 // boxResult allocates a shadow cell for v and returns the NaN-boxed bits.
-func (vm *VM) boxResult(v arith.Value) uint64 {
+// Arena pressure is absorbed rather than fatal: at the soft cap a GC pass
+// reclaims dead cells; at the hard cap the allocation fails with a degradable
+// fault so the caller's instruction re-executes natively instead of aborting.
+func (vm *VM) boxResult(v arith.Value) (uint64, error) {
 	vm.M.Cycles += vm.costs.BoxAlloc
+	if j := vm.inject; j != nil && j.Fire(faultinject.SeamArenaAlloc, vm.injectPC) {
+		return 0, degradeFault(telemetry.DegradeArena, errInjected)
+	}
+	if cap := vm.cfg.ArenaSoftCap; cap > 0 && vm.Arena.Live() >= cap && !vm.cfg.DisableGC {
+		// Re-collect only after some allocation volume since the last pass:
+		// if the live set itself sits at the cap, back-to-back passes would
+		// free nothing and thrash.
+		if vm.Arena.Allocs()-vm.lastGC > uint64(cap/4)+1 {
+			vm.RunGC()
+		}
+	}
+	if cap := vm.cfg.ArenaHardCap; cap > 0 && vm.Arena.Live() >= cap {
+		return 0, degradeFault(telemetry.DegradeArena, errArenaFull)
+	}
 	key := vm.Arena.Alloc(v)
-	return nanbox.Box(key)
+	bits := nanbox.Box(key)
+	if j := vm.inject; j != nil {
+		bits, _ = j.CorruptBox(bits)
+	}
+	return bits, nil
 }
 
 // demoteBits converts a boxed pattern back to its IEEE double bits; plain
@@ -249,7 +336,10 @@ func (vm *VM) demoteBits(bits uint64) (uint64, bool) {
 	}
 	val, ok := vm.Arena.Get(key)
 	if !ok {
-		return math.Float64bits(math.NaN()), true // universal NaN demotes to qNaN
+		// A universal NaN demotes to the x64 indefinite QNaN — the exact
+		// pattern masked hardware produces — not Go's math.NaN() bits, whose
+		// payload differs and would diverge from a native run bit-for-bit.
+		return fpu.QNaN(), true
 	}
 	vm.Stats.Demotions++
 	vm.M.Cycles += vm.costs.Demote
@@ -272,7 +362,7 @@ func (vm *VM) handleCorrectnessTrap(f *machine.TrapFrame) error {
 		t.Correctness(f.Idx, f.Inst.Addr, f.Inst.Op, f.Site, vm.M.Cycles)
 	}
 	for _, o := range f.Inst.Ops {
-		if err := vm.demoteOperand(f, o, f.Inst.Op.IsPacked()); err != nil {
+		if err := vm.demoteOperand(f.M, o, f.Inst.Op.IsPacked()); err != nil {
 			return err
 		}
 	}
@@ -280,7 +370,7 @@ func (vm *VM) handleCorrectnessTrap(f *machine.TrapFrame) error {
 }
 
 // demoteOperand demotes NaN-boxes reachable through one operand.
-func (vm *VM) demoteOperand(f *machine.TrapFrame, o isa.Operand, packed bool) error {
+func (vm *VM) demoteOperand(m *machine.Machine, o isa.Operand, packed bool) error {
 	lanes := 1
 	if packed {
 		lanes = 2
@@ -288,25 +378,25 @@ func (vm *VM) demoteOperand(f *machine.TrapFrame, o isa.Operand, packed bool) er
 	switch o.Kind {
 	case isa.KindFPReg:
 		for l := 0; l < lanes; l++ {
-			if nb, ok := vm.demoteBits(f.M.F[o.Reg][l]); ok {
-				f.M.F[o.Reg][l] = nb
+			if nb, ok := vm.demoteBits(m.F[o.Reg][l]); ok {
+				m.F[o.Reg][l] = nb
 			}
 		}
 	case isa.KindIntReg:
-		if nb, ok := vm.demoteBits(uint64(f.M.R[o.Reg])); ok {
-			f.M.R[o.Reg] = int64(nb)
+		if nb, ok := vm.demoteBits(uint64(m.R[o.Reg])); ok {
+			m.R[o.Reg] = int64(nb)
 		}
 	case isa.KindMem:
 		// The binder resolves addresses with the same isa.EffAddr helper
 		// the machine's executor uses, so the two cannot diverge.
-		addr := isa.EffAddr(&f.M.R, o)
+		addr := isa.EffAddr(&m.R, o)
 		for l := 0; l < lanes; l++ {
-			bits, err := f.M.ReadU64(addr + uint64(8*l))
+			bits, err := m.ReadU64(addr + uint64(8*l))
 			if err != nil {
 				continue // partial/unmapped lane: scan the remaining lanes
 			}
 			if nb, ok := vm.demoteBits(bits); ok {
-				if err := f.M.WriteU64(addr+uint64(8*l), nb); err != nil {
+				if err := m.WriteU64(addr+uint64(8*l), nb); err != nil {
 					return err
 				}
 			}
@@ -332,6 +422,11 @@ func (vm *VM) handleExternalCall(f *machine.TrapFrame) error {
 	}
 	return nil
 }
+
+// DetachInjector removes the fault injector, restoring fault-free operation
+// for run teardown (the process-exit analog): final demote/GC passes must
+// not themselves be injectable, or a teardown fault would fake a leak.
+func (vm *VM) DetachInjector() { vm.inject = nil }
 
 // DemoteAll demotes every NaN-box in registers and memory, converting the
 // program state back to pure IEEE doubles (used at program exit and by

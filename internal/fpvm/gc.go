@@ -4,7 +4,9 @@ import (
 	"encoding/binary"
 	"time"
 
+	"fpvm/internal/faultinject"
 	"fpvm/internal/nanbox"
+	"fpvm/internal/telemetry"
 )
 
 // GCStats records garbage collector behavior, the data behind Figure 10.
@@ -18,6 +20,7 @@ type GCStats struct {
 	LastWall       time.Duration // measured wall time of the last pass
 	ArenaHighWater int           // peak simultaneously-live shadow cells
 	ArenaReuses    uint64        // allocations served from the free list
+	AbortedPasses  uint64        // passes abandoned before sweeping (injected scan faults)
 }
 
 // RunGC performs one conservative mark-and-sweep pass over all writable
@@ -35,6 +38,22 @@ type GCStats struct {
 func (vm *VM) RunGC() {
 	start := time.Now()
 	m := vm.M
+
+	// A scan fault abandons the whole pass before any sweep: retaining
+	// garbage for another epoch is always safe, freeing a live cell never
+	// is. The epoch clock still advances so a persistent fault cannot pin
+	// the runtime in a retry loop.
+	if j := vm.inject; j != nil && j.Fire(faultinject.SeamGCScan, vm.injectPC) {
+		vm.Stats.GC.AbortedPasses++
+		vm.Stats.Degradations++
+		vm.Stats.DegradeByCause[telemetry.DegradeGCScan]++
+		if t := m.Telem; t != nil {
+			t.Degradation(-1, vm.injectPC, 0, telemetry.DegradeGCScan, m.Cycles)
+		}
+		vm.lastGC = vm.Arena.Allocs()
+		return
+	}
+
 	var scanned uint64
 
 	probe := func(bits uint64) {

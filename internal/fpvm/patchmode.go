@@ -34,9 +34,17 @@ func (vm *VM) PatchAllFPArith() {
 	vm.EnablePatchMode(addrs)
 }
 
-// patchSiteHandler is the generated custom handler for a patched site.
+// patchSiteHandler is the generated custom handler for a patched site. A
+// degradable fault anywhere on its emulation path falls back to the
+// graceful-degradation engine, same as the trap handler.
 func (vm *VM) patchSiteHandler(f *machine.TrapFrame) (bool, error) {
-	d := vm.decode(f.Idx, f.Inst)
+	if vm.inject != nil {
+		vm.injectPC = f.Inst.Addr
+	}
+	d, err := vm.decode(f.Idx, f.Inst)
+	if err != nil {
+		return vm.patchDegrade(f, err)
+	}
 
 	// Precondition: no NaN-boxed (or NaN) inputs.
 	boxed := false
@@ -64,12 +72,27 @@ func (vm *VM) patchSiteHandler(f *machine.TrapFrame) (bool, error) {
 
 	// Check failed: invoke FPVM internals directly (no trap delivery).
 	vm.Stats.Traps++
-	vm.bind(d)
+	if err := vm.bind(d); err != nil {
+		return vm.patchDegrade(f, err)
+	}
 	if err := vm.emulate(f.M, d); err != nil {
-		return false, err
+		return vm.patchDegrade(f, err)
 	}
 	if !vm.cfg.DisableGC && vm.Arena.Allocs()-vm.lastGC >= vm.gcEvery {
 		vm.RunGC()
+	}
+	return true, nil
+}
+
+// patchDegrade routes a patched-site failure through the degradation engine
+// when it is degradable, and propagates it as a machine fault otherwise.
+func (vm *VM) patchDegrade(f *machine.TrapFrame, err error) (bool, error) {
+	cause, ok := asDegrade(err)
+	if !ok {
+		return false, err
+	}
+	if derr := vm.degrade(f.M, f.Inst, f.Idx, cause); derr != nil {
+		return false, derr
 	}
 	return true, nil
 }

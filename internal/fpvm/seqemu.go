@@ -62,13 +62,26 @@ func (vm *VM) coalesce(f *machine.TrapFrame) (int, error) {
 		if !coalescable(m, idx, insts[idx].Op, packed) {
 			break
 		}
-		d := vm.decode(idx, insts[idx])
-		vm.bind(d)
+		if vm.inject != nil {
+			vm.injectPC = insts[idx].Addr
+		}
 		if m.Telem != nil {
 			vm.telemPC = insts[idx].Addr // attribute this run step's events
 		}
-		if err := vm.emulate(m, d); err != nil {
-			return n, err
+		if err := vm.emulateOne(m, idx, insts[idx]); err != nil {
+			cause, ok := asDegrade(err)
+			if !ok {
+				return n, err
+			}
+			// A degradable fault mid-run: retire this instruction natively
+			// and end the run. The degraded instruction still counts toward
+			// the delivery's retirement credit — it executed under this trap.
+			if derr := vm.degrade(m, insts[idx], idx, cause); derr != nil {
+				return n, derr
+			}
+			vm.Stats.Coalesced++
+			n++
+			break
 		}
 		vm.Stats.Coalesced++
 		n++

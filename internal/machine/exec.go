@@ -5,6 +5,7 @@ import (
 	"math"
 	"strconv"
 
+	"fpvm/internal/fpu"
 	"fpvm/internal/isa"
 )
 
@@ -517,6 +518,29 @@ func (m *Machine) SetCompareFlags(zf, pf, cf bool) {
 
 // Advance moves RIP past in (used by trap handlers after emulation).
 func (m *Machine) Advance(in isa.Inst) { m.advance(in) }
+
+// ExecMasked executes one instruction natively with every MXCSR exception
+// masked and no side-table dispatch: the graceful-degradation escape hatch
+// (§4.1–4.2's guarantee that anything can be demoted and run as plain IEEE).
+// No trap of any kind is delivered — FP events take their masked IEEE
+// response, patch and correctness sites are bypassed, and the NaN-load
+// extension is suppressed for the one instruction. Retirement counters are
+// left untouched because the caller's trap delivery already accounts for the
+// retirement; cycle costs accrue normally. Genuine machine faults (bad
+// memory, bad opcode) still propagate: native execution would die the same
+// way, and degradation must never mask a real crash.
+func (m *Machine) ExecMasked(in isa.Inst) error {
+	masks := m.MXCSR.Masks()
+	nanLoad := m.TrapOnNaNLoad
+	inst, fp := m.Stats.Instructions, m.Stats.FPInstructions
+	m.MXCSR.SetMasks(fpu.FlagAll)
+	m.TrapOnNaNLoad = false
+	err := m.exec(in, &instSlot{})
+	m.MXCSR.SetMasks(masks)
+	m.TrapOnNaNLoad = nanLoad
+	m.Stats.Instructions, m.Stats.FPInstructions = inst, fp
+	return err
+}
 
 // isNaNPattern reports whether bits encode any IEEE NaN — the pattern the
 // §6.2 hardware extension watches for on integer loads.

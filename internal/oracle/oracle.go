@@ -30,12 +30,14 @@ package oracle
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 
 	"fpvm/internal/arith"
+	"fpvm/internal/faultinject"
 	"fpvm/internal/fpu"
 	"fpvm/internal/fpvm"
 	"fpvm/internal/isa"
@@ -78,6 +80,18 @@ type Options struct {
 	// resynchronizing on retirement counts. The Vanilla bit-exactness gate
 	// must pass either way.
 	MaxSequenceLen int
+	// Inject attaches a fault-injection campaign to the virtualized side
+	// (each system run gets a fresh injector from this config, so the
+	// streams are identical across systems). Degraded instructions execute
+	// natively, so with error seams only — no payload corruption — the
+	// Vanilla bit-exactness gate must STILL pass: that is the chaos suite's
+	// central invariant.
+	Inject *faultinject.Config
+	// StormThreshold, ArenaSoftCap, and ArenaHardCap pass through to
+	// fpvm.Config.
+	StormThreshold uint64
+	ArenaSoftCap   int
+	ArenaHardCap   int
 }
 
 // DefaultMaxInst bounds oracle runs when Options.MaxInst is zero.
@@ -187,6 +201,16 @@ type SystemReport struct {
 	// Run size.
 	Instructions uint64
 	Cycles       uint64
+
+	// Resilience accounting.
+	Degradations  uint64 // emulation-path failures absorbed natively
+	StormPatches  uint64 // sites blacklisted by the trap-storm governor
+	InjectSummary string // injector campaign outcome ("" when no injection)
+	// NaN-box leak gate: after the final demote-everything pass and a
+	// closing GC sweep, no shadow cell may survive and no boxed pattern may
+	// remain anywhere in machine state.
+	ArenaLive   int
+	LeakedBoxes int
 }
 
 // BitIdentical reports the Vanilla acceptance predicate: no control
@@ -294,7 +318,19 @@ func runSystem(t Target, sys arith.System, o Options) (*SystemReport, error) {
 		}
 		patched.Install(vmach)
 	}
-	vm := fpvm.Attach(vmach, fpvm.Config{System: sys, MaxSequenceLen: o.MaxSequenceLen})
+	cfg := fpvm.Config{
+		System:         sys,
+		MaxSequenceLen: o.MaxSequenceLen,
+		StormThreshold: o.StormThreshold,
+		ArenaSoftCap:   o.ArenaSoftCap,
+		ArenaHardCap:   o.ArenaHardCap,
+	}
+	var inj *faultinject.Injector
+	if o.Inject != nil {
+		inj = faultinject.New(*o.Inject)
+		cfg.Inject = inj
+	}
+	vm := fpvm.Attach(vmach, cfg)
 
 	sr := &SystemReport{
 		System:            sys.Name(),
@@ -368,7 +404,10 @@ func runSystem(t Target, sys arith.System, o Options) (*SystemReport, error) {
 	}
 
 	// Demote every remaining NaN-box, converting the virtualized machine
-	// back to pure IEEE state, then compare byte-for-byte.
+	// back to pure IEEE state, then compare byte-for-byte. Injection stops
+	// first: run teardown is the process-exit analog, and an injected fault
+	// in the closing GC would fake a leak.
+	vm.DetachInjector()
 	vm.RunGC()
 	vm.DemoteAll()
 	sr.RegsIdentical = nm.R == vmach.R && nm.F == vmach.F
@@ -391,7 +430,44 @@ func runSystem(t Target, sys arith.System, o Options) (*SystemReport, error) {
 			}
 		}
 	}
+
+	// Resilience accounting and the NaN-box leak gate. DemoteAll rewrote
+	// every boxed pattern as plain IEEE bits, so one more sweep must free
+	// every shadow cell, and no boxed pattern may survive anywhere. (This
+	// runs after the cycle counters were captured, so the closing sweep is
+	// invisible to the report's cost numbers.)
+	sr.Degradations = vm.Stats.Degradations
+	sr.StormPatches = vm.Stats.StormPatches
+	if inj != nil {
+		sr.InjectSummary = inj.Summary()
+	}
+	vm.RunGC()
+	sr.ArenaLive = vm.Arena.Live()
+	sr.LeakedBoxes = countBoxed(vmach)
 	return sr, nil
+}
+
+// countBoxed scans the whole machine state for surviving NaN-box patterns.
+func countBoxed(m *machine.Machine) int {
+	n := 0
+	for i := range m.F {
+		for l := 0; l < 2; l++ {
+			if nanbox.IsBoxed(m.F[i][l]) {
+				n++
+			}
+		}
+	}
+	for i := range m.R {
+		if nanbox.IsBoxed(uint64(m.R[i])) {
+			n++
+		}
+	}
+	for off := 0; off+8 <= len(m.Mem); off += 8 {
+		if nanbox.IsBoxed(binary.LittleEndian.Uint64(m.Mem[off:])) {
+			n++
+		}
+	}
+	return n
 }
 
 // compareStep compares the architectural effect of the instruction both

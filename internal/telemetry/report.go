@@ -21,6 +21,8 @@ type SiteRank struct {
 	MeanRun      float64 `json:"mean_run,omitempty"`
 	MaxRun       int     `json:"max_run,omitempty"`
 	Flags        string  `json:"flags,omitempty"`
+	Degradations uint64  `json:"degradations,omitempty"`
+	StormPatched bool    `json:"storm_patched,omitempty"`
 }
 
 // TopSites returns the n hottest trap sites ranked by attributed modeled
@@ -30,7 +32,7 @@ func (c *Collector) TopSites(n int) []SiteRank {
 	var out []SiteRank
 	for i := range c.sites {
 		s := &c.sites[i]
-		if s.Traps == 0 && s.CorrectTraps == 0 && s.ExtTraps == 0 {
+		if s.Traps == 0 && s.CorrectTraps == 0 && s.ExtTraps == 0 && s.Degradations == 0 {
 			continue
 		}
 		r := SiteRank{
@@ -42,6 +44,8 @@ func (c *Collector) TopSites(n int) []SiteRank {
 			Cycles:       s.Cycles,
 			Coalesced:    s.Coalesced,
 			MaxRun:       s.MaxRun,
+			Degradations: s.Degradations,
+			StormPatched: s.StormPatched,
 		}
 		if s.Traps > 0 {
 			r.MeanRun = s.MeanRun()
@@ -110,6 +114,7 @@ type jsonEvent struct {
 	Cycles uint64 `json:"cycles"`
 	Arg    uint64 `json:"arg,omitempty"`
 	Aux    uint64 `json:"aux,omitempty"`
+	Detail string `json:"detail,omitempty"`
 }
 
 // WriteJSONL drains a snapshot of the ring to w as one JSON object per line,
@@ -143,6 +148,9 @@ func (c *Collector) WriteJSONL(w io.Writer) error {
 		}
 		if ev.Flags != 0 {
 			je.Flags = ev.Flags.String()
+		}
+		if ev.Kind == EvDegrade {
+			je.Detail = DegradeCause(ev.Arg).String()
 		}
 		if err := enc.Encode(je); err != nil {
 			return err

@@ -56,6 +56,15 @@ const (
 	// EvCorrectness records a correctness-trap demotion pass. Arg is the
 	// site id as installed by the static patcher (uint64(int64) encoded).
 	EvCorrectness
+	// EvDegrade records one graceful degradation: an emulation-path failure
+	// demoted the frame's operands and re-executed the instruction natively
+	// with IEEE semantics instead of killing the run. Arg is the
+	// DegradeCause.
+	EvDegrade
+	// EvStormPatch records the trap-storm governor blacklisting a site: a
+	// demote-and-stay-native patch was installed so the site stops paying
+	// trap deliveries. Arg is the trap count that crossed the threshold.
+	EvStormPatch
 )
 
 // String names the event kind as it appears in JSONL output.
@@ -77,8 +86,64 @@ func (k EventKind) String() string {
 		return "sequence"
 	case EvCorrectness:
 		return "correctness"
+	case EvDegrade:
+		return "degrade"
+	case EvStormPatch:
+		return "storm-patch"
 	default:
 		return "event?"
+	}
+}
+
+// DegradeCause says why the graceful-degradation engine demoted a frame and
+// fell back to native IEEE execution. The constants double as indices into
+// per-cause counters.
+type DegradeCause uint8
+
+const (
+	// DegradeDecode: the decoder could not translate the instruction (an
+	// unsupported or non-FP form reached the FP trap path).
+	DegradeDecode DegradeCause = iota
+	// DegradeBind: operand binding / address resolution failed.
+	DegradeBind
+	// DegradeEmulate: the emulator dispatch itself failed.
+	DegradeEmulate
+	// DegradeArena: the shadow arena hit its hard cap (or an allocation
+	// fault was injected); the result cannot be boxed.
+	DegradeArena
+	// DegradeGCScan: a garbage-collection scan failed; the pass was
+	// abandoned without sweeping (garbage retention, never a bad free).
+	DegradeGCScan
+	// DegradeMem: a guest memory operand access failed on the emulation
+	// path.
+	DegradeMem
+	// DegradeStorm: the trap-storm governor demoted a site that crossed its
+	// trap-rate threshold and blacklisted it from further promotion.
+	DegradeStorm
+
+	// NumDegradeCauses sizes per-cause counter arrays.
+	NumDegradeCauses = int(DegradeStorm) + 1
+)
+
+// String names the cause as it appears in JSONL traces and reports.
+func (c DegradeCause) String() string {
+	switch c {
+	case DegradeDecode:
+		return "decode"
+	case DegradeBind:
+		return "bind"
+	case DegradeEmulate:
+		return "emulate"
+	case DegradeArena:
+		return "arena"
+	case DegradeGCScan:
+		return "gc-scan"
+	case DegradeMem:
+		return "mem-access"
+	case DegradeStorm:
+		return "storm"
+	default:
+		return "cause?"
 	}
 }
 
@@ -138,6 +203,8 @@ type Site struct {
 	RunSum       uint64    // sum of per-delivery run lengths (faulting inst included)
 	MaxRun       int       // longest coalesced run rooted at this PC
 	Flags        fpu.Flags // union of MXCSR condition flags seen at this PC
+	Degradations uint64    // graceful degradations rooted at this PC
+	StormPatched bool      // the storm governor blacklisted this site
 }
 
 // MeanRun returns the mean coalesced-run length per FP delivery at this site
@@ -257,6 +324,27 @@ func (c *Collector) Sequence(idx int, pc uint64, op isa.Op, runLen int, cycles u
 		Kind: EvSequence, Cause: CauseFP, Op: op,
 		Idx: int32(idx), PC: pc, Cycles: cycles, Arg: uint64(runLen),
 	})
+}
+
+// Degradation records one graceful degradation rooted at pc: the cause, the
+// instruction, and the cycle clock when the engine fell back to native IEEE
+// execution.
+func (c *Collector) Degradation(idx int, pc uint64, op isa.Op, cause DegradeCause, cycles uint64) {
+	c.ring.Record(Event{
+		Kind: EvDegrade, Cause: CauseNone, Op: op,
+		Idx: int32(idx), PC: pc, Cycles: cycles, Arg: uint64(cause),
+	})
+	c.site(idx, pc, op).Degradations++
+}
+
+// StormPatch records the trap-storm governor blacklisting the site at pc
+// after traps deliveries crossed its threshold.
+func (c *Collector) StormPatch(idx int, pc uint64, op isa.Op, traps uint64, cycles uint64) {
+	c.ring.Record(Event{
+		Kind: EvStormPatch, Cause: CauseNone, Op: op,
+		Idx: int32(idx), PC: pc, Cycles: cycles, Arg: traps,
+	})
+	c.site(idx, pc, op).StormPatched = true
 }
 
 // Correctness records a correctness-trap demotion pass at pc with the static
