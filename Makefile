@@ -3,10 +3,10 @@ FUZZTIME ?= 30s
 # Minimum aggregate statement coverage (percent) over ./internal/...
 COVERFLOOR ?= 80
 
-.PHONY: ci fmt vet build test race cover oracle chaos bench-smoke fuzz-smoke bench
+.PHONY: ci fmt vet build test race cover oracle chaos bench-smoke bench-gate bench-record serve-smoke fuzz-smoke bench
 
 # ci mirrors .github/workflows/ci.yml exactly.
-ci: fmt vet build test race cover oracle chaos bench-smoke fuzz-smoke
+ci: fmt vet build test race cover oracle chaos bench-gate serve-smoke fuzz-smoke
 
 fmt:
 	@files=$$(gofmt -l .); \
@@ -21,9 +21,10 @@ build:
 test:
 	$(GO) test ./...
 
-# The parallel experiment harness under the race detector.
+# The concurrent layers under the race detector: the parallel experiment
+# harness, the pooled-session stack, and the multi-tenant server.
 race:
-	$(GO) test -race ./internal/experiments
+	$(GO) test -race ./internal/experiments ./internal/session ./internal/loadgen ./cmd/fpvm-serve
 
 # Coverage gate: the aggregate statement coverage of ./internal/... must not
 # fall below COVERFLOOR percent. The profile is left in coverage.out (CI
@@ -51,6 +52,29 @@ chaos:
 # exercises the -json path and the trap-coalescing runtime end to end.
 bench-smoke:
 	$(GO) run ./cmd/fpvm-bench -json -quick -seqemu > /dev/null
+
+# Canonical bench options: the configuration every checked-in BENCH_N.json is
+# produced under. The gate refuses to compare documents with different
+# options, so record and gate must agree.
+BENCHOPTS = -quick -seqemu -sessions 500 -load-j 16
+# Newest checked-in bench record (highest N).
+BENCHBASE = $(shell ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1)
+
+# Regression gate: rerun the bench and fail on cycles/traps/ns-per-step
+# regressions or session-load errors vs the newest checked-in record.
+bench-gate:
+	$(GO) run ./cmd/fpvm-bench $(BENCHOPTS) -gate $(BENCHBASE)
+
+# Regenerate the newest checked-in bench record in place (run on a quiet
+# machine; commit the result). Bump the filename to BENCH_<N+1>.json when a
+# PR intentionally moves the numbers.
+bench-record:
+	$(GO) run ./cmd/fpvm-bench -json $(BENCHOPTS) -out $(BENCHBASE) > /dev/null
+
+# Serve smoke: ephemeral-port server, 50 concurrent POST /run requests via
+# the HTTP load harness, all must be 200s and the shutdown clean.
+serve-smoke:
+	$(GO) run ./cmd/fpvm-serve -smoke
 
 # Short coverage-guided fuzzing passes (beyond the checked-in seed corpus,
 # which already runs as part of `test`).

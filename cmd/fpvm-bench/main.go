@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +26,13 @@ import (
 )
 
 func main() { os.Exit(Run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// writeDoc renders the bench document as indented JSON.
+func writeDoc(w io.Writer, doc *experiments.BenchDoc) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
 
 // Run is the testable entry point: it executes the CLI with the given
 // arguments and output streams and returns the process exit code.
@@ -42,6 +50,10 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		seqlen   = fs.Int("seqlen", 16, "max instructions coalesced per trap delivery (with -seqemu)")
 		topSites = fs.Int("topsites", 0, "with -json: attach trap telemetry and export the N hottest trap sites per record")
 		storm    = fs.Uint64("storm", 0, "trap-storm governor threshold: sites trapping more than N times are patched to demote and stay native (0 = off)")
+		sessions = fs.Int("sessions", 0, "with -json: attach a session-load record driving N runs through a pooled session (sessions/sec, p50/p99)")
+		loadJobs = fs.Int("load-j", 16, "with -sessions: concurrent load-harness workers")
+		outFile  = fs.String("out", "", "with -json: also write the document to this file (e.g. BENCH_6.json)")
+		gateFile = fs.String("gate", "", "regression gate: run the -json bench and compare against this baseline document, exiting 1 on cycles/traps/ns-per-step regressions")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -59,8 +71,8 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		maxSeq = *seqlen
 	}
 
-	if *jsonOut {
-		err := experiments.BenchJSON(experiments.Options{
+	if *jsonOut || *gateFile != "" {
+		opts := experiments.Options{
 			W:              stdout,
 			Prec:           *prec,
 			Quick:          *quick,
@@ -68,10 +80,49 @@ func Run(args []string, stdout, stderr io.Writer) int {
 			MaxSequenceLen: maxSeq,
 			TopSites:       *topSites,
 			StormThreshold: *storm,
-		})
+			Sessions:       *sessions,
+			LoadWorkers:    *loadJobs,
+		}
+		doc, err := experiments.BenchDocData(opts)
 		if err != nil {
 			fmt.Fprintf(stderr, "fpvm-bench: %v\n", err)
 			return 1
+		}
+		if *jsonOut {
+			if err := writeDoc(stdout, doc); err != nil {
+				fmt.Fprintf(stderr, "fpvm-bench: %v\n", err)
+				return 1
+			}
+		}
+		if *outFile != "" {
+			f, err := os.Create(*outFile)
+			if err != nil {
+				fmt.Fprintf(stderr, "fpvm-bench: %v\n", err)
+				return 1
+			}
+			werr := writeDoc(f, doc)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintf(stderr, "fpvm-bench: writing %s: %v\n", *outFile, werr)
+				return 1
+			}
+		}
+		if *gateFile != "" {
+			base, err := experiments.ReadBenchDoc(*gateFile)
+			if err != nil {
+				fmt.Fprintf(stderr, "fpvm-bench: %v\n", err)
+				return 1
+			}
+			if bad := experiments.GateBench(base, doc); len(bad) > 0 {
+				fmt.Fprintf(stderr, "fpvm-bench: %d regressions vs %s:\n", len(bad), *gateFile)
+				for _, msg := range bad {
+					fmt.Fprintf(stderr, "  %s\n", msg)
+				}
+				return 1
+			}
+			fmt.Fprintf(stderr, "fpvm-bench: no regressions vs %s (%d rows)\n", *gateFile, len(base.Rows))
 		}
 		return 0
 	}

@@ -70,10 +70,21 @@ func TestBenchJSONTopSites(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-json exited %d: %s", code, stderr)
 	}
-	var rows []map[string]any
-	if err := json.Unmarshal([]byte(out), &rows); err != nil {
-		t.Fatalf("-json output is not a JSON array: %v", err)
+	var doc struct {
+		Schema  int              `json:"schema"`
+		Options map[string]any   `json:"options"`
+		Rows    []map[string]any `json:"rows"`
 	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json output is not a bench document: %v", err)
+	}
+	if doc.Schema != 1 {
+		t.Fatalf("bench document schema = %d, want 1", doc.Schema)
+	}
+	if doc.Options == nil {
+		t.Fatal("bench document has no options record")
+	}
+	rows := doc.Rows
 	if len(rows) == 0 {
 		t.Fatal("-json produced no records")
 	}

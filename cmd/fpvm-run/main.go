@@ -361,28 +361,7 @@ func loadProgram(workload, asmFile string) (*isa.Program, error) {
 }
 
 func selectArith(name string, prec uint) (arith.System, error) {
-	switch name {
-	case "vanilla":
-		return arith.Vanilla{}, nil
-	case "mpfr":
-		return arith.NewMPFR(prec), nil
-	case "adaptive":
-		return arith.NewAdaptiveMPFR(prec, 16*prec), nil
-	case "interval":
-		return arith.IntervalSystem{}, nil
-	case "bfloat16":
-		return arith.BFloat16System{}, nil
-	case "posit8":
-		return arith.NewPosit(posit.Posit8), nil
-	case "posit16":
-		return arith.NewPosit(posit.Posit16), nil
-	case "posit32":
-		return arith.NewPosit(posit.Posit32), nil
-	case "posit64":
-		return arith.NewPosit(posit.Posit64), nil
-	default:
-		return nil, fmt.Errorf("unknown arithmetic system %q", name)
-	}
+	return arith.Select(name, prec)
 }
 
 func hitRate(hits, misses uint64) float64 {

@@ -1,0 +1,351 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/asm"
+	"fpvm/internal/isa"
+	"fpvm/internal/oracle"
+	"fpvm/internal/session"
+	"fpvm/internal/telemetry"
+)
+
+// serverConfig is the operator-controlled envelope every request runs
+// inside. Request parameters can only narrow it, never widen it: an over-ask
+// is clamped and the run degrades (truncates, demotes, goes native) rather
+// than being rejected or killed.
+type serverConfig struct {
+	// Workers bounds the number of simultaneously executing sessions; excess
+	// requests queue on the semaphore (or abandon it when the client goes
+	// away). This is also the ceiling on live guest memory: Workers × MemSize.
+	Workers int
+	// MaxInst is the per-request instruction quota ceiling.
+	MaxInst uint64
+	// TenantQuota is the per-tenant instruction quota ceiling, defaulting to
+	// MaxInst. A tenant whose requests ask for more is granted exactly this
+	// much and the run reports budget_exhausted instead of failing.
+	TenantQuota uint64
+	// MemSize is the per-session guest memory size in bytes.
+	MemSize int
+	// ArenaSoftCap and ArenaHardCap bound each session's shadow arena; the
+	// hard cap trips the degradation engine (native re-execution), never an
+	// error.
+	ArenaSoftCap int
+	ArenaHardCap int
+	// Storm is the default trap-storm governor threshold.
+	Storm uint64
+}
+
+func (c serverConfig) withDefaults() serverConfig {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.MaxInst == 0 {
+		c.MaxInst = session.DefaultMaxInst
+	}
+	if c.TenantQuota == 0 || c.TenantQuota > c.MaxInst {
+		c.TenantQuota = c.MaxInst
+	}
+	if c.MemSize <= 0 {
+		c.MemSize = 1 << 20 // 1 MiB: every bundled target fits comfortably
+	}
+	return c
+}
+
+// tenantState is the accounting row behind per-tenant quota decisions.
+type tenantState struct {
+	requests     atomic.Uint64
+	instructions atomic.Uint64
+	budgetHits   atomic.Uint64 // runs truncated by the quota
+}
+
+// server is the multi-tenant execution service: a session pool, a bounded
+// worker semaphore, a program cache, and per-tenant accounting.
+type server struct {
+	cfg   serverConfig
+	pool  session.Pool
+	sem   chan struct{} // bounded worker pool: one token per running session
+	progs sync.Map      // target name → *isa.Program (shared immutable images)
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	degraded atomic.Uint64 // runs that hit a quota or degradation path
+}
+
+func newServer(cfg serverConfig) *server {
+	cfg = cfg.withDefaults()
+	return &server{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.Workers),
+		tenants: make(map[string]*tenantState),
+	}
+}
+
+// handler returns the service's route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// runRequest is the POST /run body: which program, which arithmetic system,
+// and how much observability. All resource asks are clamped to the server
+// envelope.
+type runRequest struct {
+	// Workload names a bundled target (oracle.Lookup spelling, with or
+	// without the workload:/example: prefix). Mutually exclusive with Asm.
+	Workload string `json:"workload,omitempty"`
+	// Asm is assembly source to assemble and run.
+	Asm string `json:"asm,omitempty"`
+	// Arith selects the arithmetic system (default vanilla).
+	Arith string `json:"arith,omitempty"`
+	// Prec is the MPFR precision in bits (default 200).
+	Prec uint `json:"prec,omitempty"`
+	// MaxInst asks for an instruction budget; it is clamped to the tenant
+	// quota.
+	MaxInst uint64 `json:"max_inst,omitempty"`
+	// NoPatch skips static analysis and correctness patching.
+	NoPatch bool `json:"no_patch,omitempty"`
+	// SeqLen enables sequence emulation with the given max run length.
+	SeqLen int `json:"seqlen,omitempty"`
+	// Storm overrides the server's trap-storm threshold (0 = server default).
+	Storm uint64 `json:"storm,omitempty"`
+	// Trace returns the telemetry event stream as JSONL in the response.
+	Trace bool `json:"trace,omitempty"`
+	// TopSites returns the N hottest trap sites.
+	TopSites int `json:"topsites,omitempty"`
+	// Tenant is the accounting identity (default "anonymous"); the
+	// X-FPVM-Tenant header takes precedence.
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// runResponse is the harvested result of one session run.
+type runResponse struct {
+	Output           string               `json:"output"`
+	Cycles           uint64               `json:"cycles"`
+	Instructions     uint64               `json:"instructions"`
+	FPTraps          uint64               `json:"fp_traps"`
+	CorrectnessTraps uint64               `json:"correctness_traps"`
+	Emulated         uint64               `json:"emulated"`
+	Degradations     uint64               `json:"degradations"`
+	StormPatches     uint64               `json:"storm_patches"`
+	BudgetGranted    uint64               `json:"budget_granted"`
+	BudgetExhausted  bool                 `json:"budget_exhausted"`
+	Fault            string               `json:"fault,omitempty"`
+	SessionRuns      uint64               `json:"session_runs"`
+	Tenant           string               `json:"tenant"`
+	TopSites         []telemetry.SiteRank `json:"top_sites,omitempty"`
+	TraceJSONL       string               `json:"trace_jsonl,omitempty"`
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	tenant := r.Header.Get("X-FPVM-Tenant")
+	if tenant == "" {
+		tenant = req.Tenant
+	}
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+
+	prog, err := s.program(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Arith == "" {
+		req.Arith = "vanilla"
+	}
+	prec := req.Prec
+	if prec == 0 {
+		prec = 200
+	}
+	sys, err := arith.Select(req.Arith, prec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Quota: grant min(ask, tenant quota). The clamp is the degrade path —
+	// the run executes under the granted budget and reports truncation
+	// instead of being refused.
+	ts := s.tenant(tenant)
+	granted := req.MaxInst
+	if granted == 0 || granted > s.cfg.TenantQuota {
+		granted = s.cfg.TenantQuota
+	}
+	storm := req.Storm
+	if storm == 0 {
+		storm = s.cfg.Storm
+	}
+	cfg := session.Config{
+		System:         sys,
+		MaxInst:        granted,
+		MemSize:        s.cfg.MemSize,
+		NoPatch:        req.NoPatch,
+		MaxSequenceLen: req.SeqLen,
+		StormThreshold: storm,
+		ArenaSoftCap:   s.cfg.ArenaSoftCap,
+		ArenaHardCap:   s.cfg.ArenaHardCap,
+		Telemetry:      req.Trace,
+		TopSites:       req.TopSites,
+	}
+
+	// Bounded worker pool: block for an execution slot, but give up if the
+	// client disconnects while queued.
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		httpError(w, http.StatusServiceUnavailable, "canceled while queued")
+		return
+	}
+	sess := s.pool.Get()
+	res, err := sess.Run(prog, cfg)
+	runs := sess.Runs()
+	s.pool.Put(sess)
+	<-s.sem
+
+	s.requests.Add(1)
+	ts.requests.Add(1)
+	if err != nil {
+		s.errors.Add(1)
+		httpError(w, http.StatusBadRequest, "run: %v", err)
+		return
+	}
+	ts.instructions.Add(res.Instructions)
+	if res.BudgetExhausted {
+		ts.budgetHits.Add(1)
+	}
+	if res.BudgetExhausted || res.VM.Degradations > 0 || res.VM.StormPatches > 0 {
+		s.degraded.Add(1)
+	}
+
+	resp := runResponse{
+		Output:           res.Output,
+		Cycles:           res.Cycles,
+		Instructions:     res.Instructions,
+		FPTraps:          res.VM.Traps,
+		CorrectnessTraps: res.VM.CorrectTraps,
+		Emulated:         res.VM.Emulated,
+		Degradations:     res.VM.Degradations,
+		StormPatches:     res.VM.StormPatches,
+		BudgetGranted:    granted,
+		BudgetExhausted:  res.BudgetExhausted,
+		Fault:            res.Fault,
+		SessionRuns:      runs,
+		Tenant:           tenant,
+		TopSites:         res.TopSites,
+		TraceJSONL:       string(res.TraceJSONL),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// program resolves the request's program, caching bundled targets by name so
+// every request for the same target shares one immutable *isa.Program — that
+// pointer identity is what lets a warm session skip the predecode pass.
+func (s *server) program(req runRequest) (*isa.Program, error) {
+	switch {
+	case req.Workload != "" && req.Asm != "":
+		return nil, fmt.Errorf("workload and asm are mutually exclusive")
+	case req.Workload != "":
+		if p, ok := s.progs.Load(req.Workload); ok {
+			return p.(*isa.Program), nil
+		}
+		t, err := oracle.Lookup(req.Workload)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := t.Build()
+		if err != nil {
+			return nil, err
+		}
+		actual, _ := s.progs.LoadOrStore(req.Workload, prog)
+		return actual.(*isa.Program), nil
+	case req.Asm != "":
+		return asm.Assemble(req.Asm)
+	default:
+		return nil, fmt.Errorf("one of workload or asm is required")
+	}
+}
+
+func (s *server) tenant(name string) *tenantState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, ok := s.tenants[name]
+	if !ok {
+		ts = &tenantState{}
+		s.tenants[name] = ts
+	}
+	return ts
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// statsResponse is the GET /stats body.
+type statsResponse struct {
+	Requests uint64                 `json:"requests"`
+	Errors   uint64                 `json:"errors"`
+	Degraded uint64                 `json:"degraded"`
+	Workers  int                    `json:"workers"`
+	InFlight int                    `json:"in_flight"`
+	Pool     session.PoolStats      `json:"pool"`
+	Tenants  map[string]tenantStats `json:"tenants"`
+}
+
+type tenantStats struct {
+	Requests     uint64 `json:"requests"`
+	Instructions uint64 `json:"instructions"`
+	BudgetHits   uint64 `json:"budget_hits"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		Requests: s.requests.Load(),
+		Errors:   s.errors.Load(),
+		Degraded: s.degraded.Load(),
+		Workers:  s.cfg.Workers,
+		InFlight: len(s.sem),
+		Pool:     s.pool.Stats(),
+		Tenants:  make(map[string]tenantStats),
+	}
+	s.mu.Lock()
+	for name, ts := range s.tenants {
+		resp.Tenants[name] = tenantStats{
+			Requests:     ts.requests.Load(),
+			Instructions: ts.instructions.Load(),
+			BudgetHits:   ts.budgetHits.Load(),
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

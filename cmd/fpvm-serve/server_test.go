@@ -1,0 +1,308 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testServer returns an httptest server over a service with a small memory
+// geometry so the suite stays fast under -race.
+func testServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
+	t.Helper()
+	if cfg.MemSize == 0 {
+		cfg.MemSize = 256 << 10
+	}
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postRun(t *testing.T, ts *httptest.Server, body string, hdr map[string]string) (int, runResponse, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr runResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &rr); err != nil {
+			t.Fatalf("bad 200 body %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, rr, string(raw)
+}
+
+func TestServeRunAndSessionReuse(t *testing.T) {
+	_, ts := testServer(t, serverConfig{Workers: 2})
+	code, rr, raw := postRun(t, ts, `{"workload":"FBench"}`, nil)
+	if code != http.StatusOK {
+		t.Fatalf("first run: %d %s", code, raw)
+	}
+	if rr.Output == "" || rr.Cycles == 0 || rr.Instructions == 0 {
+		t.Fatalf("empty harvest: %+v", rr)
+	}
+	if rr.FPTraps == 0 {
+		t.Errorf("FBench under virtualization should trap: %+v", rr)
+	}
+	if rr.Tenant != "anonymous" {
+		t.Errorf("default tenant = %q, want anonymous", rr.Tenant)
+	}
+
+	// The second request for the same workload must hit the program cache and
+	// land on a pooled session whose run counter has advanced.
+	code, rr2, raw := postRun(t, ts, `{"workload":"FBench"}`, nil)
+	if code != http.StatusOK {
+		t.Fatalf("second run: %d %s", code, raw)
+	}
+	if rr2.SessionRuns < 2 {
+		t.Errorf("second request ran on a fresh session (runs=%d); pool not reusing", rr2.SessionRuns)
+	}
+	if rr2.Output != rr.Output || rr2.Cycles != rr.Cycles || rr2.FPTraps != rr.FPTraps {
+		t.Errorf("reused session diverged: %+v vs %+v", rr2, rr)
+	}
+}
+
+func TestServeInlineAsm(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	body := `{"asm":"movsd f0, =1.5\naddsd f0, =2.25\noutf f0\nhalt\n"}`
+	code, rr, raw := postRun(t, ts, body, nil)
+	if code != http.StatusOK {
+		t.Fatalf("asm run: %d %s", code, raw)
+	}
+	if !strings.Contains(rr.Output, "3.75") {
+		t.Errorf("asm output = %q, want 3.75", rr.Output)
+	}
+}
+
+func TestServeQuotaDegradesNeverKills(t *testing.T) {
+	s, ts := testServer(t, serverConfig{TenantQuota: 1000})
+	// Ask for far more than the tenant quota: the grant is clamped, the run
+	// truncates, and the response is still a 200 with a full harvest.
+	code, rr, raw := postRun(t, ts, `{"workload":"FBench","max_inst":999999999}`, map[string]string{"X-FPVM-Tenant": "greedy"})
+	if code != http.StatusOK {
+		t.Fatalf("over-quota ask must degrade, not fail: %d %s", code, raw)
+	}
+	if rr.BudgetGranted != 1000 {
+		t.Errorf("granted %d, want clamp to 1000", rr.BudgetGranted)
+	}
+	if !rr.BudgetExhausted || rr.Fault != "" {
+		t.Errorf("truncation not reported as degradation: %+v", rr)
+	}
+	if rr.Instructions != 1000 {
+		t.Errorf("retired %d instructions, want exactly the granted 1000", rr.Instructions)
+	}
+	if rr.Tenant != "greedy" {
+		t.Errorf("header tenant lost: %+v", rr)
+	}
+	if got := s.degraded.Load(); got != 1 {
+		t.Errorf("degraded counter = %d, want 1", got)
+	}
+
+	// A request under quota is granted its ask verbatim.
+	code, rr, raw = postRun(t, ts, `{"workload":"FBench","max_inst":500}`, nil)
+	if code != http.StatusOK {
+		t.Fatalf("under-quota run: %d %s", code, raw)
+	}
+	if rr.BudgetGranted != 500 || !rr.BudgetExhausted {
+		t.Errorf("under-quota ask mishandled: %+v", rr)
+	}
+}
+
+func TestServeBadRequests(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	cases := []struct {
+		name, body string
+	}{
+		{"no program", `{}`},
+		{"both workload and asm", `{"workload":"FBench","asm":"halt"}`},
+		{"unknown workload", `{"workload":"NoSuchThing"}`},
+		{"unknown arith", `{"workload":"FBench","arith":"octuple"}`},
+		{"bad asm", `{"asm":"frobnicate f0"}`},
+		{"bad json", `{"workload":`},
+	}
+	for _, tc := range cases {
+		code, _, raw := postRun(t, ts, tc.body, nil)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: got %d %s, want 400", tc.name, code, raw)
+		}
+		if !strings.Contains(raw, "error") {
+			t.Errorf("%s: error body %q missing error field", tc.name, raw)
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /run = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestServeHealthzAndStats(t *testing.T) {
+	_, ts := testServer(t, serverConfig{Workers: 3})
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]bool
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !health["ok"] {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	postRun(t, ts, `{"workload":"FBench"}`, map[string]string{"X-FPVM-Tenant": "alice"})
+	postRun(t, ts, `{"workload":"FBench"}`, map[string]string{"X-FPVM-Tenant": "alice"})
+	postRun(t, ts, `{"workload":"FBench","max_inst":100}`, map[string]string{"X-FPVM-Tenant": "bob"})
+
+	resp, err = ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Requests != 3 || stats.Errors != 0 || stats.Workers != 3 {
+		t.Errorf("service counters wrong: %+v", stats)
+	}
+	if stats.InFlight != 0 {
+		t.Errorf("in_flight = %d after all runs drained", stats.InFlight)
+	}
+	alice, bob := stats.Tenants["alice"], stats.Tenants["bob"]
+	if alice.Requests != 2 || alice.Instructions == 0 || alice.BudgetHits != 0 {
+		t.Errorf("alice accounting wrong: %+v", alice)
+	}
+	if bob.Requests != 1 || bob.Instructions != 100 || bob.BudgetHits != 1 {
+		t.Errorf("bob accounting wrong: %+v", bob)
+	}
+	if stats.Pool.Gets != 3 || stats.Pool.Puts != 3 {
+		t.Errorf("pool traffic wrong: %+v", stats.Pool)
+	}
+}
+
+func TestServeTraceAndTopSites(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	code, rr, raw := postRun(t, ts, `{"workload":"FBench","trace":true,"topsites":3}`, nil)
+	if code != http.StatusOK {
+		t.Fatalf("traced run: %d %s", code, raw)
+	}
+	if len(rr.TopSites) == 0 {
+		t.Error("topsites requested but absent")
+	}
+	if rr.TraceJSONL == "" || !json.Valid([]byte(strings.SplitN(rr.TraceJSONL, "\n", 2)[0])) {
+		t.Errorf("trace_jsonl not valid JSONL: %.80q", rr.TraceJSONL)
+	}
+}
+
+// TestServeConcurrentTenants hammers the handler from many goroutines — under
+// -race this is the service-level isolation proof: shared program cache,
+// shared pool, per-tenant accounting, all racing.
+func TestServeConcurrentTenants(t *testing.T) {
+	s, ts := testServer(t, serverConfig{Workers: 4})
+	const clients, perClient = 8, 4
+	var wg sync.WaitGroup
+	errs := make(chan string, clients*perClient)
+	var want runResponse
+	{
+		code, rr, raw := postRun(t, ts, `{"workload":"FBench"}`, nil)
+		if code != http.StatusOK {
+			t.Fatalf("warmup: %d %s", code, raw)
+		}
+		want = rr
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", c)
+			for i := 0; i < perClient; i++ {
+				req, _ := http.NewRequest(http.MethodPost, ts.URL+"/run",
+					bytes.NewReader([]byte(`{"workload":"FBench"}`)))
+				req.Header.Set("X-FPVM-Tenant", tenant)
+				resp, err := ts.Client().Do(req)
+				if err != nil {
+					errs <- err.Error()
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Sprintf("%d %s", resp.StatusCode, raw)
+					continue
+				}
+				var rr runResponse
+				if err := json.Unmarshal(raw, &rr); err != nil {
+					errs <- err.Error()
+					continue
+				}
+				if rr.Output != want.Output || rr.Cycles != want.Cycles || rr.FPTraps != want.FPTraps {
+					errs <- fmt.Sprintf("tenant %s saw divergent result: %+v vs %+v", tenant, rr, want)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if got := s.requests.Load(); got != clients*perClient+1 {
+		t.Errorf("request counter = %d, want %d", got, clients*perClient+1)
+	}
+}
+
+func TestServeSelftestAndSmokeExitClean(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Run([]string{"-selftest", "-sessions", "20", "-j", "4", "-mem-kib", "256"}, &out, &errOut); code != 0 {
+		t.Fatalf("-selftest exit %d: %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "sessions/sec") {
+		t.Errorf("selftest report missing throughput: %q", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := Run([]string{"-smoke", "-sessions", "10", "-j", "4", "-mem-kib", "256"}, &out, &errOut); code != 0 {
+		t.Fatalf("-smoke exit %d: %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "10/10 requests returned 200, clean shutdown") {
+		t.Errorf("smoke summary wrong: %q", out.String())
+	}
+}
+
+func TestServeBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag exit %d, want 2", code)
+	}
+	if code := Run([]string{"-selftest", "-workload", "NoSuchTarget"}, &out, &errOut); code != 1 {
+		t.Fatalf("bad selftest target exit %d, want 1", code)
+	}
+}

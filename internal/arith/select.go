@@ -1,0 +1,43 @@
+package arith
+
+import (
+	"fmt"
+
+	"fpvm/internal/posit"
+)
+
+// SystemNames lists the selectable alternative arithmetic systems in the
+// order Select accepts them, for help text and service discovery.
+var SystemNames = []string{
+	"vanilla", "mpfr", "adaptive", "interval", "bfloat16",
+	"posit8", "posit16", "posit32", "posit64",
+}
+
+// Select constructs the named arithmetic system — the single spelling-to-
+// system mapping shared by every front end (fpvm-run, fpvm-serve, the load
+// harness). prec is the MPFR precision in bits for the mpfr and adaptive
+// systems (adaptive escalates up to 16×prec); the other systems ignore it.
+func Select(name string, prec uint) (System, error) {
+	switch name {
+	case "vanilla":
+		return Vanilla{}, nil
+	case "mpfr":
+		return NewMPFR(prec), nil
+	case "adaptive":
+		return NewAdaptiveMPFR(prec, 16*prec), nil
+	case "interval":
+		return IntervalSystem{}, nil
+	case "bfloat16":
+		return BFloat16System{}, nil
+	case "posit8":
+		return NewPosit(posit.Posit8), nil
+	case "posit16":
+		return NewPosit(posit.Posit16), nil
+	case "posit32":
+		return NewPosit(posit.Posit32), nil
+	case "posit64":
+		return NewPosit(posit.Posit64), nil
+	default:
+		return nil, fmt.Errorf("unknown arithmetic system %q", name)
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Gate tolerances. The modeled numbers (cycles, traps) are deterministic
+// functions of the program and configuration, so the tolerance only absorbs
+// float formatting; wall-clock ns-per-step is machine- and load-dependent,
+// so its gate is a coarse tripwire for catastrophic slowdowns, not a
+// precision instrument.
+const (
+	gateCycleSlack  = 1.01 // modeled cycles may grow at most 1%
+	gateTrapSlack   = 1.01 // trap counts may grow at most 1%
+	gateWallSlack   = 4.0  // ns-per-step may grow at most 4×
+	gateWallFloorNs = 50.0 // rows faster than this per step are below noise
+)
+
+// ReadBenchDoc loads a checked-in BENCH_N.json document.
+func ReadBenchDoc(path string) (*BenchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc BenchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema == 0 || len(doc.Rows) == 0 {
+		return nil, fmt.Errorf("%s: not a bench document (schema %d, %d rows)", path, doc.Schema, len(doc.Rows))
+	}
+	return &doc, nil
+}
+
+// benchKey identifies a row across documents.
+type benchKey struct {
+	Workload  string
+	Specifics string
+	System    string
+	SeqLen    int
+}
+
+// GateBench compares a freshly produced bench document against a baseline
+// and returns one message per regression (empty = pass). Regressions are
+// one-sided: only the new document being worse fails; improvements pass and
+// become the new baseline when the document is checked in.
+func GateBench(base, cur *BenchDoc) []string {
+	var bad []string
+	if base.Options != cur.Options {
+		return []string{fmt.Sprintf(
+			"options mismatch: baseline %+v vs current %+v — documents are not comparable",
+			base.Options, cur.Options)}
+	}
+	curRows := make(map[benchKey]BenchRow, len(cur.Rows))
+	for _, r := range cur.Rows {
+		curRows[benchKey{r.Workload, r.Specifics, r.System, r.SeqLen}] = r
+	}
+	for _, old := range base.Rows {
+		key := benchKey{old.Workload, old.Specifics, old.System, old.SeqLen}
+		now, ok := curRows[key]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%v: row disappeared from the bench", key))
+			continue
+		}
+		if float64(now.VirtCycles) > float64(old.VirtCycles)*gateCycleSlack {
+			bad = append(bad, fmt.Sprintf("%s %s [%s seq=%d]: virt cycles %d -> %d (>%.0f%% regression)",
+				old.Workload, old.Specifics, old.System, old.SeqLen,
+				old.VirtCycles, now.VirtCycles, (gateCycleSlack-1)*100))
+		}
+		if float64(now.FPTraps) > float64(old.FPTraps)*gateTrapSlack {
+			bad = append(bad, fmt.Sprintf("%s %s [%s seq=%d]: fp traps %d -> %d (>%.0f%% regression)",
+				old.Workload, old.Specifics, old.System, old.SeqLen,
+				old.FPTraps, now.FPTraps, (gateTrapSlack-1)*100))
+		}
+		if old.NsPerStep > gateWallFloorNs && now.NsPerStep > old.NsPerStep*gateWallSlack {
+			bad = append(bad, fmt.Sprintf("%s %s [%s seq=%d]: ns/step %.0f -> %.0f (>%.0fx wall-clock regression)",
+				old.Workload, old.Specifics, old.System, old.SeqLen,
+				old.NsPerStep, now.NsPerStep, gateWallSlack))
+		}
+	}
+	if base.SessionLoad != nil {
+		switch {
+		case cur.SessionLoad == nil:
+			bad = append(bad, "session-load record disappeared from the bench")
+		case cur.SessionLoad.Errors > 0:
+			bad = append(bad, fmt.Sprintf("session load: %d of %d sessions failed",
+				cur.SessionLoad.Errors, cur.SessionLoad.Sessions))
+		case cur.SessionLoad.Sessions < base.SessionLoad.Sessions:
+			bad = append(bad, fmt.Sprintf("session load shrank: %d -> %d sessions",
+				base.SessionLoad.Sessions, cur.SessionLoad.Sessions))
+		}
+	}
+	return bad
+}

@@ -2,9 +2,12 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 
 	"fpvm/internal/arith"
 	"fpvm/internal/fpvm"
+	"fpvm/internal/loadgen"
+	"fpvm/internal/session"
 	"fpvm/internal/telemetry"
 	"fpvm/internal/workloads"
 )
@@ -22,6 +25,9 @@ type BenchRow struct {
 	NativeCycles uint64  `json:"native_cycles"`
 	VirtCycles   uint64  `json:"virt_cycles"`
 	Slowdown     float64 `json:"slowdown"`
+	// NsPerStep is host wall-clock nanoseconds per retired instruction of
+	// the virtualized run — the only machine-dependent number in the row.
+	NsPerStep float64 `json:"ns_per_step"`
 
 	Instructions uint64 `json:"instructions"`
 	FPTraps      uint64 `json:"fp_traps"`
@@ -68,6 +74,9 @@ func benchRow(w workloads.Workload, sys string, seqLen, topSites int, r *RunResu
 		ArenaHighWater: r.VM.Arena.HighWater(),
 		ArenaReuses:    r.VM.Arena.Reuses(),
 	}
+	if n := r.Virt.Stats.Instructions; n > 0 {
+		row.NsPerStep = float64(r.VirtWallNs) / float64(n)
+	}
 	if seqLen > 0 {
 		row.SeqLenHist = make([]uint64, fpvm.SeqLenBuckets)
 		copy(row.SeqLenHist, st.SeqLenHist[:])
@@ -111,13 +120,125 @@ func BenchJSONData(o Options) ([]BenchRow, error) {
 	return rows, nil
 }
 
-// BenchJSON writes the BenchJSONData records to o.W as indented JSON.
-func BenchJSON(o Options) error {
+// BenchOptions is the comparability key of a bench document: two documents
+// produced under different options measure different configurations, and the
+// regression gate refuses to compare them.
+type BenchOptions struct {
+	Prec   uint   `json:"prec"`
+	Quick  bool   `json:"quick"`
+	SeqLen int    `json:"max_sequence_len"`
+	Storm  uint64 `json:"storm_threshold"`
+}
+
+// SessionLoad is the pooled-session throughput record attached to a bench
+// document when Options.Sessions > 0: N runs of one workload through a
+// shared session.Pool from concurrent workers. PerSec/P50/P99 are host
+// wall-clock figures; Errors and fresh-construction counts are exact.
+type SessionLoad struct {
+	Workload string  `json:"workload"`
+	System   string  `json:"system"`
+	Sessions int     `json:"sessions"`
+	Workers  int     `json:"workers"`
+	PerSec   float64 `json:"sessions_per_sec"`
+	P50Ns    int64   `json:"p50_ns"`
+	P99Ns    int64   `json:"p99_ns"`
+	Errors   int     `json:"errors"`
+	Fresh    uint64  `json:"fresh_sessions"` // pool misses (constructions)
+}
+
+// BenchDoc is the canonical machine-readable benchmark record (the checked-in
+// BENCH_N.json files): the options that produced it, one row per
+// workload/configuration, and the optional session-load record.
+type BenchDoc struct {
+	Schema      int          `json:"schema"`
+	Options     BenchOptions `json:"options"`
+	Rows        []BenchRow   `json:"rows"`
+	SessionLoad *SessionLoad `json:"session_load,omitempty"`
+}
+
+// BenchDocData assembles the full bench document: the per-workload rows and,
+// when o.Sessions > 0, the session-load record.
+func BenchDocData(o Options) (*BenchDoc, error) {
+	o.defaults()
 	rows, err := BenchJSONData(o)
+	if err != nil {
+		return nil, err
+	}
+	doc := &BenchDoc{
+		Schema: 1,
+		Options: BenchOptions{
+			Prec:   o.Prec,
+			Quick:  o.Quick,
+			SeqLen: o.MaxSequenceLen,
+			Storm:  o.StormThreshold,
+		},
+		Rows: rows,
+	}
+	if o.Sessions > 0 {
+		sl, err := sessionLoadRecord(o)
+		if err != nil {
+			return nil, err
+		}
+		doc.SessionLoad = sl
+	}
+	return doc, nil
+}
+
+// sessionLoadWorkload is the target the session-load record drives: a real
+// Figure-12 workload that traps heavily enough to exercise the arena, GC,
+// and patch path on every run.
+const sessionLoadWorkload = "FBench/"
+
+// sessionLoadMemSize keeps pooled guests small (the GC scan cost and the
+// pool's memory ceiling both scale with guest memory). Recorded runs are
+// only comparable to other session-load records, which share this geometry.
+const sessionLoadMemSize = 256 << 10
+
+func sessionLoadRecord(o Options) (*SessionLoad, error) {
+	w, ok := workloads.Get(sessionLoadWorkload)
+	if !ok {
+		return nil, fmt.Errorf("session load: unknown workload %q", sessionLoadWorkload)
+	}
+	prog, err := w.Build()
+	if err != nil {
+		return nil, err
+	}
+	// Vanilla still trap-and-emulates every FP instruction (boxing, arena,
+	// GC, patching all engaged) but adds no arithmetic cost of its own, so
+	// the record measures the session machinery rather than MPFR.
+	sys := arith.Vanilla{}
+	cfg := session.Config{
+		System:         sys,
+		MemSize:        sessionLoadMemSize,
+		MaxSequenceLen: o.MaxSequenceLen,
+		StormThreshold: o.StormThreshold,
+		GCEveryNAllocs: o.GCEveryNAllocs,
+	}
+	var pool session.Pool
+	rep := loadgen.Run(&pool, prog, cfg, loadgen.Options{
+		Sessions: o.Sessions,
+		Workers:  o.LoadWorkers,
+	})
+	return &SessionLoad{
+		Workload: sessionLoadWorkload,
+		System:   sys.Name(),
+		Sessions: rep.Sessions,
+		Workers:  rep.Workers,
+		PerSec:   rep.PerSec,
+		P50Ns:    rep.P50.Nanoseconds(),
+		P99Ns:    rep.P99.Nanoseconds(),
+		Errors:   rep.Errors,
+		Fresh:    rep.Pool.News,
+	}, nil
+}
+
+// BenchJSON writes the full bench document to o.W as indented JSON.
+func BenchJSON(o Options) error {
+	doc, err := BenchDocData(o)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(o.W)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rows)
+	return enc.Encode(doc)
 }

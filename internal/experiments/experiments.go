@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"fpvm/internal/arith"
 	"fpvm/internal/fpvm"
@@ -55,6 +56,12 @@ type Options struct {
 	// sites that trap more than this many times are patched to demote and
 	// stay native. 0 (the paper's configuration) leaves it off.
 	StormThreshold uint64
+	// Sessions, when > 0, attaches a session-load record to the BenchJSON
+	// document: the load harness drives this many runs through a shared
+	// session pool and reports sessions/sec and tail latency.
+	Sessions int
+	// LoadWorkers is the load harness's concurrency (0 = its default).
+	LoadWorkers int
 }
 
 func (o *Options) defaults() {
@@ -114,6 +121,10 @@ type RunResult struct {
 	Telem        *telemetry.Collector // non-nil when Options.TopSites > 0
 	NativeCycles uint64
 	VirtCycles   uint64
+	// VirtWallNs is the host wall-clock time of the virtualized run. Unlike
+	// the modeled cycle counts it is machine- and load-dependent; the bench
+	// gate only uses it as a coarse tripwire.
+	VirtWallNs int64
 }
 
 // Slowdown returns the cycle-count slowdown factor.
@@ -177,9 +188,11 @@ func runPair(w workloads.Workload, sys arith.System, o Options) (*RunResult, err
 		MaxSequenceLen: o.MaxSequenceLen,
 		StormThreshold: o.StormThreshold,
 	})
+	start := time.Now()
 	if err := vm2.Run(0); err != nil {
 		return nil, fmt.Errorf("%s under FPVM: %w", w.Name, err)
 	}
+	wall := time.Since(start)
 	return &RunResult{
 		Workload:     w,
 		NativeOut:    nout.String(),
@@ -191,6 +204,7 @@ func runPair(w workloads.Workload, sys arith.System, o Options) (*RunResult, err
 		Telem:        telem,
 		NativeCycles: nm.Cycles,
 		VirtCycles:   vm2.Cycles,
+		VirtWallNs:   wall.Nanoseconds(),
 	}, nil
 }
 

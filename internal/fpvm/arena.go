@@ -23,6 +23,24 @@ type Arena struct {
 // NewArena returns an empty arena.
 func NewArena() *Arena { return &Arena{} }
 
+// Reset empties the arena while retaining the slot table's capacity: after
+// Reset, Live() == 0, every counter is zero, and the next Alloc hands out
+// key 0 — the exact key sequence a fresh arena produces, so a pooled
+// session's NaN-box patterns are bit-identical to a fresh session's. Value
+// references are dropped so the Go GC can reclaim the previous session's
+// shadows; the backing arrays are kept for reuse.
+func (a *Arena) Reset() {
+	clear(a.vals) // release shadow-value references
+	a.vals = a.vals[:0]
+	a.inUse = a.inUse[:0]
+	a.marked = a.marked[:0]
+	a.free = a.free[:0]
+	a.allocs = 0
+	a.reuses = 0
+	a.live = 0
+	a.highWater = 0
+}
+
 // Alloc stores v and returns its key.
 func (a *Arena) Alloc(v arith.Value) uint64 {
 	a.allocs++

@@ -23,17 +23,27 @@ const (
 // decodedInst is FPVM's decoder-independent instruction representation: the
 // Go analog of the paper's `struct instruction` — a simplified op code, the
 // operand slots in emulation order, and any special details. Entries live
-// in the decode cache keyed by code address.
+// in the decode cache keyed by code address. The struct is fixed-size: srcs
+// is always a view into the inline srcbuf array, so a decodedInst can be
+// recycled through the VM's freelist across sessions without allocating.
 type decodedInst struct {
-	inst  isa.Inst
-	kind  instKind
-	aop   arith.Op      // for kindArith
-	lanes int           // 1 for scalar, 2 for packed
-	srcs  []isa.Operand // source operand descriptors, emulation order
-	dst   isa.Operand   // destination operand
+	inst   isa.Inst
+	kind   instKind
+	aop    arith.Op       // for kindArith
+	lanes  int            // 1 for scalar, 2 for packed
+	srcs   []isa.Operand  // source operand descriptors (= srcbuf[:n]), emulation order
+	srcbuf [3]isa.Operand // inline backing store for srcs
+	dst    isa.Operand    // destination operand
 
 	signalQuiet bool // comisd (signal on quiet NaN)
 	truncate    bool // cvttsd2si
+}
+
+// setSrcs records the source operands in emulation order into the inline
+// buffer and points srcs at it.
+func (d *decodedInst) setSrcs(ops ...isa.Operand) {
+	n := copy(d.srcbuf[:], ops)
+	d.srcs = d.srcbuf[:n]
 }
 
 // decode translates a machine instruction into FPVM's representation,
@@ -59,14 +69,32 @@ func (vm *VM) decode(idx int, in isa.Inst) (*decodedInst, error) {
 	vm.Stats.Cycles.Decode += vm.costs.DecodeMiss
 	vm.M.Cycles += vm.costs.DecodeMiss
 
-	d, err := translate(in)
-	if err != nil {
+	d := vm.newDecoded()
+	if err := translate(in, d); err != nil {
+		vm.freeDecoded(d)
 		return nil, err
 	}
 	if !vm.cfg.DisableDecodeCache {
 		vm.dcache[idx] = d
 	}
 	return d, nil
+}
+
+// newDecoded returns a zeroed decodedInst, recycling one from the freelist
+// when available so a reused session's decode misses allocate nothing.
+func (vm *VM) newDecoded() *decodedInst {
+	if n := len(vm.dfree); n > 0 {
+		d := vm.dfree[n-1]
+		vm.dfree[n-1] = nil
+		vm.dfree = vm.dfree[:n-1]
+		return d
+	}
+	return new(decodedInst)
+}
+
+// freeDecoded returns d to the freelist for a later newDecoded.
+func (vm *VM) freeDecoded(d *decodedInst) {
+	vm.dfree = append(vm.dfree, d)
 }
 
 // bind charges the operand-binding cost. The actual address resolution
@@ -132,64 +160,65 @@ func ArithOp(op isa.Op) (arith.Op, bool) {
 }
 
 // translate is the slow path of the decoder: it flattens the ISA's FP
-// instructions down to the ~two dozen abstract operation types. An
-// instruction outside that set is a degradable fault — not a panic — so a
-// mispatched or misdelivered site degrades to native execution instead of
-// killing the process.
-func translate(in isa.Inst) (*decodedInst, error) {
-	d := &decodedInst{inst: in, lanes: 1}
+// instructions down to the ~two dozen abstract operation types, filling the
+// caller's (possibly recycled) decodedInst in place. An instruction outside
+// that set is a degradable fault — not a panic — so a mispatched or
+// misdelivered site degrades to native execution instead of killing the
+// process.
+func translate(in isa.Inst, d *decodedInst) error {
+	*d = decodedInst{inst: in, lanes: 1}
 	if in.Op.IsPacked() {
 		d.lanes = 2
 	}
 	if a, ok := arithBinOps[in.Op]; ok {
 		d.kind = kindArith
 		d.aop = a
-		d.srcs = []isa.Operand{in.Ops[0], in.Ops[1]}
+		d.setSrcs(in.Ops[0], in.Ops[1])
 		d.dst = in.Ops[0]
-		return d, nil
+		return nil
 	}
 	if a, ok := arithUnaryOps[in.Op]; ok {
 		d.kind = kindArith
 		d.aop = a
-		d.srcs = []isa.Operand{in.Ops[1]}
+		d.setSrcs(in.Ops[1])
 		d.dst = in.Ops[0]
-		return d, nil
+		return nil
 	}
 	if a, ok := arithTernaryOps[in.Op]; ok {
 		d.kind = kindArith
 		d.aop = a
-		d.srcs = []isa.Operand{in.Ops[1], in.Ops[2]}
+		d.setSrcs(in.Ops[1], in.Ops[2])
 		d.dst = in.Ops[0]
-		return d, nil
+		return nil
 	}
 	switch in.Op {
 	case isa.OpFmaddsd:
 		d.kind = kindArith
 		d.aop = arith.OpFMA
-		d.srcs = []isa.Operand{in.Ops[1], in.Ops[2], in.Ops[0]}
+		d.setSrcs(in.Ops[1], in.Ops[2], in.Ops[0])
 		d.dst = in.Ops[0]
 	case isa.OpUcomisd, isa.OpComisd:
 		d.kind = kindCompare
-		d.srcs = []isa.Operand{in.Ops[0], in.Ops[1]}
+		d.setSrcs(in.Ops[0], in.Ops[1])
 		d.signalQuiet = in.Op == isa.OpComisd
 	case isa.OpCvtsi2sd:
 		d.kind = kindFromInt
-		d.srcs = []isa.Operand{in.Ops[1]}
+		d.setSrcs(in.Ops[1])
 		d.dst = in.Ops[0]
 	case isa.OpCvtsd2si, isa.OpCvttsd2si:
 		d.kind = kindToInt
-		d.srcs = []isa.Operand{in.Ops[1]}
+		d.setSrcs(in.Ops[1])
 		d.dst = in.Ops[0]
 		d.truncate = in.Op == isa.OpCvttsd2si
 	case isa.OpMovsd, isa.OpMovapd:
 		// FP moves never raise exceptions, so they reach the decoder only
 		// through sequence emulation's forward walk.
 		d.kind = kindMove
-		d.srcs = []isa.Operand{in.Ops[1]}
+		d.setSrcs(in.Ops[1])
 		d.dst = in.Ops[0]
 	default:
-		return nil, degradeFault(telemetry.DegradeDecode,
+		return degradeFault(telemetry.DegradeDecode,
 			fmt.Errorf("decoder fed non-FP instruction %s", in.Op))
 	}
-	return d, nil
+	return nil
 }

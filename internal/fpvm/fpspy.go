@@ -63,8 +63,8 @@ func (s *Spy) handle(f *machine.TrapFrame) error {
 
 	d := s.dcache[f.Idx]
 	if d == nil {
-		var err error
-		if d, err = translate(f.Inst); err != nil {
+		d = new(decodedInst)
+		if err := translate(f.Inst, d); err != nil {
 			return err // FPSpy has no emulator to fall back from
 		}
 		s.dcache[f.Idx] = d

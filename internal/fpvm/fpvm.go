@@ -146,6 +146,7 @@ type VM struct {
 	costs   Costs
 	cfg     Config
 	dcache  []*decodedInst // decode cache, one slot per instruction index
+	dfree   []*decodedInst // recycled decode-cache entries (session reuse)
 	scratch [3]arith.Value // reusable operand buffer for the emulation hot path
 	gcEvery uint64
 	lastGC  uint64 // arena alloc count at last GC
@@ -155,6 +156,15 @@ type VM struct {
 
 	inject   *faultinject.Injector // nil = no injection (the common case)
 	injectPC uint64                // PC injected faults attribute to (maintained only when inject != nil)
+
+	// Hook closures, created once on first attach. Method values allocate at
+	// the point they are taken, so Reattach reinstalls these cached funcs
+	// instead of re-taking vm.handleFPTrap etc. — keeping session reuse free
+	// of steady-state allocations.
+	fpTrapFn   machine.TrapHandler
+	corrTrapFn machine.TrapHandler
+	extTrapFn  machine.TrapHandler
+	outFn      func(uint64) (string, bool)
 
 	// Trap-storm governor state (allocated only when Config.StormThreshold
 	// is set): per-site delivery counters under a decaying window, and the
@@ -169,6 +179,20 @@ type VM struct {
 // and output hooks, and returns the VM. This is the moral equivalent of
 // LD_PRELOADing the FPVM shared library before starting the binary.
 func Attach(m *machine.Machine, cfg Config) *VM {
+	vm := &VM{Arena: NewArena()}
+	vm.Reattach(m, cfg)
+	return vm
+}
+
+// Reattach rebinds an existing VM to m — typically the same pooled machine,
+// freshly Reset with a (possibly different) program — under a new Config,
+// reusing every allocation the VM has accumulated: the shadow arena's slot
+// table, the decode cache (entries are recycled through a freelist and
+// re-translated on the next miss, so decode hit/miss accounting is identical
+// to a fresh Attach), the storm-governor tables, and the scratch buffers. A
+// reattached VM is bit-identical in behavior, stats, and modeled cycles to
+// one returned by Attach on a fresh machine.
+func (vm *VM) Reattach(m *machine.Machine, cfg Config) {
 	if cfg.System == nil {
 		panic("fpvm: Config.System is required")
 	}
@@ -180,26 +204,63 @@ func Attach(m *machine.Machine, cfg Config) *VM {
 	if gcEvery == 0 {
 		gcEvery = 200_000
 	}
-	vm := &VM{
-		M:       m,
-		Sys:     cfg.System,
-		Arena:   NewArena(),
-		costs:   costs,
-		cfg:     cfg,
-		dcache:  make([]*decodedInst, len(m.Insts())),
-		gcEvery: gcEvery,
-		inject:  cfg.Inject,
+	vm.M = m
+	vm.Sys = cfg.System
+	vm.Stats = Stats{}
+	vm.costs = costs
+	vm.cfg = cfg
+	vm.gcEvery = gcEvery
+	vm.lastGC = 0
+	vm.telemPC = 0
+	vm.inject = cfg.Inject
+	vm.injectPC = 0
+	vm.scratch = [3]arith.Value{}
+	vm.Arena.Reset()
+
+	// Recycle the previous session's decode-cache entries, then resize the
+	// dense cache to the (possibly new) instruction stream. Every slot starts
+	// nil: the first trap at a site is a decode miss exactly as on a fresh
+	// VM, it just fills a recycled struct instead of allocating one.
+	for i, d := range vm.dcache {
+		if d != nil {
+			vm.dfree = append(vm.dfree, d)
+			vm.dcache[i] = nil
+		}
 	}
+	n := len(m.Insts())
+	if cap(vm.dcache) >= n {
+		vm.dcache = vm.dcache[:n]
+	} else {
+		vm.dcache = make([]*decodedInst, n)
+	}
+
+	vm.stormTick = 0
 	if cfg.StormThreshold > 0 {
-		vm.stormCounts = make([]uint32, len(m.Insts()))
-		vm.stormPatched = make([]bool, len(m.Insts()))
+		if cap(vm.stormCounts) >= n {
+			vm.stormCounts = vm.stormCounts[:n]
+			clear(vm.stormCounts)
+			vm.stormPatched = vm.stormPatched[:n]
+			clear(vm.stormPatched)
+		} else {
+			vm.stormCounts = make([]uint32, n)
+			vm.stormPatched = make([]bool, n)
+		}
+	} else {
+		vm.stormCounts = nil
+		vm.stormPatched = nil
 	}
+
 	m.MXCSR.SetMasks(0) // unmask everything: rounding, NaN, overflow, ...
-	m.FPTrap = vm.handleFPTrap
-	m.CorrectnessTrap = vm.handleCorrectnessTrap
-	m.ExternalTrap = vm.handleExternalCall
-	m.OutFilter = vm.outputFilter
-	return vm
+	if vm.fpTrapFn == nil {
+		vm.fpTrapFn = vm.handleFPTrap
+		vm.corrTrapFn = vm.handleCorrectnessTrap
+		vm.extTrapFn = vm.handleExternalCall
+		vm.outFn = vm.outputFilter
+	}
+	m.FPTrap = vm.fpTrapFn
+	m.CorrectnessTrap = vm.corrTrapFn
+	m.ExternalTrap = vm.extTrapFn
+	m.OutFilter = vm.outFn
 }
 
 // handleFPTrap is the SIGFPE-analog entry point: decode (cached), bind,

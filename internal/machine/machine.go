@@ -161,8 +161,19 @@ type Machine struct {
 // New creates a machine with default geometry, cost model, and the R815
 // delivery profile, and loads prog.
 func New(prog *isa.Program, out io.Writer) (*Machine, error) {
+	return NewSized(prog, out, DefaultMemSize)
+}
+
+// NewSized is New with an explicit memory size. Smaller machines make dense
+// session pools affordable (hundreds of concurrent guests); the GC scan cost
+// is proportional to writable memory, so cycle counts are only comparable
+// between runs that use the same geometry.
+func NewSized(prog *isa.Program, out io.Writer, memSize int) (*Machine, error) {
+	if memSize <= 0 {
+		memSize = DefaultMemSize
+	}
 	m := &Machine{
-		Mem:                 make([]byte, DefaultMemSize),
+		Mem:                 make([]byte, memSize),
 		Cost:                DefaultCostModel(),
 		Profile:             &trap.R815,
 		Delivery:            trap.DeliverUserSignal,
@@ -177,6 +188,65 @@ func New(prog *isa.Program, out io.Writer) (*Machine, error) {
 	return m, nil
 }
 
+// Reset returns the machine to the exact state NewSized(prog, out, memSize)
+// would produce — architectural state, cost model, delivery profile, stats,
+// and hooks all back to their defaults — while retaining every allocation:
+// the memory image, the dense instruction stream, the addr→index table, the
+// side-table slots, and the stats map. This is what makes a machine cheaply
+// poolable: a reused machine is bit-identical to a fresh one, it just does
+// not pay the allocations again.
+//
+// When prog is pointer-identical to the currently loaded program the
+// predecode pass is skipped entirely (the dense stream is immutable program
+// text); callers that reuse a *isa.Program across runs must therefore not
+// mutate it. memSize <= 0 keeps the current memory size.
+func (m *Machine) Reset(prog *isa.Program, out io.Writer, memSize int) error {
+	if prog == nil {
+		return errors.New("machine: nil program")
+	}
+	if memSize > 0 && memSize != len(m.Mem) {
+		m.Mem = make([]byte, memSize)
+	} else {
+		// Zero the whole image: guests may have written anywhere in bounds,
+		// and a pooled machine must never leak one session's bytes into the
+		// next (clear compiles to memclr).
+		clear(m.Mem)
+	}
+	m.R = [isa.NumIntRegs]int64{}
+	m.F = [isa.NumFPRegs][2]uint64{}
+	m.Flags = CPUFlags{}
+	m.MXCSR = fpu.DefaultMXCSR
+	m.Cycles = 0
+
+	tb := m.Stats.TrapByFlag
+	if tb == nil {
+		tb = make(map[string]uint64)
+	} else {
+		clear(tb)
+	}
+	m.Stats = Stats{TrapByFlag: tb}
+
+	m.FPTrap, m.CorrectnessTrap, m.ExternalTrap = nil, nil, nil
+	m.TrapOnNaNLoad = false
+	m.OutFilter = nil
+	m.Telem = nil
+
+	m.Cost = DefaultCostModel()
+	m.Profile = &trap.R815
+	m.Delivery = trap.DeliverUserSignal
+	m.CorrectnessDelivery = trap.DeliverUserSignal
+	m.Out = out
+
+	if prog == m.Prog {
+		// Same immutable image: the predecoded stream and addr→index table
+		// are still exact. Only the side-table slots (patch handlers,
+		// correctness sites) belong to the previous session.
+		clear(m.slots)
+		return m.loadData(prog)
+	}
+	return m.Load(prog)
+}
+
 // Load installs a program image: code is predecoded once into the dense
 // instruction stream with its addr→index table and side-table slots, data
 // copied to its base, SP set to the top of memory, RIP to the entry point.
@@ -188,7 +258,11 @@ func (m *Machine) Load(prog *isa.Program) error {
 	}
 	m.Prog = prog
 	m.insts = m.insts[:0]
-	m.addrIdx = make([]int32, len(prog.Code))
+	if cap(m.addrIdx) >= len(prog.Code) {
+		m.addrIdx = m.addrIdx[:len(prog.Code)]
+	} else {
+		m.addrIdx = make([]int32, len(prog.Code))
+	}
 	for i := range m.addrIdx {
 		m.addrIdx[i] = -1
 	}
@@ -201,7 +275,19 @@ func (m *Machine) Load(prog *isa.Program) error {
 		m.insts = append(m.insts, in)
 		addr += uint64(in.Len)
 	}
-	m.slots = make([]instSlot, len(m.insts))
+	if cap(m.slots) >= len(m.insts) {
+		m.slots = m.slots[:len(m.insts)]
+		clear(m.slots)
+	} else {
+		m.slots = make([]instSlot, len(m.insts))
+	}
+	return m.loadData(prog)
+}
+
+// loadData installs the data segment, stack pointer, and entry point — the
+// per-run half of Load, shared with the Reset fast path that retains the
+// predecoded stream.
+func (m *Machine) loadData(prog *isa.Program) error {
 	base := prog.DataBase
 	if base == 0 {
 		base = DefaultDataBase
@@ -252,15 +338,30 @@ func (m *Machine) WriteU64(addr, v uint64) error {
 	return nil
 }
 
+// BudgetError is returned by Run when the caller's instruction budget is
+// exhausted before the program halts. Unlike a FaultError it does not mean
+// the guest died: machine state is consistent at an instruction boundary and
+// fully harvestable, which is what lets a serving layer treat a quota as a
+// degradation (truncate the run, report partial results) rather than a kill.
+type BudgetError struct {
+	RIP    uint64
+	Budget uint64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("machine fault at %#x: instruction budget exceeded (%d)", e.RIP, e.Budget)
+}
+
 // Run executes until halt, a fault, or maxInstructions retirements
-// (0 = unlimited). It returns nil on a clean halt.
+// (0 = unlimited). It returns nil on a clean halt and *BudgetError when the
+// instruction budget ran out first.
 func (m *Machine) Run(maxInstructions uint64) error {
 	for !m.halted {
 		if err := m.Step(); err != nil {
 			return err
 		}
 		if maxInstructions > 0 && m.Stats.Instructions >= maxInstructions {
-			return m.fault("instruction budget exceeded (%d)", maxInstructions)
+			return &BudgetError{RIP: m.RIP, Budget: maxInstructions}
 		}
 	}
 	return nil

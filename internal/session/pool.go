@@ -1,0 +1,82 @@
+package session
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fpvm/internal/isa"
+)
+
+// PoolStats is a point-in-time snapshot of a pool's traffic. Reuse rate
+// (Gets - News) / Gets is the figure of merit: a warm pool under steady load
+// should be serving nearly every checkout from a retained session.
+type PoolStats struct {
+	Gets uint64 `json:"gets"` // checkouts
+	Puts uint64 `json:"puts"` // returns
+	News uint64 `json:"news"` // checkouts that had to construct a fresh session
+}
+
+// Pool is a sync.Pool of Sessions with traffic accounting. Sessions carry
+// multi-megabyte retained state (guest memory, decode cache, shadow arena),
+// so pooling them converts per-request construction into a Reset pass over
+// retained buffers; sync.Pool's per-P caches also keep a session on the
+// core that last ran it. The Go runtime may still reclaim idle sessions
+// under memory pressure — that is the desired behavior for a long-running
+// service, and News counts how often it happens.
+//
+// Pool is safe for concurrent use. A Session checked out of the pool is
+// owned exclusively by the caller until Put.
+type Pool struct {
+	p    sync.Pool
+	gets atomic.Uint64
+	puts atomic.Uint64
+	news atomic.Uint64
+	once sync.Once
+}
+
+func (p *Pool) init() {
+	p.once.Do(func() {
+		p.p.New = func() any {
+			p.news.Add(1)
+			return New()
+		}
+	})
+}
+
+// Get checks a session out of the pool, constructing one if none is idle.
+func (p *Pool) Get() *Session {
+	p.init()
+	p.gets.Add(1)
+	return p.p.Get().(*Session)
+}
+
+// Put returns a session for reuse. The session must not be used after Put.
+// Its state is not scrubbed here — Run resets everything before the next
+// guest executes, and the bit-identity tests hold that reset to the
+// fresh-machine standard.
+func (p *Pool) Put(s *Session) {
+	if s == nil {
+		return
+	}
+	p.init()
+	p.puts.Add(1)
+	p.p.Put(s)
+}
+
+// Run is the checkout → run → return cycle as one call. The session goes
+// back to the pool even when the run errors; a setup error leaves no
+// partially-bound state behind because the next Run resets everything first.
+func (p *Pool) Run(prog *isa.Program, cfg Config) (Result, error) {
+	s := p.Get()
+	defer p.Put(s)
+	return s.Run(prog, cfg)
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Gets: p.gets.Load(),
+		Puts: p.puts.Load(),
+		News: p.news.Load(),
+	}
+}

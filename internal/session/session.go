@@ -1,0 +1,266 @@
+// Package session turns the one-machine-per-process FPVM pipeline into a
+// poolable unit of execution — the prerequisite for the paper's §7 vision of
+// FPVM as a transparent service under real applications. A Session owns one
+// simulated machine, one FPVM runtime with its shadow arena, and one
+// telemetry collector; Run rebinds all of them to a new guest program and
+// configuration, executes it, and harvests a self-contained Result. Every
+// component resets by retaining its allocations (machine.Reset, VM.Reattach,
+// Arena.Reset, telemetry.Collector.Reset), so a warm session's steady-state
+// run allocates nothing of its own and — the central invariant, pinned by
+// the bit-identity tests — behaves bit-identically to a fresh machine:
+// registers, memory, output, stats, and modeled cycles all match.
+//
+// Sessions are strictly isolated from one another: each has its own memory
+// image (zeroed between runs), its own NaN-box arena (keys never escape the
+// session because the machine's memory and registers are reset with it), and
+// its own telemetry rings — the per-shadow-context design NSan uses to keep
+// concurrent diagnoses from contaminating each other. A Session itself is
+// single-threaded; Pool provides the concurrency story.
+package session
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/faultinject"
+	"fpvm/internal/fpvm"
+	"fpvm/internal/isa"
+	"fpvm/internal/machine"
+	"fpvm/internal/patch"
+	"fpvm/internal/telemetry"
+	"fpvm/internal/trap"
+)
+
+// Config selects everything one run needs: the arithmetic system, the
+// resource envelope, and the observability attachments. The zero value of
+// every field except System is a sensible default.
+type Config struct {
+	// System is the alternative arithmetic system (required).
+	System arith.System
+	// MaxInst bounds the run's retired instructions. Exhausting the budget
+	// is a degradation, not a kill: the run stops at an instruction
+	// boundary, Result.BudgetExhausted is set, and everything executed so
+	// far is harvested. 0 means DefaultMaxInst.
+	MaxInst uint64
+	// MemSize is the machine's memory size in bytes (0 = the machine
+	// default, 4 MiB). Modeled GC cycles scale with writable memory, so
+	// results are only comparable across runs with equal geometry.
+	MemSize int
+	// NoPatch skips the §4.2 static analysis + correctness patching. The
+	// default mirrors the full pipeline, as the experiments harness does.
+	NoPatch bool
+	// MaxSequenceLen, StormThreshold, GCEveryNAllocs, ArenaSoftCap,
+	// ArenaHardCap, and Inject pass through to fpvm.Config.
+	MaxSequenceLen int
+	StormThreshold uint64
+	GCEveryNAllocs uint64
+	ArenaSoftCap   int
+	ArenaHardCap   int
+	Inject         *faultinject.Injector
+	// Delivery selects the trap delivery model (default user signal).
+	Delivery trap.Kind
+	// Telemetry attaches the session's collector to the run, enabling the
+	// JSONL event trace and the per-PC site table. TopSites > 0 implies it.
+	Telemetry bool
+	// TelemetryRing sizes the collector's event ring (0 = default).
+	TelemetryRing int
+	// TopSites, when > 0, exports the N hottest trap sites into the Result.
+	TopSites int
+}
+
+// DefaultMaxInst bounds a run whose Config.MaxInst is zero: high enough for
+// every paper workload, low enough that a runaway guest cannot pin a pooled
+// worker forever.
+const DefaultMaxInst = 500_000_000
+
+// Result is the harvest of one run: everything a caller (test, benchmark,
+// or serving layer) needs, copied out of the session so it stays valid after
+// the session is reset or returned to a pool.
+type Result struct {
+	// Output is the guest's hijacked stdout.
+	Output string
+	// Cycles is the modeled cycle count of the virtualized run.
+	Cycles uint64
+	// Instructions is the retired instruction count.
+	Instructions uint64
+	// Machine is a copy of the machine's counters (the TrapByFlag map is
+	// cloned so the pooled machine can reuse its own).
+	Machine machine.Stats
+	// VM is a copy of the FPVM runtime's counters.
+	VM fpvm.Stats
+	// CorrectnessSites is the number of §4.2 correctness traps installed by
+	// the static patcher (0 when Config.NoPatch).
+	CorrectnessSites int
+	// BudgetExhausted reports that the run was truncated by Config.MaxInst.
+	// The rest of the Result still describes everything retired before the
+	// budget ran out — quota pressure degrades a run, it never kills it.
+	BudgetExhausted bool
+	// Fault holds the machine fault that ended the run, "" for a clean halt
+	// (or a budget truncation, which Fault does not cover). A faulted run
+	// is still fully harvested.
+	Fault string
+	// TopSites is the per-PC hot-site ranking (Config.TopSites > 0).
+	TopSites []telemetry.SiteRank
+	// TraceJSONL is the drained telemetry event trace (Config.Telemetry),
+	// one JSON object per line, ready to stream to a client.
+	TraceJSONL []byte
+}
+
+// Session is one poolable execution context. The zero value is not usable;
+// call New.
+type Session struct {
+	m     *machine.Machine
+	vm    *fpvm.VM
+	telem *telemetry.Collector
+	out   bytes.Buffer
+	runs  uint64
+
+	// patched caches the static-analysis result for patchedProg. Programs
+	// are immutable and the analysis is deterministic, so re-running it for
+	// the same *isa.Program would produce the same site table; reinstalling
+	// the cached one is bit-identical and skips the per-run VSA fixpoint.
+	patched     *patch.Patched
+	patchedProg *isa.Program
+}
+
+// New returns an empty session. The machine and VM are materialized lazily
+// on the first Run, sized by its Config.
+func New() *Session { return &Session{} }
+
+// Runs reports how many runs this session has completed — >0 means Run is
+// reusing retained allocations rather than making them.
+func (s *Session) Runs() uint64 { return s.runs }
+
+// Machine exposes the session's machine for post-run inspection (tests
+// compare full architectural state against fresh runs). The machine is only
+// valid until the next Run or pool checkout.
+func (s *Session) Machine() *machine.Machine { return s.m }
+
+// VM exposes the session's FPVM runtime under the same validity caveat.
+func (s *Session) VM() *fpvm.VM { return s.vm }
+
+// Run executes prog under cfg on this session's pooled machine and harvests
+// the result. Passing the same *isa.Program pointer as the previous run
+// skips the predecode pass entirely (program images are immutable); the
+// session is reset to fresh-machine state either way.
+func (s *Session) Run(prog *isa.Program, cfg Config) (Result, error) {
+	if cfg.System == nil {
+		return Result{}, errors.New("session: Config.System is required")
+	}
+	if prog == nil {
+		return Result{}, errors.New("session: nil program")
+	}
+	s.out.Reset()
+
+	// Checkout step 1: the machine, reset to fresh-geometry state.
+	if s.m == nil {
+		m, err := machine.NewSized(prog, &s.out, cfg.MemSize)
+		if err != nil {
+			return Result{}, err
+		}
+		s.m = m
+	} else if err := s.m.Reset(prog, &s.out, cfg.MemSize); err != nil {
+		return Result{}, err
+	}
+	if cfg.Delivery != trap.DeliverUserSignal {
+		s.m.Delivery = cfg.Delivery
+		s.m.CorrectnessDelivery = cfg.Delivery
+	}
+
+	// Step 2: static analysis + correctness patching (§4.2), exactly as the
+	// one-shot pipeline applies it.
+	var patched *patch.Patched
+	if !cfg.NoPatch {
+		if s.patched == nil || s.patchedProg != prog {
+			p, err := patch.Apply(prog, nil)
+			if err != nil {
+				return Result{}, fmt.Errorf("session: analysis: %w", err)
+			}
+			s.patched, s.patchedProg = p, prog
+		}
+		s.patched.Install(s.m)
+		patched = s.patched
+	}
+
+	// Step 3: telemetry, reset for this run when requested.
+	if cfg.Telemetry || cfg.TopSites > 0 {
+		if s.telem == nil {
+			s.telem = telemetry.NewCollector(cfg.TelemetryRing)
+		} else {
+			s.telem.Reset()
+		}
+		s.m.Telem = s.telem
+	}
+
+	// Step 4: the FPVM runtime, reattached over the reloaded program.
+	fcfg := fpvm.Config{
+		System:         cfg.System,
+		GCEveryNAllocs: cfg.GCEveryNAllocs,
+		MaxSequenceLen: cfg.MaxSequenceLen,
+		StormThreshold: cfg.StormThreshold,
+		ArenaSoftCap:   cfg.ArenaSoftCap,
+		ArenaHardCap:   cfg.ArenaHardCap,
+		Inject:         cfg.Inject,
+	}
+	if s.vm == nil {
+		s.vm = fpvm.Attach(s.m, fcfg)
+	} else {
+		s.vm.Reattach(s.m, fcfg)
+	}
+
+	// Step 5: run to halt, fault, or budget.
+	maxInst := cfg.MaxInst
+	if maxInst == 0 {
+		maxInst = DefaultMaxInst
+	}
+	err := s.m.Run(maxInst)
+	res := Result{
+		Output:       s.out.String(),
+		Cycles:       s.m.Cycles,
+		Instructions: s.m.Stats.Instructions,
+		Machine:      s.m.Stats,
+		VM:           s.vm.Stats,
+	}
+	res.Machine.TrapByFlag = cloneFlagMap(s.m.Stats.TrapByFlag)
+	if patched != nil {
+		res.CorrectnessSites = len(patched.Sites)
+	}
+	if err != nil {
+		var be *machine.BudgetError
+		if errors.As(err, &be) {
+			res.BudgetExhausted = true
+		} else {
+			res.Fault = err.Error()
+		}
+	}
+
+	// Step 6: harvest observability artifacts.
+	if cfg.TopSites > 0 && s.telem != nil {
+		res.TopSites = s.telem.TopSites(cfg.TopSites)
+	}
+	if cfg.Telemetry && s.telem != nil {
+		var buf bytes.Buffer
+		if werr := s.telem.WriteJSONL(&buf); werr == nil {
+			res.TraceJSONL = buf.Bytes()
+		}
+	}
+
+	s.runs++
+	return res, nil
+}
+
+// cloneFlagMap copies the machine's per-flag trap counters so the Result
+// survives the pooled machine's next Reset. A nil or empty map stays nil to
+// keep zero-trap runs allocation-free.
+func cloneFlagMap(m map[string]uint64) map[string]uint64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -20,6 +20,10 @@ func NewRing(capacity int) *Ring {
 	return &Ring{buf: make([]Event, capacity)}
 }
 
+// Reset empties the ring in place, retaining its buffer. Slots are
+// overwritten by subsequent Records, so no clearing pass is needed.
+func (r *Ring) Reset() { r.total = 0 }
+
 // Record appends ev, overwriting the oldest event when full.
 func (r *Ring) Record(ev Event) {
 	r.buf[r.total%uint64(len(r.buf))] = ev

@@ -241,6 +241,15 @@ func NewCollector(ringCap int) *Collector {
 // Ring exposes the collector's event ring.
 func (c *Collector) Ring() *Ring { return c.ring }
 
+// Reset empties the collector for reuse while retaining the ring buffer and
+// the site table's capacity: a reset collector records exactly like a fresh
+// one (rows regrow by appending zero values over the retained backing
+// array), which is what makes telemetry per-session poolable state.
+func (c *Collector) Reset() {
+	c.ring.Reset()
+	c.sites = c.sites[:0]
+}
+
 // site returns the aggregation row for instruction index idx, growing the
 // dense table as needed. idx < 0 (synthetic sites) maps to a shared slot 0
 // guard — callers pass real indices for everything the machine dispatches.
