@@ -48,15 +48,17 @@ oracle:
 chaos:
 	$(GO) test -run '^TestChaosFull$$' -v ./internal/chaos
 
-# Machine-readable bench records with the sequence-emulation ablation:
-# exercises the -json path and the trap-coalescing runtime end to end.
+# Machine-readable bench records with the sequence-emulation and trace-JIT
+# ablations: exercises the -json path, the trap-coalescing runtime, and the
+# superblock tier end to end.
 bench-smoke:
-	$(GO) run ./cmd/fpvm-bench -json -quick -seqemu > /dev/null
+	$(GO) run ./cmd/fpvm-bench -json -quick -seqemu -jit > /dev/null
 
 # Canonical bench options: the configuration every checked-in BENCH_N.json is
 # produced under. The gate refuses to compare documents with different
-# options, so record and gate must agree.
-BENCHOPTS = -quick -seqemu -sessions 500 -load-j 16
+# options, so record and gate must agree. -jit entered at BENCH_7.json, which
+# is therefore the first baseline comparable under these options.
+BENCHOPTS = -quick -seqemu -jit -sessions 500 -load-j 16
 # Newest checked-in bench record (highest N).
 BENCHBASE = $(shell ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1)
 

@@ -48,6 +48,8 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.Bool("json", false, "emit machine-readable per-workload records (cycles, traps, sequences, GC) instead of figure tables")
 		seqemu   = fs.Bool("seqemu", false, "enable sequence emulation (trap coalescing); adds ablation columns to fig9/fig12")
 		seqlen   = fs.Int("seqlen", 16, "max instructions coalesced per trap delivery (with -seqemu)")
+		jit      = fs.Bool("jit", false, "enable the trace-JIT superblock tier; adds ablation columns to fig9/fig12 and jit rows to -json")
+		jitT     = fs.Int("jitthreshold", 8, "deliveries at one site before its run is compiled into a superblock (with -jit)")
 		topSites = fs.Int("topsites", 0, "with -json: attach trap telemetry and export the N hottest trap sites per record")
 		storm    = fs.Uint64("storm", 0, "trap-storm governor threshold: sites trapping more than N times are patched to demote and stay native (0 = off)")
 		sessions = fs.Int("sessions", 0, "with -json: attach a session-load record driving N runs through a pooled session (sessions/sec, p50/p99)")
@@ -70,6 +72,10 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	if *seqemu {
 		maxSeq = *seqlen
 	}
+	jitThresh := 0
+	if *jit {
+		jitThresh = *jitT
+	}
 
 	if *jsonOut || *gateFile != "" {
 		opts := experiments.Options{
@@ -80,6 +86,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 			MaxSequenceLen: maxSeq,
 			TopSites:       *topSites,
 			StormThreshold: *storm,
+			JITThreshold:   jitThresh,
 			Sessions:       *sessions,
 			LoadWorkers:    *loadJobs,
 		}
@@ -156,6 +163,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 			MaxSequenceLen: maxSeq,
 			TopSites:       *topSites,
 			StormThreshold: *storm,
+			JITThreshold:   jitThresh,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "fpvm-bench: %s: %v\n", e.ID, err)

@@ -62,6 +62,8 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		oracleRun = fs.Bool("oracle", false, "differential oracle: run native, FPVM+vanilla (must be bit-identical), and high-precision shadows, and report divergence")
 		seqemu    = fs.Bool("seqemu", false, "sequence emulation: coalesce straight-line FP runs into one trap delivery")
 		seqlen    = fs.Int("seqlen", 16, "max instructions coalesced per trap delivery (with -seqemu)")
+		jit       = fs.Bool("jit", false, "trace-JIT: compile hot trap sites into cached superblocks that re-enter with zero delivery/decode/bind")
+		jitThresh = fs.Int("jitthreshold", 8, "deliveries at one site before its run is compiled into a superblock (with -jit)")
 		traceOut  = fs.String("trace", "", "write the telemetry event stream (trap entry/exit, promotions, demotions, GC epochs, sequences) to this JSONL file")
 		topSites  = fs.Int("topsites", 0, "print the N hottest trap sites (per-PC hits, attributed cycles, exception flags) after the run")
 		storm     = fs.Uint64("storm", 0, "trap-storm governor threshold: sites trapping more than N times are patched to demote and stay native (0 = off)")
@@ -81,6 +83,10 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	if *seqemu {
 		maxSeq = *seqlen
 	}
+	jitT := 0
+	if *jit {
+		jitT = *jitThresh
+	}
 
 	if *list {
 		for _, n := range workloads.Names() {
@@ -99,11 +105,11 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *chaosRun {
-		return runChaos(stdout, stderr, *workload, injectCfg, *seeds, *storm, *maxInst)
+		return runChaos(stdout, stderr, *workload, injectCfg, *seeds, *storm, jitT, *maxInst)
 	}
 
 	if *oracleRun {
-		return runOracle(stdout, stderr, *workload, *asmFile, *prec, *maxInst, *noPatch, maxSeq, *storm, injectCfg)
+		return runOracle(stdout, stderr, *workload, *asmFile, *prec, *maxInst, *noPatch, maxSeq, *storm, jitT, injectCfg)
 	}
 
 	prog, err := loadProgram(*workload, *asmFile)
@@ -143,8 +149,8 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var vm *fpvm.VM
-	if *arithName == "" && (injectCfg != nil || *storm > 0) {
-		return fail(fmt.Errorf("-faults and -storm act on the FPVM runtime; pick an -arith system"))
+	if *arithName == "" && (injectCfg != nil || *storm > 0 || jitT > 0) {
+		return fail(fmt.Errorf("-faults, -storm, and -jit act on the FPVM runtime; pick an -arith system"))
 	}
 	var inj *faultinject.Injector
 	if *arithName != "" {
@@ -169,6 +175,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 			System:         sys,
 			MaxSequenceLen: maxSeq,
 			StormThreshold: *storm,
+			JITThreshold:   jitT,
 			Inject:         inj,
 		})
 		if *patchMode {
@@ -192,6 +199,10 @@ func Run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "seqemu:       %d sequences, %d coalesced (mean run %.2f)\n",
 					s.Sequences, s.Coalesced,
 					float64(s.Traps+s.Coalesced)/float64(s.Traps))
+			}
+			if ms := m.Stats; ms.SBCompiled > 0 || ms.SBHits > 0 {
+				fmt.Fprintf(stderr, "jit:          %d superblocks compiled, %d hits, %d invalidations\n",
+					ms.SBCompiled, ms.SBHits, ms.SBInvalidations)
 			}
 			fmt.Fprintf(stderr, "emulated:     %d scalars (promotions %d, unboxings %d)\n",
 				s.Emulated, s.Promotions, s.Unboxings)
@@ -246,7 +257,7 @@ func finishTelemetry(stdout, stderr io.Writer, telem *telemetry.Collector, trace
 // -workload or -asm is given, else over every workload and example — and
 // returns non-zero if any virtualized-vanilla run is not bit-identical to
 // native execution.
-func runOracle(stdout, stderr io.Writer, workload, asmFile string, prec uint, maxInst uint64, noPatch bool, maxSeq int, storm uint64, inject *faultinject.Config) int {
+func runOracle(stdout, stderr io.Writer, workload, asmFile string, prec uint, maxInst uint64, noPatch bool, maxSeq int, storm uint64, jitT int, inject *faultinject.Config) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "fpvm-run:", err)
 		return 1
@@ -278,6 +289,7 @@ func runOracle(stdout, stderr io.Writer, workload, asmFile string, prec uint, ma
 		NoPatch:        noPatch,
 		MaxSequenceLen: maxSeq,
 		StormThreshold: storm,
+		JITThreshold:   jitT,
 		Inject:         inject,
 	}
 	failed := 0
@@ -307,10 +319,11 @@ func runOracle(stdout, stderr io.Writer, workload, asmFile string, prec uint, ma
 // hard degradation invariants. A -faults spec seeds the sweep: its seed
 // becomes the base seed, its highest seam rate the uniform error rate, and
 // its corrupt rate the corruption-tier rate.
-func runChaos(stdout, stderr io.Writer, workload string, inject *faultinject.Config, seeds int, storm uint64, maxInst uint64) int {
+func runChaos(stdout, stderr io.Writer, workload string, inject *faultinject.Config, seeds int, storm uint64, jitT int, maxInst uint64) int {
 	opts := chaos.Options{
 		Seeds:          seeds,
 		StormThreshold: storm,
+		JITThreshold:   jitT,
 		MaxInst:        maxInst,
 		Log:            stderr,
 	}

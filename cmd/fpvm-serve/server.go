@@ -120,6 +120,9 @@ type runRequest struct {
 	SeqLen int `json:"seqlen,omitempty"`
 	// Storm overrides the server's trap-storm threshold (0 = server default).
 	Storm uint64 `json:"storm,omitempty"`
+	// JITThreshold enables the trace-JIT superblock tier: sites delivered
+	// more than this many times compile into cached superblocks (0 = off).
+	JITThreshold int `json:"jitthreshold,omitempty"`
 	// Trace returns the telemetry event stream as JSONL in the response.
 	Trace bool `json:"trace,omitempty"`
 	// TopSites returns the N hottest trap sites.
@@ -139,6 +142,9 @@ type runResponse struct {
 	Emulated         uint64               `json:"emulated"`
 	Degradations     uint64               `json:"degradations"`
 	StormPatches     uint64               `json:"storm_patches"`
+	SBCompiled       uint64               `json:"sb_compiled,omitempty"`
+	SBHits           uint64               `json:"sb_hits,omitempty"`
+	SBInvalidations  uint64               `json:"sb_invalidations,omitempty"`
 	BudgetGranted    uint64               `json:"budget_granted"`
 	BudgetExhausted  bool                 `json:"budget_exhausted"`
 	Fault            string               `json:"fault,omitempty"`
@@ -203,6 +209,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		NoPatch:        req.NoPatch,
 		MaxSequenceLen: req.SeqLen,
 		StormThreshold: storm,
+		JITThreshold:   req.JITThreshold,
 		ArenaSoftCap:   s.cfg.ArenaSoftCap,
 		ArenaHardCap:   s.cfg.ArenaHardCap,
 		Telemetry:      req.Trace,
@@ -247,6 +254,9 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Emulated:         res.VM.Emulated,
 		Degradations:     res.VM.Degradations,
 		StormPatches:     res.VM.StormPatches,
+		SBCompiled:       res.Machine.SBCompiled,
+		SBHits:           res.Machine.SBHits,
+		SBInvalidations:  res.Machine.SBInvalidations,
 		BudgetGranted:    granted,
 		BudgetExhausted:  res.BudgetExhausted,
 		Fault:            res.Fault,

@@ -51,6 +51,9 @@ type Options struct {
 	// StormThreshold arms the trap-storm governor during chaos runs (0
 	// leaves it off).
 	StormThreshold uint64
+	// JITThreshold arms the trace-JIT superblock tier during chaos runs (0
+	// leaves it off), exposing the compile/bind seam to fault injection.
+	JITThreshold int
 	// ArenaSoftCap / ArenaHardCap exercise arena-pressure handling (0 = off).
 	ArenaSoftCap int
 	ArenaHardCap int
@@ -79,7 +82,12 @@ type Summary struct {
 	Runs         int
 	Degradations uint64
 	StormPatches uint64
-	Failures     []Failure
+	// Trace-JIT accounting (Options.JITThreshold > 0): superblock compiles,
+	// discards, and injected compile failures absorbed as degradations.
+	SBCompiled      uint64
+	SBInvalidations uint64
+	JITDegradations uint64
+	Failures        []Failure
 }
 
 // Ok reports whether every run upheld every invariant.
@@ -112,6 +120,13 @@ func Run(o Options) *Summary {
 			// Error tier: seam faults only. Degradation must be invisible
 			// in the outputs — full Vanilla bit-identity plus the leak gate.
 			errCfg := faultinject.Config{Seed: seed}.UniformRate(o.Rate)
+			if o.JITThreshold > 0 {
+				// A superblock compile happens once per hot site, orders of
+				// magnitude rarer than the per-delivery seams; a uniform rate
+				// would practically never reach it. Boost just that seam so
+				// every sweep proves injected compile failures degrade cleanly.
+				errCfg.Rate[faultinject.SeamSBCompile] = 0.25
+			}
 			s.runOne(t, "error", seed, errCfg, o, true)
 
 			// Corruption tier: scrambled NaN-box payloads drive the
@@ -154,6 +169,7 @@ func (s *Summary) runOne(t oracle.Target, tier string, seed uint64,
 			MaxInst:        o.MaxInst,
 			Inject:         &cfg,
 			StormThreshold: o.StormThreshold,
+			JITThreshold:   o.JITThreshold,
 			ArenaSoftCap:   o.ArenaSoftCap,
 			ArenaHardCap:   o.ArenaHardCap,
 		})
@@ -165,6 +181,9 @@ func (s *Summary) runOne(t oracle.Target, tier string, seed uint64,
 		v = rep.Vanilla
 		s.Degradations += v.Degradations
 		s.StormPatches += v.StormPatches
+		s.SBCompiled += v.SBCompiled
+		s.SBInvalidations += v.SBInvalidations
+		s.JITDegradations += v.JITDegradations
 		if wantIdentical && !v.BitIdentical() {
 			fail("bit-identical", fmt.Sprintf(
 				"degraded Vanilla diverged from native (first PC %#x op %s; inject %s)",
@@ -210,4 +229,8 @@ func (s *Summary) WriteReport(w io.Writer) {
 	}
 	fmt.Fprintf(w, "chaos: %s — %d runs, %d degradations absorbed, %d storm patches, %d invariant violations\n",
 		verdict, s.Runs, s.Degradations, s.StormPatches, len(s.Failures))
+	if s.SBCompiled > 0 || s.JITDegradations > 0 {
+		fmt.Fprintf(w, "chaos: jit tier — %d superblocks compiled, %d invalidated, %d compile faults degraded\n",
+			s.SBCompiled, s.SBInvalidations, s.JITDegradations)
+	}
 }

@@ -45,6 +45,51 @@ func TestChaosQuick(t *testing.T) {
 	}
 }
 
+// TestChaosJIT reruns the quick sweep with the trace-JIT superblock tier
+// armed at an aggressive threshold: fault injection now reaches the
+// compile/bind seam, every injected compile failure must be classified as a
+// typed degradation (no panics), and the error tier's bit-identity invariant
+// must survive superblock multi-retires exactly as it does classic
+// deliveries.
+func TestChaosJIT(t *testing.T) {
+	var targets []oracle.Target
+	for _, name := range []string{
+		"example:quickstart/harmonic",
+		"workload:FBench",
+		"workload:Lorenz Attractor",
+	} {
+		tg, err := oracle.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets = append(targets, tg)
+	}
+	var log bytes.Buffer
+	s := Run(Options{
+		Targets:        targets,
+		Seeds:          3,
+		Rate:           1e-3,
+		StormThreshold: 500,
+		JITThreshold:   2,
+		ArenaSoftCap:   1 << 14,
+		ArenaHardCap:   1 << 15,
+		Log:            &log,
+	})
+	if !s.Ok() {
+		s.WriteReport(&log)
+		t.Fatalf("chaos invariants violated with jit armed:\n%s", log.String())
+	}
+	if s.Degradations == 0 {
+		t.Fatal("sweep absorbed no degradations — injection not reaching the runtime")
+	}
+	if s.SBCompiled == 0 {
+		t.Fatal("jit tier never compiled a superblock — threshold not reaching hot sites")
+	}
+	if s.JITDegradations == 0 {
+		t.Fatal("no injected compile failures — the sb-compile seam is not under chaos")
+	}
+}
+
 // TestChaosFull is the acceptance sweep: every workload and example, enough
 // seeds for 50+ runs. Skipped under -short; `make chaos` runs it.
 func TestChaosFull(t *testing.T) {

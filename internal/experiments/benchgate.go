@@ -16,6 +16,13 @@ const (
 	gateTrapSlack   = 1.01 // trap counts may grow at most 1%
 	gateWallSlack   = 4.0  // ns-per-step may grow at most 4×
 	gateWallFloorNs = 50.0 // rows faster than this per step are below noise
+	gateSBHitSlack  = 0.99 // superblock hits may shrink at most 1%
+
+	// gateLorenzJITMax is the ISSUE-7 acceptance bar, checked absolutely
+	// (not against the baseline): the Lorenz attractor's modeled slowdown
+	// with the trace-JIT tier on must stay under 5× native.
+	gateLorenzJITMax   = 5.0
+	gateLorenzWorkload = "Lorenz Attractor"
 )
 
 // ReadBenchDoc loads a checked-in BENCH_N.json document.
@@ -40,6 +47,7 @@ type benchKey struct {
 	Specifics string
 	System    string
 	SeqLen    int
+	JIT       int
 }
 
 // GateBench compares a freshly produced bench document against a baseline
@@ -55,10 +63,16 @@ func GateBench(base, cur *BenchDoc) []string {
 	}
 	curRows := make(map[benchKey]BenchRow, len(cur.Rows))
 	for _, r := range cur.Rows {
-		curRows[benchKey{r.Workload, r.Specifics, r.System, r.SeqLen}] = r
+		curRows[benchKey{r.Workload, r.Specifics, r.System, r.SeqLen, r.JIT}] = r
+		// The Lorenz bar is absolute: it binds even when the baseline
+		// itself was produced before the JIT tier existed.
+		if r.JIT > 0 && r.Workload == gateLorenzWorkload && r.Slowdown >= gateLorenzJITMax {
+			bad = append(bad, fmt.Sprintf("%s [%s seq=%d jit=%d]: slowdown %.2fx breaches the <%.0fx JIT bar",
+				r.Workload, r.System, r.SeqLen, r.JIT, r.Slowdown, gateLorenzJITMax))
+		}
 	}
 	for _, old := range base.Rows {
-		key := benchKey{old.Workload, old.Specifics, old.System, old.SeqLen}
+		key := benchKey{old.Workload, old.Specifics, old.System, old.SeqLen, old.JIT}
 		now, ok := curRows[key]
 		if !ok {
 			bad = append(bad, fmt.Sprintf("%v: row disappeared from the bench", key))
@@ -78,6 +92,14 @@ func GateBench(base, cur *BenchDoc) []string {
 			bad = append(bad, fmt.Sprintf("%s %s [%s seq=%d]: ns/step %.0f -> %.0f (>%.0fx wall-clock regression)",
 				old.Workload, old.Specifics, old.System, old.SeqLen,
 				old.NsPerStep, now.NsPerStep, gateWallSlack))
+		}
+		// Superblock hit-rate gate: on JIT rows, the zero-delivery entries
+		// served must not shrink (deliveries creeping back in means the
+		// cache is being missed or invalidated more than the baseline).
+		if old.JIT > 0 && float64(now.SBHits) < float64(old.SBHits)*gateSBHitSlack {
+			bad = append(bad, fmt.Sprintf("%s %s [%s seq=%d jit=%d]: superblock hits %d -> %d (>%.0f%% regression)",
+				old.Workload, old.Specifics, old.System, old.SeqLen, old.JIT,
+				old.SBHits, now.SBHits, (1-gateSBHitSlack)*100))
 		}
 	}
 	if base.SessionLoad != nil {

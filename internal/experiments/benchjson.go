@@ -21,6 +21,7 @@ type BenchRow struct {
 	Specifics string `json:"specifics,omitempty"`
 	System    string `json:"system"`
 	SeqLen    int    `json:"max_sequence_len"`
+	JIT       int    `json:"jit_threshold"`
 
 	NativeCycles uint64  `json:"native_cycles"`
 	VirtCycles   uint64  `json:"virt_cycles"`
@@ -38,6 +39,11 @@ type BenchRow struct {
 	Coalesced  uint64   `json:"coalesced"`
 	SeqLenHist []uint64 `json:"seq_len_hist,omitempty"`
 
+	// Superblock (trace-JIT) counters, non-zero only on JIT > 0 rows.
+	SBCompiled      uint64 `json:"sb_compiled,omitempty"`
+	SBHits          uint64 `json:"sb_hits,omitempty"`
+	SBInvalidations uint64 `json:"sb_invalidations,omitempty"`
+
 	GCPasses       uint64 `json:"gc_passes"`
 	GCFreed        uint64 `json:"gc_freed"`
 	ArenaAllocs    uint64 `json:"arena_allocs"`
@@ -52,27 +58,31 @@ type BenchRow struct {
 
 // benchRow flattens one finished pair into a record. topSites bounds the
 // exported per-PC site ranking (0 omits it).
-func benchRow(w workloads.Workload, sys string, seqLen, topSites int, r *RunResult) BenchRow {
+func benchRow(w workloads.Workload, sys string, seqLen, jit, topSites int, r *RunResult) BenchRow {
 	st := r.VM.Stats
 	row := BenchRow{
-		Workload:       w.Name,
-		Specifics:      w.Specifics,
-		System:         sys,
-		SeqLen:         seqLen,
-		NativeCycles:   r.NativeCycles,
-		VirtCycles:     r.VirtCycles,
-		Slowdown:       r.Slowdown(),
-		Instructions:   r.Virt.Stats.Instructions,
-		FPTraps:        st.Traps,
-		CorrectTraps:   st.CorrectTraps,
-		Emulated:       st.Emulated,
-		Sequences:      st.Sequences,
-		Coalesced:      st.Coalesced,
-		GCPasses:       st.GC.Passes,
-		GCFreed:        st.GC.TotalFreed,
-		ArenaAllocs:    r.VM.Arena.Allocs(),
-		ArenaHighWater: r.VM.Arena.HighWater(),
-		ArenaReuses:    r.VM.Arena.Reuses(),
+		Workload:        w.Name,
+		Specifics:       w.Specifics,
+		System:          sys,
+		SeqLen:          seqLen,
+		JIT:             jit,
+		SBCompiled:      r.Virt.Stats.SBCompiled,
+		SBHits:          r.Virt.Stats.SBHits,
+		SBInvalidations: r.Virt.Stats.SBInvalidations,
+		NativeCycles:    r.NativeCycles,
+		VirtCycles:      r.VirtCycles,
+		Slowdown:        r.Slowdown(),
+		Instructions:    r.Virt.Stats.Instructions,
+		FPTraps:         st.Traps,
+		CorrectTraps:    st.CorrectTraps,
+		Emulated:        st.Emulated,
+		Sequences:       st.Sequences,
+		Coalesced:       st.Coalesced,
+		GCPasses:        st.GC.Passes,
+		GCFreed:         st.GC.TotalFreed,
+		ArenaAllocs:     r.VM.Arena.Allocs(),
+		ArenaHighWater:  r.VM.Arena.HighWater(),
+		ArenaReuses:     r.VM.Arena.Reuses(),
 	}
 	if n := r.Virt.Stats.Instructions; n > 0 {
 		row.NsPerStep = float64(r.VirtWallNs) / float64(n)
@@ -88,25 +98,37 @@ func benchRow(w workloads.Workload, sys string, seqLen, topSites int, r *RunResu
 }
 
 // BenchJSONData runs every benchmark under FPVM+MPFR with sequence emulation
-// off, and — when o.MaxSequenceLen > 0 — a second time with it on, returning
-// one record per run so the pair forms a machine-readable ablation.
+// off, then — when o.MaxSequenceLen > 0 — again with it on, then — when
+// o.JITThreshold > 0 — again with the trace-JIT superblock tier stacked on
+// top, returning one record per run so the set forms a machine-readable
+// ablation ladder.
 func BenchJSONData(o Options) ([]BenchRow, error) {
 	o.defaults()
 	base := o
 	base.MaxSequenceLen = 0
+	base.JITThreshold = 0
+	seqOnly := o
+	seqOnly.JITThreshold = 0
 	cells, err := forEachCell(o.Workers, allFig12(o), func(_ int, w workloads.Workload) ([]BenchRow, error) {
 		sys := arith.NewMPFR(o.Prec)
 		r, err := runPair(w, sys, base)
 		if err != nil {
 			return nil, err
 		}
-		rows := []BenchRow{benchRow(w, sys.Name(), 0, o.TopSites, r)}
+		rows := []BenchRow{benchRow(w, sys.Name(), 0, 0, o.TopSites, r)}
 		if o.MaxSequenceLen > 0 {
-			sr, err := runPair(w, arith.NewMPFR(o.Prec), o)
+			sr, err := runPair(w, arith.NewMPFR(o.Prec), seqOnly)
 			if err != nil {
 				return nil, err
 			}
-			rows = append(rows, benchRow(w, sys.Name(), o.MaxSequenceLen, o.TopSites, sr))
+			rows = append(rows, benchRow(w, sys.Name(), o.MaxSequenceLen, 0, o.TopSites, sr))
+		}
+		if o.JITThreshold > 0 {
+			jr, err := runPair(w, arith.NewMPFR(o.Prec), o)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, benchRow(w, sys.Name(), o.MaxSequenceLen, o.JITThreshold, o.TopSites, jr))
 		}
 		return rows, nil
 	})
@@ -128,6 +150,7 @@ type BenchOptions struct {
 	Quick  bool   `json:"quick"`
 	SeqLen int    `json:"max_sequence_len"`
 	Storm  uint64 `json:"storm_threshold"`
+	JIT    int    `json:"jit_threshold"`
 }
 
 // SessionLoad is the pooled-session throughput record attached to a bench
@@ -171,6 +194,7 @@ func BenchDocData(o Options) (*BenchDoc, error) {
 			Quick:  o.Quick,
 			SeqLen: o.MaxSequenceLen,
 			Storm:  o.StormThreshold,
+			JIT:    o.JITThreshold,
 		},
 		Rows: rows,
 	}
@@ -212,6 +236,7 @@ func sessionLoadRecord(o Options) (*SessionLoad, error) {
 		MemSize:        sessionLoadMemSize,
 		MaxSequenceLen: o.MaxSequenceLen,
 		StormThreshold: o.StormThreshold,
+		JITThreshold:   o.JITThreshold,
 		GCEveryNAllocs: o.GCEveryNAllocs,
 	}
 	var pool session.Pool

@@ -56,6 +56,11 @@ type Options struct {
 	// sites that trap more than this many times are patched to demote and
 	// stay native. 0 (the paper's configuration) leaves it off.
 	StormThreshold uint64
+	// JITThreshold arms the trace-JIT superblock tier in the virtualized
+	// runs: sites whose delivery count crosses this threshold are compiled
+	// into cached superblocks that re-enter with zero delivery, decode, and
+	// bind. 0 (the paper's configuration) leaves it off.
+	JITThreshold int
 	// Sessions, when > 0, attaches a session-load record to the BenchJSON
 	// document: the load harness drives this many runs through a shared
 	// session pool and reports sessions/sec and tail latency.
@@ -187,6 +192,7 @@ func runPair(w workloads.Workload, sys arith.System, o Options) (*RunResult, err
 		GCEveryNAllocs: o.GCEveryNAllocs,
 		MaxSequenceLen: o.MaxSequenceLen,
 		StormThreshold: o.StormThreshold,
+		JITThreshold:   o.JITThreshold,
 	})
 	start := time.Now()
 	if err := vm2.Run(0); err != nil {

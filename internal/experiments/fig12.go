@@ -21,6 +21,13 @@ type Fig12Row struct {
 	// describe the classic pipeline, so the pair is a direct on/off ablation.
 	SeqTraps    uint64  // FP traps with coalescing on
 	SeqSlowdown float64 // R815 slowdown with coalescing on
+
+	// Trace-JIT ablation, populated when Options.JITThreshold > 0: the same
+	// benchmark with the superblock tier on (stacked on coalescing when
+	// MaxSequenceLen > 0).
+	JITTraps    uint64  // residual warm-up deliveries with the JIT tier on
+	SBHits      uint64  // zero-delivery superblock entries served
+	JITSlowdown float64 // R815 slowdown with the JIT tier on
 }
 
 // fig12Workloads mirrors the paper's Figure 12 row set. As in the paper,
@@ -38,6 +45,9 @@ func Fig12Data(o Options) ([]Fig12Row, error) {
 	o.defaults()
 	base := o
 	base.MaxSequenceLen = 0
+	base.JITThreshold = 0
+	seqOnly := o
+	seqOnly.JITThreshold = 0
 	return forEachCell(o.Workers, allFig12(o), func(_ int, w workloads.Workload) (Fig12Row, error) {
 		r, err := runPair(w, arith.NewMPFR(o.Prec), base)
 		if err != nil {
@@ -57,7 +67,7 @@ func Fig12Data(o Options) ([]Fig12Row, error) {
 			row.Slowdown[p.Name] = r.SlowdownOn(p, trap.DeliverUserSignal)
 		}
 		if o.MaxSequenceLen > 0 {
-			sr, err := runPair(w, arith.NewMPFR(o.Prec), o)
+			sr, err := runPair(w, arith.NewMPFR(o.Prec), seqOnly)
 			if err != nil {
 				return Fig12Row{}, err
 			}
@@ -65,6 +75,19 @@ func Fig12Data(o Options) ([]Fig12Row, error) {
 			for _, p := range trap.Profiles() {
 				if p.Name == "R815" {
 					row.SeqSlowdown = sr.SlowdownOn(p, trap.DeliverUserSignal)
+				}
+			}
+		}
+		if o.JITThreshold > 0 {
+			jr, err := runPair(w, arith.NewMPFR(o.Prec), o)
+			if err != nil {
+				return Fig12Row{}, err
+			}
+			row.JITTraps = jr.VM.Stats.Traps
+			row.SBHits = jr.Virt.Stats.SBHits
+			for _, p := range trap.Profiles() {
+				if p.Name == "R815" {
+					row.JITSlowdown = jr.SlowdownOn(p, trap.DeliverUserSignal)
 				}
 			}
 		}
@@ -93,14 +116,18 @@ func Fig12(o Options) error {
 	}
 	fmt.Fprintf(o.W, "Figure 12: Summary of benchmark slowdowns (FPVM + MPFR %d-bit)\n", o.Prec)
 	seq := o.MaxSequenceLen > 0
+	jit := o.JITThreshold > 0
+	hdr := "%-18s %-14s %10s %10s %10s %9s %7s"
+	args := []any{"benchmark", "specifics", "R815", "7220", "R730xd", "traps", "fp%"}
 	if seq {
-		fmt.Fprintf(o.W, "%-18s %-14s %10s %10s %10s %9s %7s | %9s %8s %10s\n",
-			"benchmark", "specifics", "R815", "7220", "R730xd", "traps", "fp%",
-			"seqtraps", "Δtraps", "seqR815")
-	} else {
-		fmt.Fprintf(o.W, "%-18s %-14s %10s %10s %10s %9s %7s\n",
-			"benchmark", "specifics", "R815", "7220", "R730xd", "traps", "fp%")
+		hdr += " | %9s %8s %10s"
+		args = append(args, "seqtraps", "Δtraps", "seqR815")
 	}
+	if jit {
+		hdr += " | %9s %9s %10s"
+		args = append(args, "jittraps", "sbhits", "jitR815")
+	}
+	fmt.Fprintf(o.W, hdr+"\n", args...)
 	for _, r := range rows {
 		cell := func(p string) string {
 			if v, ok := r.Slowdown[p]; ok {
@@ -118,13 +145,20 @@ func Fig12(o Options) error {
 			}
 			fmt.Fprintf(o.W, " | %9d %7.1f%% %9.0fx", r.SeqTraps, drop, r.SeqSlowdown)
 		}
+		if jit {
+			fmt.Fprintf(o.W, " | %9d %9d %9.1fx", r.JITTraps, r.SBHits, r.JITSlowdown)
+		}
 		fmt.Fprintln(o.W)
 	}
 	fmt.Fprintln(o.W, "\nSlowdowns are deterministic cycle-count ratios; the dynamic FP fraction and")
 	fmt.Fprintln(o.W, "per-op emulation cost drive the spread, as in the paper (IS lowest, CG/LU/MG highest).")
 	if seq {
-		fmt.Fprintf(o.W, "Sequence emulation (right of |): MaxSequenceLen=%d; Δtraps is the delivery\n", o.MaxSequenceLen)
+		fmt.Fprintf(o.W, "Sequence emulation (first |): MaxSequenceLen=%d; Δtraps is the delivery\n", o.MaxSequenceLen)
 		fmt.Fprintln(o.W, "reduction from coalescing straight-line FP runs into one trap each.")
+	}
+	if jit {
+		fmt.Fprintf(o.W, "Trace JIT (last |): JITThreshold=%d; hot sites compile into superblocks that\n", o.JITThreshold)
+		fmt.Fprintln(o.W, "re-enter with zero delivery/decode/bind, leaving only warm-up traps behind.")
 	}
 	return nil
 }

@@ -27,6 +27,15 @@ type Fig9Row struct {
 	SeqTraps   uint64  // FP traps with coalescing on
 	SeqTotal   float64 // per-trap total with coalescing on (the run is amortized)
 	MeanSeqLen float64 // mean instructions retired per delivery
+
+	// Trace-JIT ablation, populated when Options.JITThreshold > 0: the same
+	// benchmark with the superblock tier on (stacked on coalescing when
+	// MaxSequenceLen > 0). JITTraps counts the residual deliveries — those
+	// before each hot site crossed the compile threshold — and SBHits the
+	// zero-delivery superblock entries that replaced the rest.
+	JITTraps uint64
+	SBHits   uint64
+	JITTotal float64 // per-delivery total with the JIT tier on
 }
 
 // fig9Row computes the per-trap breakdown from one finished run.
@@ -71,24 +80,40 @@ func Fig9Data(o Options) ([]Fig9Row, error) {
 	}
 	base := o
 	base.MaxSequenceLen = 0
+	base.JITThreshold = 0
+	seqOnly := o
+	seqOnly.JITThreshold = 0
 	cells, err := forEachCell(o.Workers, ws, func(_ int, w workloads.Workload) (*Fig9Row, error) {
 		r, err := runPair(w, arith.NewMPFR(o.Prec), base)
 		if err != nil {
 			return nil, err
 		}
 		row := fig9Row(w.Name, r)
-		if row == nil || o.MaxSequenceLen <= 0 {
+		if row == nil {
 			return row, nil
 		}
-		sr, err := runPair(w, arith.NewMPFR(o.Prec), o)
-		if err != nil {
-			return nil, err
+		if o.MaxSequenceLen > 0 {
+			sr, err := runPair(w, arith.NewMPFR(o.Prec), seqOnly)
+			if err != nil {
+				return nil, err
+			}
+			if srow := fig9Row(w.Name, sr); srow != nil {
+				st := sr.VM.Stats
+				row.SeqTraps = srow.Traps
+				row.SeqTotal = srow.Total
+				row.MeanSeqLen = float64(st.Traps+st.Coalesced) / float64(st.Traps)
+			}
 		}
-		if srow := fig9Row(w.Name, sr); srow != nil {
-			st := sr.VM.Stats
-			row.SeqTraps = srow.Traps
-			row.SeqTotal = srow.Total
-			row.MeanSeqLen = float64(st.Traps+st.Coalesced) / float64(st.Traps)
+		if o.JITThreshold > 0 {
+			jr, err := runPair(w, arith.NewMPFR(o.Prec), o)
+			if err != nil {
+				return nil, err
+			}
+			if jrow := fig9Row(w.Name, jr); jrow != nil {
+				row.JITTraps = jrow.Traps
+				row.JITTotal = jrow.Total
+				row.SBHits = jr.Virt.Stats.SBHits
+			}
 		}
 		return row, nil
 	})
@@ -115,35 +140,40 @@ func Fig9(o Options) error {
 	}
 	fmt.Fprintf(o.W, "Figure 9: Average cost of virtualizing an FP instruction (cycles/trap, MPFR %d-bit)\n", o.Prec)
 	seq := o.MaxSequenceLen > 0
+	jit := o.JITThreshold > 0
 	hdr := "%-18s %9s %9s %9s %7s %7s %9s %7s %11s %9s"
+	args := []any{"benchmark", "traps", "hardware", "kernel",
+		"decode", "bind", "emulate", "gc", "correctness", "TOTAL"}
 	if seq {
 		hdr += " | %9s %9s %7s"
+		args = append(args, "seqtraps", "seqTOTAL", "len")
 	}
-	if seq {
-		fmt.Fprintf(o.W, hdr+"\n", "benchmark", "traps", "hardware", "kernel",
-			"decode", "bind", "emulate", "gc", "correctness", "TOTAL",
-			"seqtraps", "seqTOTAL", "len")
-	} else {
-		fmt.Fprintf(o.W, hdr+"\n", "benchmark", "traps", "hardware", "kernel",
-			"decode", "bind", "emulate", "gc", "correctness", "TOTAL")
+	if jit {
+		hdr += " | %9s %9s %9s"
+		args = append(args, "jittraps", "sbhits", "jitTOTAL")
 	}
+	fmt.Fprintf(o.W, hdr+"\n", args...)
 	for _, r := range rows {
+		fmt.Fprintf(o.W, "%-18s %9d %9.0f %9.0f %7.1f %7.1f %9.0f %7.1f %11.1f %9.0f",
+			r.Name, r.Traps, r.Hardware, r.Kernel, r.Decode, r.Bind,
+			r.Emulate, r.GC, r.Correctness, r.Total)
 		if seq {
-			fmt.Fprintf(o.W, "%-18s %9d %9.0f %9.0f %7.1f %7.1f %9.0f %7.1f %11.1f %9.0f | %9d %9.0f %7.2f\n",
-				r.Name, r.Traps, r.Hardware, r.Kernel, r.Decode, r.Bind,
-				r.Emulate, r.GC, r.Correctness, r.Total,
-				r.SeqTraps, r.SeqTotal, r.MeanSeqLen)
-		} else {
-			fmt.Fprintf(o.W, "%-18s %9d %9.0f %9.0f %7.1f %7.1f %9.0f %7.1f %11.1f %9.0f\n",
-				r.Name, r.Traps, r.Hardware, r.Kernel, r.Decode, r.Bind,
-				r.Emulate, r.GC, r.Correctness, r.Total)
+			fmt.Fprintf(o.W, " | %9d %9.0f %7.2f", r.SeqTraps, r.SeqTotal, r.MeanSeqLen)
 		}
+		if jit {
+			fmt.Fprintf(o.W, " | %9d %9d %9.0f", r.JITTraps, r.SBHits, r.JITTotal)
+		}
+		fmt.Fprintln(o.W)
 	}
 	fmt.Fprintln(o.W, "\nNote: decode amortizes to near zero through the decode cache (hit rate ~100%);")
 	fmt.Fprintln(o.W, "correctness cost is significant only for Enzo, whose interleaved structs defeat VSA (§5.3).")
 	if seq {
-		fmt.Fprintf(o.W, "Sequence emulation (right of |): MaxSequenceLen=%d; seqTOTAL includes the whole\n", o.MaxSequenceLen)
+		fmt.Fprintf(o.W, "Sequence emulation (first |): MaxSequenceLen=%d; seqTOTAL includes the whole\n", o.MaxSequenceLen)
 		fmt.Fprintln(o.W, "coalesced run per delivery, so cycles per *instruction* fall by roughly the mean length.")
+	}
+	if jit {
+		fmt.Fprintf(o.W, "Trace JIT (last |): JITThreshold=%d; jittraps are the residual warm-up deliveries,\n", o.JITThreshold)
+		fmt.Fprintln(o.W, "sbhits the zero-delivery superblock entries that replaced the rest.")
 	}
 	return nil
 }

@@ -43,13 +43,18 @@ const (
 	// SeamMemAccess fails a guest memory operand access on the emulation
 	// path.
 	SeamMemAccess
+	// SeamSBCompile fails the trace-JIT superblock compiler (as if a
+	// pre-decode or pre-bind step of the trace could not be completed); the
+	// site degrades to the classic per-trap path and is blacklisted from
+	// recompilation.
+	SeamSBCompile
 
 	// NumSeams is the number of named seams.
-	NumSeams = int(SeamMemAccess) + 1
+	NumSeams = int(SeamSBCompile) + 1
 )
 
 var seamNames = [NumSeams]string{
-	"decode", "bind", "emulate", "arena", "gc-scan", "mem-access",
+	"decode", "bind", "emulate", "arena", "gc-scan", "mem-access", "sb-compile",
 }
 
 // String names the seam as it appears in specs, stats, and telemetry.

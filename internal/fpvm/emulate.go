@@ -9,6 +9,18 @@ import (
 	"fpvm/internal/telemetry"
 )
 
+// kindRunners dispatches a decoded instruction to its per-kind emulation
+// body. The table is shared by the interpreter (emulate) and the trace-JIT
+// tier: a superblock thunk pre-resolves its runner at compile time, so
+// re-entry skips the switch along with decode and bind.
+var kindRunners = [...]func(*VM, *machine.Machine, *decodedInst) error{
+	kindArith:   (*VM).runArith,
+	kindCompare: (*VM).runCompare,
+	kindToInt:   (*VM).runToInt,
+	kindFromInt: (*VM).runFromInt,
+	kindMove:    (*VM).runMove,
+}
+
 // emulate executes one decoded instruction in the alternative arithmetic
 // system and retires it: results are boxed into the destination, compares
 // write RFLAGS, conversions cross the IEEE/shadow boundary, and RIP
@@ -23,135 +35,142 @@ func (vm *VM) emulate(m *machine.Machine, d *decodedInst) error {
 	vm.Stats.Cycles.Emulate += vm.costs.EmulateBase
 	m.Cycles += vm.costs.EmulateBase
 
-	switch d.kind {
-	case kindArith:
-		// Lane results are buffered and written only after every lane has
-		// computed (the same atomic retire the native executor performs), so
-		// a degradable fault on lane 1 leaves the destination — which is
-		// also a source for binary ops — untouched for the degradation
-		// engine's native re-execution.
-		var results [2]uint64
-		for lane := 0; lane < d.lanes; lane++ {
-			// The per-VM scratch buffer keeps the hot path allocation-free
-			// (the seed allocated a fresh []arith.Value per lane per trap).
-			args := vm.scratch[:len(d.srcs)]
-			for i, s := range d.srcs {
-				bits, err := vm.readFP(m, s, lane)
-				if err != nil {
-					return err
-				}
-				args[i] = vm.value(bits)
-			}
-			res := vm.Sys.Apply(d.aop, args...)
-			vm.Stats.Emulated++
-			opCycles := vm.Sys.OpCycles(d.aop)
-			vm.Stats.Cycles.Emulate += opCycles
-			m.Cycles += opCycles
-			bits, err := vm.boxResult(res)
+	if err := kindRunners[d.kind](vm, m, d); err != nil {
+		return err
+	}
+	m.Advance(d.inst)
+	return nil
+}
+
+// runArith emulates an FP arithmetic instruction: one Sys.Apply per lane,
+// results boxed and retired atomically.
+func (vm *VM) runArith(m *machine.Machine, d *decodedInst) error {
+	// Lane results are buffered and written only after every lane has
+	// computed (the same atomic retire the native executor performs), so
+	// a degradable fault on lane 1 leaves the destination — which is
+	// also a source for binary ops — untouched for the degradation
+	// engine's native re-execution.
+	var results [2]uint64
+	for lane := 0; lane < d.lanes; lane++ {
+		// The per-VM scratch buffer keeps the hot path allocation-free
+		// (the seed allocated a fresh []arith.Value per lane per trap).
+		args := vm.scratch[:len(d.srcs)]
+		for i, s := range d.srcs {
+			bits, err := vm.readFP(m, s, lane)
 			if err != nil {
 				return err
 			}
-			results[lane] = bits
+			args[i] = vm.value(bits)
 		}
-		for lane := 0; lane < d.lanes; lane++ {
-			if err := m.WriteOperandFP(d.dst, lane, results[lane]); err != nil {
-				return err
-			}
-		}
-
-	case kindCompare:
-		abits, err := vm.readFP(m, d.srcs[0], 0)
-		if err != nil {
-			return err
-		}
-		bbits, err := vm.readFP(m, d.srcs[1], 0)
-		if err != nil {
-			return err
-		}
-		a, b := vm.value(abits), vm.value(bbits)
+		res := vm.Sys.Apply(d.aop, args...)
 		vm.Stats.Emulated++
-		cmpCycles := vm.Sys.OpCycles(arith.OpSub) // comparisons cost like a subtract
-		vm.Stats.Cycles.Emulate += cmpCycles
-		m.Cycles += cmpCycles
-		ord, unordered := vm.Sys.Compare(a, b)
-		switch {
-		case unordered:
-			m.SetCompareFlags(true, true, true)
-		case ord > 0:
-			m.SetCompareFlags(false, false, false)
-		case ord < 0:
-			m.SetCompareFlags(false, false, true)
-		default:
-			m.SetCompareFlags(true, false, false)
-		}
-
-	case kindToInt:
-		bits, err := vm.readFP(m, d.srcs[0], 0)
-		if err != nil {
-			return err
-		}
-		v := vm.value(bits)
-		vm.Stats.Emulated++
-		rc := m.MXCSR.RC()
-		if d.truncate {
-			rc = fpu.RCZero
-		}
-		i, ok := vm.Sys.ToInt64(v, rc)
-		if !ok {
-			i = -1 << 63 // integer indefinite, as the hardware would produce
-		}
-		if err := m.WriteOperandInt(d.dst, i); err != nil {
-			return err
-		}
-
-	case kindFromInt:
-		iv, err := m.ReadOperandInt(d.srcs[0])
-		if err != nil {
-			return err
-		}
-		res := vm.Sys.FromInt64(iv)
-		vm.Stats.Emulated++
+		opCycles := vm.Sys.OpCycles(d.aop)
+		vm.Stats.Cycles.Emulate += opCycles
+		m.Cycles += opCycles
 		bits, err := vm.boxResult(res)
 		if err != nil {
 			return err
 		}
-		if err := m.WriteOperandFP(d.dst, 0, bits); err != nil {
+		results[lane] = bits
+	}
+	for lane := 0; lane < d.lanes; lane++ {
+		if err := m.WriteOperandFP(d.dst, lane, results[lane]); err != nil {
 			return err
 		}
+	}
+	return nil
+}
 
-	case kindMove:
-		// Moves never fault and carry no arithmetic: the handler transports
-		// the raw (possibly NaN-boxed) bits exactly as the hardware would,
-		// so a coalesced run continues through register/memory shuffling.
-		// Mirrors Machine.execFPMove: movsd from memory zeroes the upper
-		// destination lane; movapd copies both lanes.
-		if d.lanes == 1 {
-			bits, err := vm.readFP(m, d.srcs[0], 0)
-			if err != nil {
+// runCompare emulates ucomisd/comisd: the shadow comparison writes RFLAGS.
+func (vm *VM) runCompare(m *machine.Machine, d *decodedInst) error {
+	abits, err := vm.readFP(m, d.srcs[0], 0)
+	if err != nil {
+		return err
+	}
+	bbits, err := vm.readFP(m, d.srcs[1], 0)
+	if err != nil {
+		return err
+	}
+	a, b := vm.value(abits), vm.value(bbits)
+	vm.Stats.Emulated++
+	cmpCycles := vm.Sys.OpCycles(arith.OpSub) // comparisons cost like a subtract
+	vm.Stats.Cycles.Emulate += cmpCycles
+	m.Cycles += cmpCycles
+	ord, unordered := vm.Sys.Compare(a, b)
+	switch {
+	case unordered:
+		m.SetCompareFlags(true, true, true)
+	case ord > 0:
+		m.SetCompareFlags(false, false, false)
+	case ord < 0:
+		m.SetCompareFlags(false, false, true)
+	default:
+		m.SetCompareFlags(true, false, false)
+	}
+	return nil
+}
+
+// runToInt emulates cvtsd2si/cvttsd2si: shadow → integer conversion.
+func (vm *VM) runToInt(m *machine.Machine, d *decodedInst) error {
+	bits, err := vm.readFP(m, d.srcs[0], 0)
+	if err != nil {
+		return err
+	}
+	v := vm.value(bits)
+	vm.Stats.Emulated++
+	rc := m.MXCSR.RC()
+	if d.truncate {
+		rc = fpu.RCZero
+	}
+	i, ok := vm.Sys.ToInt64(v, rc)
+	if !ok {
+		i = -1 << 63 // integer indefinite, as the hardware would produce
+	}
+	return m.WriteOperandInt(d.dst, i)
+}
+
+// runFromInt emulates cvtsi2sd: integer → shadow conversion.
+func (vm *VM) runFromInt(m *machine.Machine, d *decodedInst) error {
+	iv, err := m.ReadOperandInt(d.srcs[0])
+	if err != nil {
+		return err
+	}
+	res := vm.Sys.FromInt64(iv)
+	vm.Stats.Emulated++
+	bits, err := vm.boxResult(res)
+	if err != nil {
+		return err
+	}
+	return m.WriteOperandFP(d.dst, 0, bits)
+}
+
+// runMove emulates movsd/movapd. Moves never fault and carry no arithmetic:
+// the handler transports the raw (possibly NaN-boxed) bits exactly as the
+// hardware would, so a coalesced run continues through register/memory
+// shuffling. Mirrors Machine.execFPMove: movsd from memory zeroes the upper
+// destination lane; movapd copies both lanes.
+func (vm *VM) runMove(m *machine.Machine, d *decodedInst) error {
+	if d.lanes == 1 {
+		bits, err := vm.readFP(m, d.srcs[0], 0)
+		if err != nil {
+			return err
+		}
+		if d.dst.Kind == isa.KindFPReg && d.srcs[0].Kind == isa.KindMem {
+			if err := m.WriteOperandFP(d.dst, 1, 0); err != nil {
 				return err
-			}
-			if d.dst.Kind == isa.KindFPReg && d.srcs[0].Kind == isa.KindMem {
-				if err := m.WriteOperandFP(d.dst, 1, 0); err != nil {
-					return err
-				}
-			}
-			if err := m.WriteOperandFP(d.dst, 0, bits); err != nil {
-				return err
-			}
-		} else {
-			for lane := 0; lane < 2; lane++ {
-				bits, err := vm.readFP(m, d.srcs[0], lane)
-				if err != nil {
-					return err
-				}
-				if err := m.WriteOperandFP(d.dst, lane, bits); err != nil {
-					return err
-				}
 			}
 		}
+		return m.WriteOperandFP(d.dst, 0, bits)
 	}
-
-	m.Advance(d.inst)
+	for lane := 0; lane < 2; lane++ {
+		bits, err := vm.readFP(m, d.srcs[0], lane)
+		if err != nil {
+			return err
+		}
+		if err := m.WriteOperandFP(d.dst, lane, bits); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

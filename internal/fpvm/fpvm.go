@@ -34,6 +34,7 @@ type Costs struct {
 	GCPerCell   uint64 // sweep cost per arena cell
 	Demote      uint64 // demotion of one located NaN-box
 	CorrectBase uint64 // correctness-handler entry overhead
+	SBDispatch  uint64 // superblock thunk dispatch (replaces decode+bind+emulate base on re-entry)
 }
 
 // DefaultCosts returns component costs calibrated to the §5.3 discussion
@@ -50,6 +51,7 @@ func DefaultCosts() Costs {
 		GCPerCell:   9,
 		Demote:      120,
 		CorrectBase: 90,
+		SBDispatch:  30,
 	}
 }
 
@@ -85,6 +87,16 @@ type Config struct {
 	// would exceed it degrades the faulting instruction to native execution
 	// instead of growing the arena (and never aborts the run). 0 disables.
 	ArenaHardCap int
+	// JITThreshold arms the trace-JIT superblock tier: when a site's FP-trap
+	// delivery count crosses this value, its coalesced straight-line run is
+	// compiled into a cached superblock — a pre-decoded, pre-bound trace of
+	// thunks installed as a patch at the entry — so subsequent visits
+	// re-enter at patch-check cost with zero delivery, zero decode, and zero
+	// bind. Superblocks are invalidated on side-table writes, code-segment
+	// writes, storm patches, and Reattach, and any compile failure degrades
+	// the site back to the classic per-trap path. 0 disables the tier and
+	// preserves behavior bit for bit.
+	JITThreshold int
 	// Inject attaches a fault injector to the runtime's seams (testing /
 	// chaos suite). nil disables injection and preserves behavior bit for
 	// bit.
@@ -172,6 +184,14 @@ type VM struct {
 	stormCounts  []uint32
 	stormPatched []bool
 	stormTick    uint64
+
+	// Trace-JIT tier state (allocated only when Config.JITThreshold is set):
+	// the per-entry-index superblock cache, the per-site delivery counters
+	// toward the compile threshold, and the compile-failure blacklist.
+	sblocks   []*superblock
+	jitCounts []uint32
+	sbFailed  []bool
+	sbFn      machine.PatchHandler
 }
 
 // Attach installs FPVM underneath the program loaded in m: it unmasks all
@@ -250,12 +270,36 @@ func (vm *VM) Reattach(m *machine.Machine, cfg Config) {
 		vm.stormPatched = nil
 	}
 
+	// Trace-JIT cache: re-armed empty for every (re)attach. The machine's
+	// Reset/Load already discarded any superblock entry patches with the rest
+	// of the side table, so a pooled session can never re-enter a previous
+	// tenant's trace — the cache starts cold exactly as on a fresh Attach.
+	if cfg.JITThreshold > 0 {
+		if cap(vm.sblocks) >= n {
+			vm.sblocks = vm.sblocks[:n]
+			clear(vm.sblocks)
+			vm.jitCounts = vm.jitCounts[:n]
+			clear(vm.jitCounts)
+			vm.sbFailed = vm.sbFailed[:n]
+			clear(vm.sbFailed)
+		} else {
+			vm.sblocks = make([]*superblock, n)
+			vm.jitCounts = make([]uint32, n)
+			vm.sbFailed = make([]bool, n)
+		}
+	} else {
+		vm.sblocks = nil
+		vm.jitCounts = nil
+		vm.sbFailed = nil
+	}
+
 	m.MXCSR.SetMasks(0) // unmask everything: rounding, NaN, overflow, ...
 	if vm.fpTrapFn == nil {
 		vm.fpTrapFn = vm.handleFPTrap
 		vm.corrTrapFn = vm.handleCorrectnessTrap
 		vm.extTrapFn = vm.handleExternalCall
 		vm.outFn = vm.outputFilter
+		vm.sbFn = vm.sbHandler
 	}
 	m.FPTrap = vm.fpTrapFn
 	m.CorrectnessTrap = vm.corrTrapFn
@@ -302,6 +346,13 @@ func (vm *VM) handleFPTrap(f *machine.TrapFrame) error {
 			return err
 		}
 		f.Coalesced = n
+	}
+
+	// Trace-JIT tier: count the delivery toward the site's compile threshold
+	// and compile a superblock when it crosses. Degraded deliveries returned
+	// above, so a site that cannot emulate cleanly never accumulates.
+	if vm.cfg.JITThreshold > 0 {
+		vm.noteJIT(f)
 	}
 
 	// Epoch GC, driven by allocation volume.

@@ -102,6 +102,31 @@ func TestSeqStopConditions(t *testing.T) {
 			},
 			want: 0,
 		},
+		// JIT-boundary rows: conditions that must cut a run short mid-trace,
+		// not just refuse it at the first step.
+		{
+			name: "barrier mid-trace cuts run",
+			next: []string{"addsd f1, =1.5", "mulsd f1, =1.25"},
+			prep: func(m *machine.Machine) {
+				m.SetCorrectnessSite(findOpAddr(m, isa.OpMulsd), 1)
+			},
+			want: 1,
+		},
+		{
+			name: "mode flip mid-trace cuts run",
+			next: []string{"addsd f1, =1.5", "addpd f2, f3", "subsd f1, =0.25"},
+			want: 1,
+		},
+		{
+			name: "callext mid-trace cuts run",
+			next: []string{"addsd f1, =1.5", "callext $1", "subsd f1, =0.25"},
+			want: 1,
+		},
+		{
+			name: "halt stops",
+			next: nil,
+			want: 0,
+		},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -121,6 +146,18 @@ func TestSeqStopConditions(t *testing.T) {
 			}
 			if vm.Stats.Coalesced != c.want {
 				t.Fatalf("Coalesced = %d, want %d", vm.Stats.Coalesced, c.want)
+			}
+
+			// Both tiers share one stop-condition contract: the superblock the
+			// trace-JIT compiles at the same entry must span exactly the
+			// instructions the first coalesced delivery retired.
+			_, mj, vmj := runSB(t, src, Config{MaxSequenceLen: 16, JITThreshold: 1}, prep)
+			sb := sbAt(t, mj, vmj, isa.OpDivsd)
+			if sb == nil {
+				t.Fatal("threshold 1 never compiled a superblock at the divsd entry")
+			}
+			if got, want := len(sb.thunks), 1+int(c.want); got != want {
+				t.Fatalf("superblock trace length %d, want %d (1 + coalesced run)", got, want)
 			}
 		})
 	}

@@ -89,15 +89,18 @@ type PatchHandler func(*TrapFrame) (handled bool, err error)
 
 // Stats aggregates execution counters for the evaluation harness.
 type Stats struct {
-	Instructions   uint64            // retired instructions (incl. emulated)
-	FPInstructions uint64            // retired FP-arithmetic instructions
-	FPTraps        uint64            // delivered FP exception traps
-	CoalescedFP    uint64            // instructions retired inside a trap delivery beyond the faulting one
-	CorrectTraps   uint64            // delivered correctness traps
-	ExtCallTraps   uint64            // delivered external-call traps
-	PatchInvokes   uint64            // trap-and-patch handler invocations
-	TrapByFlag     map[string]uint64 // trap counts keyed by flag set
-	Trap           trap.Stats        // delivery cost accounting
+	Instructions    uint64            // retired instructions (incl. emulated)
+	FPInstructions  uint64            // retired FP-arithmetic instructions
+	FPTraps         uint64            // delivered FP exception traps
+	CoalescedFP     uint64            // instructions retired inside a trap delivery beyond the faulting one
+	CorrectTraps    uint64            // delivered correctness traps
+	ExtCallTraps    uint64            // delivered external-call traps
+	PatchInvokes    uint64            // trap-and-patch handler invocations
+	SBCompiled      uint64            // superblocks compiled by the trace-JIT tier
+	SBHits          uint64            // superblock entries executed (zero-delivery re-entries)
+	SBInvalidations uint64            // superblocks discarded on side-table/code-version changes
+	TrapByFlag      map[string]uint64 // trap counts keyed by flag set
+	Trap            trap.Stats        // delivery cost accounting
 }
 
 // instSlot is the per-instruction side table of the dense pipeline: one
@@ -129,6 +132,13 @@ type Machine struct {
 	slots    []instSlot
 	curIdx   int    // index of the instruction currently being dispatched
 	dataBase uint64 // base of the writable data segment (code space below is read-only text)
+	// Version counters for caches (superblocks) built over the side table and
+	// code segment: sideVer advances on every side-table mutation (SetPatch,
+	// SetCorrectnessSite, Load, Reset), codeVer on every store into the
+	// code-segment shadow below the data base. A cached trace snapshots both
+	// and revalidates or discards itself when either has moved.
+	sideVer uint64
+	codeVer uint64
 
 	// Virtualization hooks.
 	FPTrap          TrapHandler // SIGFPE-analog handler (FPVM)
@@ -242,6 +252,7 @@ func (m *Machine) Reset(prog *isa.Program, out io.Writer, memSize int) error {
 		// are still exact. Only the side-table slots (patch handlers,
 		// correctness sites) belong to the previous session.
 		clear(m.slots)
+		m.sideVer++
 		return m.loadData(prog)
 	}
 	return m.Load(prog)
@@ -281,6 +292,7 @@ func (m *Machine) Load(prog *isa.Program) error {
 	} else {
 		m.slots = make([]instSlot, len(m.insts))
 	}
+	m.sideVer++
 	return m.loadData(prog)
 }
 
@@ -329,10 +341,17 @@ func (m *Machine) ReadU64(addr uint64) (uint64, error) {
 	return binary.LittleEndian.Uint64(m.Mem[addr:]), nil
 }
 
-// WriteU64 stores 8 bytes little-endian at addr.
+// WriteU64 stores 8 bytes little-endian at addr. A store below the data base
+// lands in the code-segment shadow: execution always fetches from the
+// immutable predecoded stream, but any cache compiled over that stream (the
+// trace-JIT superblocks) must treat the write as a code modification, so the
+// code version advances.
 func (m *Machine) WriteU64(addr, v uint64) error {
 	if addr >= uint64(len(m.Mem)) || uint64(len(m.Mem))-addr < 8 {
 		return m.fault("store out of bounds: %#x", addr)
+	}
+	if addr < m.dataBase {
+		m.codeVer++
 	}
 	binary.LittleEndian.PutUint64(m.Mem[addr:], v)
 	return nil
@@ -401,6 +420,7 @@ func (m *Machine) SetPatch(addr uint64, h PatchHandler) bool {
 		return false
 	}
 	m.slots[i].patch = h
+	m.sideVer++
 	return true
 }
 
@@ -414,6 +434,7 @@ func (m *Machine) SetCorrectnessSite(addr uint64, site int64) bool {
 	}
 	m.slots[i].site = site
 	m.slots[i].hasSite = true
+	m.sideVer++
 	return true
 }
 
@@ -447,6 +468,29 @@ func (m *Machine) SeqBarrier(idx int) bool {
 	}
 	return m.slots[idx].patch != nil || m.slots[idx].hasSite
 }
+
+// SiteBarrier reports whether the instruction at dense index idx carries a
+// correctness site. A cached trace that owns the patch slot at its own entry
+// uses this instead of SeqBarrier to revalidate the entry instruction —
+// its own patch handler is not a barrier to itself, but a correctness site
+// installed later must still get its delivery.
+func (m *Machine) SiteBarrier(idx int) bool {
+	if idx < 0 || idx >= len(m.slots) {
+		return true
+	}
+	return m.slots[idx].hasSite
+}
+
+// SideTableVersion returns the side-table mutation counter. It advances on
+// every SetPatch/SetCorrectnessSite/Load/Reset, so a cache built over the
+// side table can detect staleness with one comparison.
+func (m *Machine) SideTableVersion() uint64 { return m.sideVer }
+
+// CodeVersion returns the code-segment write counter (stores below the data
+// base). Execution fetches from the immutable predecoded stream, so a moved
+// code version means any compiled trace is no longer a faithful cache of
+// what a re-decoding interpreter would see.
+func (m *Machine) CodeVersion() uint64 { return m.codeVer }
 
 // WritableBase returns the base of writable program memory: the data segment
 // (and the heap/stack above it). Addresses below it shadow the read-only code
@@ -516,12 +560,17 @@ func (m *Machine) Step() error {
 	if ph := m.slots[idx].patch; ph != nil {
 		m.Cycles += m.Cost.PatchCheck
 		m.Stats.PatchInvokes++
-		handled, err := ph(&TrapFrame{M: m, Cause: CauseFPException, Inst: in, Idx: idx})
+		f := TrapFrame{M: m, Cause: CauseFPException, Inst: in, Idx: idx}
+		handled, err := ph(&f)
 		if err != nil {
 			return err
 		}
 		if handled {
-			m.Stats.Instructions++
+			// A patch handler may multi-retire like a coalescing trap handler
+			// does: a superblock executes a whole straight-line run under one
+			// patch check. Classic patches leave Coalesced at zero.
+			m.Stats.Instructions += 1 + uint64(f.Coalesced)
+			m.Stats.CoalescedFP += uint64(f.Coalesced)
 			return nil
 		}
 		// Fall through: execute natively below.

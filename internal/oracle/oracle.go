@@ -45,6 +45,7 @@ import (
 	"fpvm/internal/nanbox"
 	"fpvm/internal/patch"
 	"fpvm/internal/posit"
+	"fpvm/internal/telemetry"
 )
 
 // Target is one program under the oracle.
@@ -87,9 +88,13 @@ type Options struct {
 	// Vanilla bit-exactness gate must STILL pass: that is the chaos suite's
 	// central invariant.
 	Inject *faultinject.Config
-	// StormThreshold, ArenaSoftCap, and ArenaHardCap pass through to
-	// fpvm.Config.
+	// StormThreshold, JITThreshold, ArenaSoftCap, and ArenaHardCap pass
+	// through to fpvm.Config. JITThreshold > 0 arms the trace-JIT superblock
+	// tier on the virtualized side; its multi-retiring patch entries are
+	// absorbed by the same retirement-count resynchronization as sequence
+	// emulation, and the Vanilla bit-exactness gate must still pass.
 	StormThreshold uint64
+	JITThreshold   int
 	ArenaSoftCap   int
 	ArenaHardCap   int
 }
@@ -206,6 +211,11 @@ type SystemReport struct {
 	Degradations  uint64 // emulation-path failures absorbed natively
 	StormPatches  uint64 // sites blacklisted by the trap-storm governor
 	InjectSummary string // injector campaign outcome ("" when no injection)
+	// Trace-JIT accounting (Options.JITThreshold > 0).
+	SBCompiled      uint64 // superblocks compiled
+	SBHits          uint64 // zero-delivery superblock entries served
+	SBInvalidations uint64 // superblocks discarded on side-table/code changes
+	JITDegradations uint64 // failed superblock compiles absorbed as degradations
 	// NaN-box leak gate: after the final demote-everything pass and a
 	// closing GC sweep, no shadow cell may survive and no boxed pattern may
 	// remain anywhere in machine state.
@@ -322,6 +332,7 @@ func runSystem(t Target, sys arith.System, o Options) (*SystemReport, error) {
 		System:         sys,
 		MaxSequenceLen: o.MaxSequenceLen,
 		StormThreshold: o.StormThreshold,
+		JITThreshold:   o.JITThreshold,
 		ArenaSoftCap:   o.ArenaSoftCap,
 		ArenaHardCap:   o.ArenaHardCap,
 	}
@@ -438,6 +449,10 @@ func runSystem(t Target, sys arith.System, o Options) (*SystemReport, error) {
 	// invisible to the report's cost numbers.)
 	sr.Degradations = vm.Stats.Degradations
 	sr.StormPatches = vm.Stats.StormPatches
+	sr.SBCompiled = vmach.Stats.SBCompiled
+	sr.SBHits = vmach.Stats.SBHits
+	sr.SBInvalidations = vmach.Stats.SBInvalidations
+	sr.JITDegradations = vm.Stats.DegradeByCause[telemetry.DegradeJIT]
 	if inj != nil {
 		sr.InjectSummary = inj.Summary()
 	}

@@ -111,26 +111,49 @@ func fuzzTarget(src string) Target {
 // program, run the full differential oracle over it, and require the
 // virtualized Vanilla run to stay bit-identical to native. Any counter-
 // example is a virtualization bug with a one-instruction-precise report.
+//
+// loop wraps the chain in a hot counted loop (progen.FPLoopSource) so sites
+// cross realistic thresholds; jitT arms the trace-JIT superblock tier (plus
+// coalescing) at that threshold, putting the compile/bind/invalidate seam
+// under the same bit-identity oracle as the classic path.
 func FuzzDifferentialOracle(f *testing.F) {
 	for _, s := range progen.Seeds() {
-		f.Add(s, int(progen.DefaultFPLen))
+		f.Add(s, int(progen.DefaultFPLen), false, 0)
+		f.Add(s, int(progen.DefaultFPLen), true, 3)
 	}
-	f.Fuzz(func(t *testing.T, seed int64, n int) {
+	f.Fuzz(func(t *testing.T, seed int64, n int, loop bool, jitT int) {
 		if n < 1 || n > 400 {
 			n = int(progen.DefaultFPLen)
 		}
-		src := progen.FPSource(rand.New(rand.NewSource(seed)), n)
-		rep, err := Run(fuzzTarget(src), Options{
+		if jitT < 0 || jitT > 64 {
+			jitT = 3
+		}
+		r := rand.New(rand.NewSource(seed))
+		var src string
+		if loop {
+			if n > 120 {
+				n = 120 // bound the loop body so iterations stay cheap
+			}
+			src = progen.FPLoopSource(r, n, 24)
+		} else {
+			src = progen.FPSource(r, n)
+		}
+		opts := Options{
 			MaxInst: 2_000_000,
 			Systems: []arith.System{arith.NewPosit(posit.Posit32)},
-		})
+		}
+		if jitT > 0 {
+			opts.MaxSequenceLen = 8
+			opts.JITThreshold = jitT
+		}
+		rep, err := Run(fuzzTarget(src), opts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !rep.Ok() {
 			v := rep.Vanilla
-			t.Fatalf("seed %d: vanilla diverged at PC %#x (%s); control=%v regs=%v flags=%v mem=%v out=%v\nprogram:\n%s",
-				seed, v.FirstDivergencePC, v.FirstDivergenceOp, v.ControlDiverged,
+			t.Fatalf("seed %d (loop=%v jit=%d): vanilla diverged at PC %#x (%s); control=%v regs=%v flags=%v mem=%v out=%v\nprogram:\n%s",
+				seed, loop, jitT, v.FirstDivergencePC, v.FirstDivergenceOp, v.ControlDiverged,
 				v.RegsIdentical, v.FlagsIdentical, v.MemIdentical, v.OutputIdentical, src)
 		}
 	})
@@ -160,6 +183,107 @@ func TestVanillaBitExactWithCoalescing(t *testing.T) {
 					v.LockstepInsts, rep.NativeInstructions)
 			}
 		})
+	}
+}
+
+// TestJITBitIdenticalAllTargets is the tentpole differential gate: every fig
+// target, run under the trace-JIT superblock tier — alone and stacked on
+// sequence emulation — must stay bit-identical to native in registers,
+// memory, output, and control flow, with the lockstep comparator absorbing
+// superblock multi-retires through the same retirement-count resync that
+// covers coalescing.
+func TestJITBitIdenticalAllTargets(t *testing.T) {
+	targets := AllTargets()
+	if len(targets) < 16 {
+		t.Fatalf("expected at least 16 fig targets, have %d", len(targets))
+	}
+	configs := []struct {
+		name string
+		o    Options
+	}{
+		{"jit", Options{Systems: []arith.System{}, JITThreshold: 2}},
+		{"seqemu+jit", Options{Systems: []arith.System{}, MaxSequenceLen: 16, JITThreshold: 2}},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			for _, tgt := range targets {
+				tgt := tgt
+				t.Run(tgt.Name, func(t *testing.T) {
+					rep, err := Run(tgt, cfg.o)
+					if err != nil {
+						t.Fatal(err)
+					}
+					v := rep.Vanilla
+					if !rep.Ok() {
+						t.Fatalf("vanilla+%s diverged: control=%v firstPC=%#x op=%s regs=%v flags=%v mem=%v out=%v",
+							cfg.name, v.ControlDiverged, v.FirstDivergencePC, v.FirstDivergenceOp,
+							v.RegsIdentical, v.FlagsIdentical, v.MemIdentical, v.OutputIdentical)
+					}
+					if v.LockstepInsts != rep.NativeInstructions {
+						t.Errorf("lockstep retired %d instructions, native %d",
+							v.LockstepInsts, rep.NativeInstructions)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestProgenThreeTierLockstep drives generated hot-loop programs through all
+// three execution tiers — classic interpretation, sequence emulation, and
+// the trace-JIT — under the same oracle, pinning the three-way bit-identity
+// the differential harness promises for arbitrary (generated) programs, not
+// just the curated fig targets.
+func TestProgenThreeTierLockstep(t *testing.T) {
+	tiers := []struct {
+		name string
+		o    Options
+	}{
+		{"interp", Options{Systems: []arith.System{}}},
+		{"seqemu", Options{Systems: []arith.System{}, MaxSequenceLen: 8}},
+		{"jit", Options{Systems: []arith.System{}, MaxSequenceLen: 8, JITThreshold: 2}},
+	}
+	for _, seed := range progen.Seeds()[:4] {
+		src := progen.FPLoopSource(rand.New(rand.NewSource(seed)), 40, 24)
+		for _, tier := range tiers {
+			rep, err := Run(fuzzTarget(src), tier.o)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, tier.name, err)
+			}
+			v := rep.Vanilla
+			if !rep.Ok() {
+				t.Fatalf("seed %d %s: diverged at PC %#x (%s); control=%v regs=%v flags=%v mem=%v out=%v",
+					seed, tier.name, v.FirstDivergencePC, v.FirstDivergenceOp, v.ControlDiverged,
+					v.RegsIdentical, v.FlagsIdentical, v.MemIdentical, v.OutputIdentical)
+			}
+			if v.LockstepInsts != rep.NativeInstructions {
+				t.Fatalf("seed %d %s: lockstep retired %d instructions, native %d",
+					seed, tier.name, v.LockstepInsts, rep.NativeInstructions)
+			}
+		}
+	}
+}
+
+// TestJITReducesOracleTraps checks the perf mechanism end to end through the
+// oracle: arming the trace-JIT tier on top of coalescing must cut delivered
+// FP traps further on a target with hot straight-line runs.
+func TestJITReducesOracleTraps(t *testing.T) {
+	tgt, err := Lookup("Lorenz Attractor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Run(tgt, Options{Systems: []arith.System{}, MaxSequenceLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jit, err := Run(tgt, Options{Systems: []arith.System{}, MaxSequenceLen: 16, JITThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jit.Vanilla.FPTraps >= seq.Vanilla.FPTraps {
+		t.Fatalf("traps did not drop under the jit tier: %d (jit) vs %d (seqemu)",
+			jit.Vanilla.FPTraps, seq.Vanilla.FPTraps)
 	}
 }
 

@@ -36,15 +36,14 @@ func Seeds() []int64 {
 	return out
 }
 
-// FPSource emits a random but well-formed FP computation: a chain of n
-// arithmetic instructions over registers seeded from a few constants, with
-// stores and loads mixed in — the adversarial input for the full FPVM
-// pipeline. The program always assembles and always runs to a clean halt.
-func FPSource(r *rand.Rand, n int) string {
+// fpChain emits the body shared by FPSource and FPLoopSource: n random FP
+// arithmetic instructions with stores and loads mixed in — straight-line
+// runs of plain FP work broken by memory traffic, the exact shape the
+// coalescing and trace-JIT tiers carve into sequences and superblocks.
+func fpChain(r *rand.Rand, n int) string {
 	ops := []string{"addsd", "subsd", "mulsd", "divsd", "minsd", "maxsd"}
 	un := []string{"sqrtsd", "fsin", "fcos", "fexp", "fatan", "fabs", "ffloor"}
-	src := ".data\nbuf: .zero 128\n.text\n"
-	src += "\tmovsd f0, =1.5\n\tmovsd f1, =-0.75\n\tmovsd f2, =3.14159\n\tmovsd f3, =0.625\n"
+	var src string
 	for i := 0; i < n; i++ {
 		switch r.Intn(4) {
 		case 0:
@@ -61,8 +60,34 @@ func FPSource(r *rand.Rand, n int) string {
 			src += "\tmovsd f" + itoa(r.Intn(6)) + ", [buf+" + itoa(slot) + "]\n"
 		}
 	}
-	src += "\toutf f0\n\toutf f1\n\thalt\n"
 	return src
+}
+
+// fpSeed re-seeds the working registers from constants.
+const fpSeed = "\tmovsd f0, =1.5\n\tmovsd f1, =-0.75\n\tmovsd f2, =3.14159\n\tmovsd f3, =0.625\n"
+
+// FPSource emits a random but well-formed FP computation: a chain of n
+// arithmetic instructions over registers seeded from a few constants, with
+// stores and loads mixed in — the adversarial input for the full FPVM
+// pipeline. The program always assembles and always runs to a clean halt.
+func FPSource(r *rand.Rand, n int) string {
+	return ".data\nbuf: .zero 128\n.text\n" + fpSeed + fpChain(r, n) +
+		"\toutf f0\n\toutf f1\n\thalt\n"
+}
+
+// FPLoopSource wraps an FPSource-style chain in a counted loop of iters
+// passes. A straight-line FPSource program delivers at most one trap per
+// site, so it can never cross a realistic storm or trace-JIT threshold; the
+// loop makes every trap site in the chain hot (registers are re-seeded each
+// pass, but buf carries boxed values across iterations). Like FPSource, the
+// output always assembles and always runs to a clean halt.
+func FPLoopSource(r *rand.Rand, n, iters int) string {
+	if iters < 1 {
+		iters = 1
+	}
+	return ".data\nbuf: .zero 128\n.text\n\tmov r0, $0\nloop:\n" + fpSeed + fpChain(r, n) +
+		"\tinc r0\n\tcmp r0, $" + itoa(iters) + "\n\tjl loop\n" +
+		"\toutf f0\n\toutf f1\n\thalt\n"
 }
 
 // FPProgram assembles FPSource(r, n). The generator emits only valid

@@ -51,10 +51,11 @@ type Config struct {
 	// NoPatch skips the §4.2 static analysis + correctness patching. The
 	// default mirrors the full pipeline, as the experiments harness does.
 	NoPatch bool
-	// MaxSequenceLen, StormThreshold, GCEveryNAllocs, ArenaSoftCap,
-	// ArenaHardCap, and Inject pass through to fpvm.Config.
+	// MaxSequenceLen, StormThreshold, JITThreshold, GCEveryNAllocs,
+	// ArenaSoftCap, ArenaHardCap, and Inject pass through to fpvm.Config.
 	MaxSequenceLen int
 	StormThreshold uint64
+	JITThreshold   int
 	GCEveryNAllocs uint64
 	ArenaSoftCap   int
 	ArenaHardCap   int
@@ -200,6 +201,7 @@ func (s *Session) Run(prog *isa.Program, cfg Config) (Result, error) {
 		GCEveryNAllocs: cfg.GCEveryNAllocs,
 		MaxSequenceLen: cfg.MaxSequenceLen,
 		StormThreshold: cfg.StormThreshold,
+		JITThreshold:   cfg.JITThreshold,
 		ArenaSoftCap:   cfg.ArenaSoftCap,
 		ArenaHardCap:   cfg.ArenaHardCap,
 		Inject:         cfg.Inject,

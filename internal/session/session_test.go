@@ -359,6 +359,121 @@ func TestSessionConfigErrors(t *testing.T) {
 	}
 }
 
+// TestPooledJITCrossTenantStale is the stale-superblock gate: with the
+// trace-JIT tier armed, a pooled session cycling between programs with
+// different code and different memory geometries must never serve one
+// tenant's superblock to the next — every reused run stays bit-identical
+// (output, cycles, all SB counters, final state) to a fresh session's.
+func TestPooledJITCrossTenantStale(t *testing.T) {
+	names := []string{"Lorenz Attractor", "FBench"}
+	progs := make([]*isa.Program, len(names))
+	for i, n := range names {
+		tgt, err := oracle.Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if progs[i], err = tgt.Build(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := baseConfig()
+	cfg.MaxSequenceLen = 16
+	cfg.JITThreshold = 2
+
+	reused := New()
+	for round := 0; round < 4; round++ {
+		prog := progs[round%len(progs)]
+		// Alternate the guest geometry so the dense caches resize between
+		// tenants as well as refill.
+		rcfg := cfg
+		if round%2 == 1 {
+			rcfg.MemSize = 512 << 10
+		}
+		fresh := New()
+		fres, err := fresh.Run(prog, rcfg)
+		if err != nil {
+			t.Fatalf("round %d: fresh run: %v", round, err)
+		}
+		rres, err := reused.Run(prog, rcfg)
+		if err != nil {
+			t.Fatalf("round %d: reused run: %v", round, err)
+		}
+		if fres.Machine.SBCompiled == 0 || fres.Machine.SBHits == 0 {
+			t.Fatalf("round %d: premise broken — no superblock activity (%+v)", round, fres.Machine)
+		}
+		requireIdentical(t, names[round%len(progs)], fres, rres, fresh.Machine(), reused.Machine())
+	}
+}
+
+// TestConcurrentPooledJITIsolated reruns the concurrency isolation gate with
+// the trace-JIT tier armed (run under -race by `go test`): concurrent tenants
+// sharing a pool must each reproduce their solo reference run exactly,
+// superblock counters included — proving the per-VM caches never leak across
+// goroutines or pooled reuses.
+func TestConcurrentPooledJITIsolated(t *testing.T) {
+	names := []string{"Lorenz Attractor", "FBench"}
+	refs := make(map[string]Result)
+	progs := make(map[string]*isa.Program)
+	cfg := baseConfig()
+	cfg.MaxSequenceLen = 16
+	cfg.JITThreshold = 2
+	for _, n := range names {
+		tgt, err := oracle.Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := tgt.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs[n] = prog
+		ref, err := New().Run(prog, cfg)
+		if err != nil {
+			t.Fatalf("%s: reference run: %v", n, err)
+		}
+		if ref.Machine.SBCompiled == 0 {
+			t.Fatalf("%s: premise broken — jit tier never engaged", n)
+		}
+		ref.VM.GC.LastWall = 0 // host wall clock, nondeterministic
+		refs[n] = ref
+	}
+
+	var pool Pool
+	const workers, iters = 8, 8
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		name := names[w%len(names)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ref := refs[name]
+			for i := 0; i < iters; i++ {
+				res, err := pool.Run(progs[name], cfg)
+				if err != nil {
+					errc <- fmt.Errorf("%s: %v", name, err)
+					return
+				}
+				res.VM.GC.LastWall = 0 // host wall clock, nondeterministic
+				if res.Output != ref.Output || res.Cycles != ref.Cycles || res.VM != ref.VM {
+					errc <- fmt.Errorf("%s: concurrent jit result diverged from solo run", name)
+					return
+				}
+				if !reflect.DeepEqual(res.Machine, ref.Machine) {
+					errc <- fmt.Errorf("%s: superblock counters diverged from solo run: %+v vs %+v",
+						name, res.Machine, ref.Machine)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
 // TestPoolReuse pins that the pool actually recycles sessions and counts
 // traffic.
 func TestPoolReuse(t *testing.T) {

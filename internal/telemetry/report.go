@@ -23,6 +23,12 @@ type SiteRank struct {
 	Flags        string  `json:"flags,omitempty"`
 	Degradations uint64  `json:"degradations,omitempty"`
 	StormPatched bool    `json:"storm_patched,omitempty"`
+
+	// Trace-JIT attribution for superblocks rooted at this PC.
+	SBCompiles      uint64 `json:"sb_compiles,omitempty"`
+	SBHits          uint64 `json:"sb_hits,omitempty"`
+	SBRetired       uint64 `json:"sb_retired,omitempty"`
+	SBInvalidations uint64 `json:"sb_invalidations,omitempty"`
 }
 
 // TopSites returns the n hottest trap sites ranked by attributed modeled
@@ -46,6 +52,11 @@ func (c *Collector) TopSites(n int) []SiteRank {
 			MaxRun:       s.MaxRun,
 			Degradations: s.Degradations,
 			StormPatched: s.StormPatched,
+
+			SBCompiles:      s.SBCompiles,
+			SBHits:          s.SBHits,
+			SBRetired:       s.SBRetired,
+			SBInvalidations: s.SBInvalidations,
 		}
 		if s.Traps > 0 {
 			r.MeanRun = s.MeanRun()

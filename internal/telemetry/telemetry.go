@@ -65,6 +65,14 @@ const (
 	// demote-and-stay-native patch was installed so the site stops paying
 	// trap deliveries. Arg is the trap count that crossed the threshold.
 	EvStormPatch
+	// EvSBCompile records the trace-JIT tier compiling a superblock at a hot
+	// site: subsequent entries re-execute the trace with zero delivery, zero
+	// decode, and zero bind. Arg is the trace length in instructions.
+	EvSBCompile
+	// EvSBInvalidate records a cached superblock being discarded (side-table
+	// write, code-segment write, storm patch, or reattach). Arg is the number
+	// of hits the block served before invalidation.
+	EvSBInvalidate
 )
 
 // String names the event kind as it appears in JSONL output.
@@ -90,6 +98,10 @@ func (k EventKind) String() string {
 		return "degrade"
 	case EvStormPatch:
 		return "storm-patch"
+	case EvSBCompile:
+		return "sb-compile"
+	case EvSBInvalidate:
+		return "sb-invalidate"
 	default:
 		return "event?"
 	}
@@ -120,9 +132,13 @@ const (
 	// DegradeStorm: the trap-storm governor demoted a site that crossed its
 	// trap-rate threshold and blacklisted it from further promotion.
 	DegradeStorm
+	// DegradeJIT: the trace-JIT superblock compiler failed (injected fault at
+	// the sb-compile seam or an unexpected translate failure); the site keeps
+	// its classic per-trap path and is blacklisted from recompilation.
+	DegradeJIT
 
 	// NumDegradeCauses sizes per-cause counter arrays.
-	NumDegradeCauses = int(DegradeStorm) + 1
+	NumDegradeCauses = int(DegradeJIT) + 1
 )
 
 // String names the cause as it appears in JSONL traces and reports.
@@ -142,6 +158,8 @@ func (c DegradeCause) String() string {
 		return "mem-access"
 	case DegradeStorm:
 		return "storm"
+	case DegradeJIT:
+		return "jit-compile"
 	default:
 		return "cause?"
 	}
@@ -205,6 +223,12 @@ type Site struct {
 	Flags        fpu.Flags // union of MXCSR condition flags seen at this PC
 	Degradations uint64    // graceful degradations rooted at this PC
 	StormPatched bool      // the storm governor blacklisted this site
+
+	// Trace-JIT attribution: superblocks rooted at this PC.
+	SBCompiles      uint64 // superblocks compiled here
+	SBHits          uint64 // superblock entries served here (zero-delivery)
+	SBRetired       uint64 // instructions retired by superblock entries here
+	SBInvalidations uint64 // superblocks discarded here
 }
 
 // MeanRun returns the mean coalesced-run length per FP delivery at this site
@@ -354,6 +378,35 @@ func (c *Collector) StormPatch(idx int, pc uint64, op isa.Op, traps uint64, cycl
 		Idx: int32(idx), PC: pc, Cycles: cycles, Arg: traps,
 	})
 	c.site(idx, pc, op).StormPatched = true
+}
+
+// SBCompile records the trace-JIT tier compiling a superblock of traceLen
+// instructions rooted at pc.
+func (c *Collector) SBCompile(idx int, pc uint64, op isa.Op, traceLen int, cycles uint64) {
+	c.ring.Record(Event{
+		Kind: EvSBCompile, Cause: CauseNone, Op: op,
+		Idx: int32(idx), PC: pc, Cycles: cycles, Arg: uint64(traceLen),
+	})
+	c.site(idx, pc, op).SBCompiles++
+}
+
+// SBHit attributes one superblock entry (retiring retired instructions) to
+// the site at pc. Hits are aggregated into the site table only — they replace
+// former trap deliveries and would flood the event ring.
+func (c *Collector) SBHit(idx int, pc uint64, op isa.Op, retired int) {
+	s := c.site(idx, pc, op)
+	s.SBHits++
+	s.SBRetired += uint64(retired)
+}
+
+// SBInvalidate records a superblock rooted at pc being discarded after
+// serving hits entries.
+func (c *Collector) SBInvalidate(idx int, pc uint64, op isa.Op, hits uint64, cycles uint64) {
+	c.ring.Record(Event{
+		Kind: EvSBInvalidate, Cause: CauseNone, Op: op,
+		Idx: int32(idx), PC: pc, Cycles: cycles, Arg: hits,
+	})
+	c.site(idx, pc, op).SBInvalidations++
 }
 
 // Correctness records a correctness-trap demotion pass at pc with the static
