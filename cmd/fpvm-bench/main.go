@@ -19,11 +19,45 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"fpvm/internal/experiments"
 )
+
+// startProfiles arms the optional pprof outputs and returns a stop function
+// that must run on every exit path (CPU profiling stops, and the heap profile
+// is written after a forced GC so live objects dominate the snapshot).
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err == nil {
+				runtime.GC()
+				pprof.Lookup("allocs").WriteTo(f, 0)
+				f.Close()
+			}
+		}
+	}, nil
+}
 
 func main() { os.Exit(Run(os.Args[1:], os.Stdout, os.Stderr)) }
 
@@ -50,12 +84,16 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		seqlen   = fs.Int("seqlen", 16, "max instructions coalesced per trap delivery (with -seqemu)")
 		jit      = fs.Bool("jit", false, "enable the trace-JIT superblock tier; adds ablation columns to fig9/fig12 and jit rows to -json")
 		jitT     = fs.Int("jitthreshold", 8, "deliveries at one site before its run is compiled into a superblock (with -jit)")
+		stitch   = fs.Bool("stitch", false, "enable superblock stitching (requires -jit); adds a jit+stitch ablation rung and a warm shared-cache session-load record to -json")
+		stitchD  = fs.Int("stitchdepth", 4, "max chained superblocks per dispatch (with -stitch)")
 		topSites = fs.Int("topsites", 0, "with -json: attach trap telemetry and export the N hottest trap sites per record")
 		storm    = fs.Uint64("storm", 0, "trap-storm governor threshold: sites trapping more than N times are patched to demote and stay native (0 = off)")
 		sessions = fs.Int("sessions", 0, "with -json: attach a session-load record driving N runs through a pooled session (sessions/sec, p50/p99)")
 		loadJobs = fs.Int("load-j", 16, "with -sessions: concurrent load-harness workers")
 		outFile  = fs.String("out", "", "with -json: also write the document to this file (e.g. BENCH_6.json)")
 		gateFile = fs.String("gate", "", "regression gate: run the -json bench and compare against this baseline document, exiting 1 on cycles/traps/ns-per-step regressions")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the bench run to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -76,6 +114,21 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	if *jit {
 		jitThresh = *jitT
 	}
+	stitchDepth := 0
+	if *stitch {
+		if !*jit {
+			fmt.Fprintln(stderr, "fpvm-bench: -stitch requires -jit")
+			return 2
+		}
+		stitchDepth = *stitchD
+	}
+
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(stderr, "fpvm-bench: %v\n", err)
+		return 1
+	}
+	defer stopProf()
 
 	if *jsonOut || *gateFile != "" {
 		opts := experiments.Options{
@@ -87,6 +140,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 			TopSites:       *topSites,
 			StormThreshold: *storm,
 			JITThreshold:   jitThresh,
+			StitchDepth:    stitchDepth,
 			Sessions:       *sessions,
 			LoadWorkers:    *loadJobs,
 		}
@@ -164,6 +218,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 			TopSites:       *topSites,
 			StormThreshold: *storm,
 			JITThreshold:   jitThresh,
+			StitchDepth:    stitchDepth,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "fpvm-bench: %s: %v\n", e.ID, err)

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"fpvm/internal/arith"
 	"fpvm/internal/asm"
@@ -39,6 +41,38 @@ import (
 )
 
 func main() { os.Exit(Run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// startProfiles arms the optional pprof outputs and returns a stop function
+// that must run on every exit path (CPU profiling stops, and the heap profile
+// is written after a forced GC so live objects dominate the snapshot).
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err == nil {
+				runtime.GC()
+				pprof.Lookup("allocs").WriteTo(f, 0)
+				f.Close()
+			}
+		}
+	}, nil
+}
 
 // Run is the testable entry point: it executes the CLI with the given
 // arguments and output streams and returns the process exit code. main is a
@@ -64,12 +98,16 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		seqlen    = fs.Int("seqlen", 16, "max instructions coalesced per trap delivery (with -seqemu)")
 		jit       = fs.Bool("jit", false, "trace-JIT: compile hot trap sites into cached superblocks that re-enter with zero delivery/decode/bind")
 		jitThresh = fs.Int("jitthreshold", 8, "deliveries at one site before its run is compiled into a superblock (with -jit)")
+		stitch    = fs.Bool("stitch", false, "superblock stitching: chain a retiring superblock directly into its successor's trace, skipping the patch dispatch (requires -jit)")
+		stitchD   = fs.Int("stitchdepth", 4, "max chained superblocks per dispatch (with -stitch)")
 		traceOut  = fs.String("trace", "", "write the telemetry event stream (trap entry/exit, promotions, demotions, GC epochs, sequences) to this JSONL file")
 		topSites  = fs.Int("topsites", 0, "print the N hottest trap sites (per-PC hits, attributed cycles, exception flags) after the run")
 		storm     = fs.Uint64("storm", 0, "trap-storm governor threshold: sites trapping more than N times are patched to demote and stay native (0 = off)")
 		faults    = fs.String("faults", "", "fault-injection spec, e.g. seed=7,rate=0.001,decode=0.01,corrupt=0.0001,site=0x40:emulate")
 		chaosRun  = fs.Bool("chaos", false, "chaos suite: sweep targets through seeded fault-injection campaigns and enforce the degradation invariants")
 		seeds     = fs.Int("seeds", 3, "injection seeds per target per tier (with -chaos)")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -87,6 +125,19 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	if *jit {
 		jitT = *jitThresh
 	}
+	stitchDepth := 0
+	if *stitch {
+		if !*jit {
+			return fail(fmt.Errorf("-stitch requires -jit"))
+		}
+		stitchDepth = *stitchD
+	}
+
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return fail(err)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, n := range workloads.Names() {
@@ -105,11 +156,11 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *chaosRun {
-		return runChaos(stdout, stderr, *workload, injectCfg, *seeds, *storm, jitT, *maxInst)
+		return runChaos(stdout, stderr, *workload, injectCfg, *seeds, *storm, jitT, stitchDepth, *maxInst)
 	}
 
 	if *oracleRun {
-		return runOracle(stdout, stderr, *workload, *asmFile, *prec, *maxInst, *noPatch, maxSeq, *storm, jitT, injectCfg)
+		return runOracle(stdout, stderr, *workload, *asmFile, *prec, *maxInst, *noPatch, maxSeq, *storm, jitT, stitchDepth, injectCfg)
 	}
 
 	prog, err := loadProgram(*workload, *asmFile)
@@ -176,6 +227,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 			MaxSequenceLen: maxSeq,
 			StormThreshold: *storm,
 			JITThreshold:   jitT,
+			StitchDepth:    stitchDepth,
 			Inject:         inj,
 		})
 		if *patchMode {
@@ -201,8 +253,8 @@ func Run(args []string, stdout, stderr io.Writer) int {
 					float64(s.Traps+s.Coalesced)/float64(s.Traps))
 			}
 			if ms := m.Stats; ms.SBCompiled > 0 || ms.SBHits > 0 {
-				fmt.Fprintf(stderr, "jit:          %d superblocks compiled, %d hits, %d invalidations\n",
-					ms.SBCompiled, ms.SBHits, ms.SBInvalidations)
+				fmt.Fprintf(stderr, "jit:          %d superblocks compiled, %d hits, %d stitched, %d invalidations\n",
+					ms.SBCompiled, ms.SBHits, ms.SBStitched, ms.SBInvalidations)
 			}
 			fmt.Fprintf(stderr, "emulated:     %d scalars (promotions %d, unboxings %d)\n",
 				s.Emulated, s.Promotions, s.Unboxings)
@@ -257,7 +309,7 @@ func finishTelemetry(stdout, stderr io.Writer, telem *telemetry.Collector, trace
 // -workload or -asm is given, else over every workload and example — and
 // returns non-zero if any virtualized-vanilla run is not bit-identical to
 // native execution.
-func runOracle(stdout, stderr io.Writer, workload, asmFile string, prec uint, maxInst uint64, noPatch bool, maxSeq int, storm uint64, jitT int, inject *faultinject.Config) int {
+func runOracle(stdout, stderr io.Writer, workload, asmFile string, prec uint, maxInst uint64, noPatch bool, maxSeq int, storm uint64, jitT, stitchDepth int, inject *faultinject.Config) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "fpvm-run:", err)
 		return 1
@@ -290,6 +342,7 @@ func runOracle(stdout, stderr io.Writer, workload, asmFile string, prec uint, ma
 		MaxSequenceLen: maxSeq,
 		StormThreshold: storm,
 		JITThreshold:   jitT,
+		StitchDepth:    stitchDepth,
 		Inject:         inject,
 	}
 	failed := 0
@@ -319,11 +372,12 @@ func runOracle(stdout, stderr io.Writer, workload, asmFile string, prec uint, ma
 // hard degradation invariants. A -faults spec seeds the sweep: its seed
 // becomes the base seed, its highest seam rate the uniform error rate, and
 // its corrupt rate the corruption-tier rate.
-func runChaos(stdout, stderr io.Writer, workload string, inject *faultinject.Config, seeds int, storm uint64, jitT int, maxInst uint64) int {
+func runChaos(stdout, stderr io.Writer, workload string, inject *faultinject.Config, seeds int, storm uint64, jitT, stitchDepth int, maxInst uint64) int {
 	opts := chaos.Options{
 		Seeds:          seeds,
 		StormThreshold: storm,
 		JITThreshold:   jitT,
+		StitchDepth:    stitchDepth,
 		MaxInst:        maxInst,
 		Log:            stderr,
 	}

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"fpvm/internal/arith"
+	"fpvm/internal/fpvm"
 	"fpvm/internal/loadgen"
 	"fpvm/internal/oracle"
 	"fpvm/internal/session"
@@ -54,6 +55,9 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		arenaSoft = fs.Int("arena-soft", 0, "arena soft cap: forced GC above this many live shadows (0 = off)")
 		arenaHard = fs.Int("arena-hard", 0, "arena hard cap: degrade to native above this many live shadows (0 = off)")
 		storm     = fs.Uint64("storm", 0, "default trap-storm governor threshold (0 = off)")
+		noShared  = fs.Bool("no-shared-sb", false, "disable the server-wide warm superblock cache (per-request JIT compiles stay private)")
+		jit       = fs.Int("jit", 0, "trace-JIT threshold for -selftest sessions (0 = off)")
+		stitchD   = fs.Int("stitchdepth", 0, "superblock stitch depth for -selftest sessions (requires -jit)")
 		selftest  = fs.Bool("selftest", false, "run the in-process load harness instead of serving")
 		smoke     = fs.Bool("smoke", false, "smoke test: start the server on an ephemeral port, fire -sessions concurrent HTTP requests, assert all 200s and a clean shutdown")
 		sessions  = fs.Int("sessions", 500, "total session runs for -selftest (-smoke defaults to 50)")
@@ -78,10 +82,11 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		ArenaSoftCap: *arenaSoft,
 		ArenaHardCap: *arenaHard,
 		Storm:        *storm,
+		NoSharedSB:   *noShared,
 	}
 
 	if *selftest {
-		return runSelftest(stdout, stderr, cfg, *target, *arithName, *prec, *sessions, *jobs)
+		return runSelftest(stdout, stderr, cfg, *target, *arithName, *prec, *sessions, *jobs, *jit, *stitchD)
 	}
 	if *smoke {
 		n := *sessions
@@ -173,7 +178,7 @@ func runSmoke(stdout, stderr io.Writer, cfg serverConfig, target, arithName stri
 // runSelftest drives the in-process load harness: N session runs of one
 // target through a shared pool, reporting sessions/sec and tail latency —
 // the same numbers the bench trajectory records.
-func runSelftest(stdout, stderr io.Writer, cfg serverConfig, target, arithName string, prec uint, sessions, jobs int) int {
+func runSelftest(stdout, stderr io.Writer, cfg serverConfig, target, arithName string, prec uint, sessions, jobs, jit, stitchDepth int) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "fpvm-serve:", err)
 		return 1
@@ -196,8 +201,13 @@ func runSelftest(stdout, stderr io.Writer, cfg serverConfig, target, arithName s
 		MaxInst:        cfg.TenantQuota,
 		MemSize:        cfg.MemSize,
 		StormThreshold: cfg.Storm,
+		JITThreshold:   jit,
+		StitchDepth:    stitchDepth,
 		ArenaSoftCap:   cfg.ArenaSoftCap,
 		ArenaHardCap:   cfg.ArenaHardCap,
+	}
+	if jit > 0 && !cfg.NoSharedSB {
+		scfg.SBCache = fpvm.NewSBCache()
 	}
 	var pool session.Pool
 	rep := loadgen.Run(&pool, prog, scfg, loadgen.Options{Sessions: sessions, Workers: jobs})

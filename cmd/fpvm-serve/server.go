@@ -9,6 +9,7 @@ import (
 
 	"fpvm/internal/arith"
 	"fpvm/internal/asm"
+	"fpvm/internal/fpvm"
 	"fpvm/internal/isa"
 	"fpvm/internal/oracle"
 	"fpvm/internal/session"
@@ -39,6 +40,14 @@ type serverConfig struct {
 	ArenaHardCap int
 	// Storm is the default trap-storm governor threshold.
 	Storm uint64
+	// NoSharedSB disables the server-wide warm superblock cache. By default
+	// every request that arms the trace-JIT tier on a cached (bundled)
+	// workload shares compiled traces with every other tenant running the
+	// same program: the traces are a pure function of the immutable program
+	// text, so only the first session per workload pays the warm-up and
+	// compile. Per-tenant state (blacklists, storm patches, invalidations)
+	// stays private regardless.
+	NoSharedSB bool
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -62,6 +71,9 @@ type tenantState struct {
 	requests     atomic.Uint64
 	instructions atomic.Uint64
 	budgetHits   atomic.Uint64 // runs truncated by the quota
+	sbCompiled   atomic.Uint64 // superblocks this tenant's runs compiled
+	sbHits       atomic.Uint64 // superblock entries this tenant's runs served
+	sbStitched   atomic.Uint64 // entries served through stitch links
 }
 
 // server is the multi-tenant execution service: a session pool, a bounded
@@ -72,21 +84,33 @@ type server struct {
 	sem   chan struct{} // bounded worker pool: one token per running session
 	progs sync.Map      // target name → *isa.Program (shared immutable images)
 
+	// sbcache is the server-wide warm superblock cache (nil when disabled);
+	// attached only to runs of pooled bundled programs, whose *isa.Program
+	// pointers are stable across requests.
+	sbcache *fpvm.SBCache
+
 	mu      sync.Mutex
 	tenants map[string]*tenantState
 
-	requests atomic.Uint64
-	errors   atomic.Uint64
-	degraded atomic.Uint64 // runs that hit a quota or degradation path
+	requests   atomic.Uint64
+	errors     atomic.Uint64
+	degraded   atomic.Uint64 // runs that hit a quota or degradation path
+	sbCompiled atomic.Uint64
+	sbHits     atomic.Uint64
+	sbStitched atomic.Uint64
 }
 
 func newServer(cfg serverConfig) *server {
 	cfg = cfg.withDefaults()
-	return &server{
+	s := &server{
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.Workers),
 		tenants: make(map[string]*tenantState),
 	}
+	if !cfg.NoSharedSB {
+		s.sbcache = fpvm.NewSBCache()
+	}
+	return s
 }
 
 // handler returns the service's route table.
@@ -123,6 +147,9 @@ type runRequest struct {
 	// JITThreshold enables the trace-JIT superblock tier: sites delivered
 	// more than this many times compile into cached superblocks (0 = off).
 	JITThreshold int `json:"jitthreshold,omitempty"`
+	// StitchDepth chains up to this many successor superblocks per dispatch
+	// at retirement (requires jitthreshold > 0; 0 = off).
+	StitchDepth int `json:"stitchdepth,omitempty"`
 	// Trace returns the telemetry event stream as JSONL in the response.
 	Trace bool `json:"trace,omitempty"`
 	// TopSites returns the N hottest trap sites.
@@ -144,6 +171,7 @@ type runResponse struct {
 	StormPatches     uint64               `json:"storm_patches"`
 	SBCompiled       uint64               `json:"sb_compiled,omitempty"`
 	SBHits           uint64               `json:"sb_hits,omitempty"`
+	SBStitched       uint64               `json:"sb_stitched,omitempty"`
 	SBInvalidations  uint64               `json:"sb_invalidations,omitempty"`
 	BudgetGranted    uint64               `json:"budget_granted"`
 	BudgetExhausted  bool                 `json:"budget_exhausted"`
@@ -172,7 +200,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		tenant = "anonymous"
 	}
 
-	prog, err := s.program(req)
+	prog, pooled, err := s.program(req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -210,10 +238,17 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		MaxSequenceLen: req.SeqLen,
 		StormThreshold: storm,
 		JITThreshold:   req.JITThreshold,
+		StitchDepth:    req.StitchDepth,
 		ArenaSoftCap:   s.cfg.ArenaSoftCap,
 		ArenaHardCap:   s.cfg.ArenaHardCap,
 		Telemetry:      req.Trace,
 		TopSites:       req.TopSites,
+	}
+	// Only pooled bundled programs share the warm cache: ad-hoc asm bodies
+	// have a fresh *isa.Program per request, so caching them would only grow
+	// the cache without ever hitting.
+	if pooled {
+		cfg.SBCache = s.sbcache
 	}
 
 	// Bounded worker pool: block for an execution slot, but give up if the
@@ -241,6 +276,12 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if res.BudgetExhausted {
 		ts.budgetHits.Add(1)
 	}
+	ts.sbCompiled.Add(res.Machine.SBCompiled)
+	ts.sbHits.Add(res.Machine.SBHits)
+	ts.sbStitched.Add(res.Machine.SBStitched)
+	s.sbCompiled.Add(res.Machine.SBCompiled)
+	s.sbHits.Add(res.Machine.SBHits)
+	s.sbStitched.Add(res.Machine.SBStitched)
 	if res.BudgetExhausted || res.VM.Degradations > 0 || res.VM.StormPatches > 0 {
 		s.degraded.Add(1)
 	}
@@ -256,6 +297,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		StormPatches:     res.VM.StormPatches,
 		SBCompiled:       res.Machine.SBCompiled,
 		SBHits:           res.Machine.SBHits,
+		SBStitched:       res.Machine.SBStitched,
 		SBInvalidations:  res.Machine.SBInvalidations,
 		BudgetGranted:    granted,
 		BudgetExhausted:  res.BudgetExhausted,
@@ -270,29 +312,32 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 // program resolves the request's program, caching bundled targets by name so
 // every request for the same target shares one immutable *isa.Program — that
-// pointer identity is what lets a warm session skip the predecode pass.
-func (s *server) program(req runRequest) (*isa.Program, error) {
+// pointer identity is what lets a warm session skip the predecode pass (and
+// what keys the shared superblock cache). pooled reports whether the program
+// came from that cache.
+func (s *server) program(req runRequest) (prog *isa.Program, pooled bool, err error) {
 	switch {
 	case req.Workload != "" && req.Asm != "":
-		return nil, fmt.Errorf("workload and asm are mutually exclusive")
+		return nil, false, fmt.Errorf("workload and asm are mutually exclusive")
 	case req.Workload != "":
 		if p, ok := s.progs.Load(req.Workload); ok {
-			return p.(*isa.Program), nil
+			return p.(*isa.Program), true, nil
 		}
 		t, err := oracle.Lookup(req.Workload)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		prog, err := t.Build()
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		actual, _ := s.progs.LoadOrStore(req.Workload, prog)
-		return actual.(*isa.Program), nil
+		return actual.(*isa.Program), true, nil
 	case req.Asm != "":
-		return asm.Assemble(req.Asm)
+		prog, err = asm.Assemble(req.Asm)
+		return prog, false, err
 	default:
-		return nil, fmt.Errorf("one of workload or asm is required")
+		return nil, false, fmt.Errorf("one of workload or asm is required")
 	}
 }
 
@@ -313,30 +358,70 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the GET /stats body.
 type statsResponse struct {
-	Requests uint64                 `json:"requests"`
-	Errors   uint64                 `json:"errors"`
-	Degraded uint64                 `json:"degraded"`
-	Workers  int                    `json:"workers"`
-	InFlight int                    `json:"in_flight"`
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	Degraded uint64 `json:"degraded"`
+	Workers  int    `json:"workers"`
+	InFlight int    `json:"in_flight"`
+	// Service-wide superblock counters aggregated over every completed run.
+	SBCompiled uint64 `json:"sb_compiled"`
+	SBHits     uint64 `json:"sb_hits"`
+	SBStitched uint64 `json:"sb_stitched"`
+	// SharedSB describes the warm superblock cache (omitted when disabled).
+	SharedSB *sharedSBStats         `json:"shared_sb,omitempty"`
 	Pool     session.PoolStats      `json:"pool"`
 	Tenants  map[string]tenantStats `json:"tenants"`
+}
+
+// sharedSBStats is the /stats view of the warm superblock cache.
+type sharedSBStats struct {
+	Programs int    `json:"programs"`
+	Entries  int    `json:"entries"`
+	Lookups  uint64 `json:"lookups"`
+	Hits     uint64 `json:"hits"`
+	Stores   uint64 `json:"stores"`
+	Adopted  uint64 `json:"adopted"`
+	// HitRate is Hits/Lookups — the fraction of JIT-armed attaches that found
+	// at least one published trace to adopt.
+	HitRate float64 `json:"hit_rate"`
 }
 
 type tenantStats struct {
 	Requests     uint64 `json:"requests"`
 	Instructions uint64 `json:"instructions"`
 	BudgetHits   uint64 `json:"budget_hits"`
+	SBCompiled   uint64 `json:"sb_compiled"`
+	SBHits       uint64 `json:"sb_hits"`
+	SBStitched   uint64 `json:"sb_stitched"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
-		Requests: s.requests.Load(),
-		Errors:   s.errors.Load(),
-		Degraded: s.degraded.Load(),
-		Workers:  s.cfg.Workers,
-		InFlight: len(s.sem),
-		Pool:     s.pool.Stats(),
-		Tenants:  make(map[string]tenantStats),
+		Requests:   s.requests.Load(),
+		Errors:     s.errors.Load(),
+		Degraded:   s.degraded.Load(),
+		Workers:    s.cfg.Workers,
+		InFlight:   len(s.sem),
+		SBCompiled: s.sbCompiled.Load(),
+		SBHits:     s.sbHits.Load(),
+		SBStitched: s.sbStitched.Load(),
+		Pool:       s.pool.Stats(),
+		Tenants:    make(map[string]tenantStats),
+	}
+	if s.sbcache != nil {
+		cs := s.sbcache.Stats()
+		sb := &sharedSBStats{
+			Programs: cs.Programs,
+			Entries:  cs.Entries,
+			Lookups:  cs.Lookups,
+			Hits:     cs.Hits,
+			Stores:   cs.Stores,
+			Adopted:  cs.Adopted,
+		}
+		if cs.Lookups > 0 {
+			sb.HitRate = float64(cs.Hits) / float64(cs.Lookups)
+		}
+		resp.SharedSB = sb
 	}
 	s.mu.Lock()
 	for name, ts := range s.tenants {
@@ -344,6 +429,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Requests:     ts.requests.Load(),
 			Instructions: ts.instructions.Load(),
 			BudgetHits:   ts.budgetHits.Load(),
+			SBCompiled:   ts.sbCompiled.Load(),
+			SBHits:       ts.sbHits.Load(),
+			SBStitched:   ts.sbStitched.Load(),
 		}
 	}
 	s.mu.Unlock()

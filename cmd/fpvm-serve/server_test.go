@@ -68,14 +68,24 @@ func TestServeRunAndSessionReuse(t *testing.T) {
 		t.Errorf("default tenant = %q, want anonymous", rr.Tenant)
 	}
 
-	// The second request for the same workload must hit the program cache and
-	// land on a pooled session whose run counter has advanced.
-	code, rr2, raw := postRun(t, ts, `{"workload":"FBench"}`, nil)
-	if code != http.StatusOK {
-		t.Fatalf("second run: %d %s", code, raw)
+	// A later request for the same workload must hit the program cache and
+	// land on a pooled session whose run counter has advanced. sync.Pool may
+	// legitimately serve a fresh session on any single checkout (per-P caches,
+	// GC reclamation), so retry a few times — reuse must show up quickly, not
+	// on one exact request.
+	var rr2 runResponse
+	var code2 int
+	for i := 0; i < 5; i++ {
+		code2, rr2, raw = postRun(t, ts, `{"workload":"FBench"}`, nil)
+		if code2 != http.StatusOK {
+			t.Fatalf("repeat run: %d %s", code2, raw)
+		}
+		if rr2.SessionRuns >= 2 {
+			break
+		}
 	}
 	if rr2.SessionRuns < 2 {
-		t.Errorf("second request ran on a fresh session (runs=%d); pool not reusing", rr2.SessionRuns)
+		t.Errorf("no request landed on a reused session (runs=%d); pool not reusing", rr2.SessionRuns)
 	}
 	if rr2.Output != rr.Output || rr2.Cycles != rr.Cycles || rr2.FPTraps != rr.FPTraps {
 		t.Errorf("reused session diverged: %+v vs %+v", rr2, rr)
@@ -304,5 +314,95 @@ func TestServeBadFlags(t *testing.T) {
 	}
 	if code := Run([]string{"-selftest", "-workload", "NoSuchTarget"}, &out, &errOut); code != 1 {
 		t.Fatalf("bad selftest target exit %d, want 1", code)
+	}
+}
+
+// TestServeSharedWarmCache pins the serve-layer warm-cache contract: the
+// first JIT-armed request for a workload compiles and publishes; later
+// requests — other tenants included — adopt the shared traces (zero
+// sb_compiled), outputs stay identical, and GET /stats exposes both the
+// aggregate superblock counters and the shared-cache hit rate.
+func TestServeSharedWarmCache(t *testing.T) {
+	_, ts := testServer(t, serverConfig{Workers: 2})
+	body := `{"workload":"FBench","jitthreshold":2,"stitchdepth":4}`
+
+	code, cold, raw := postRun(t, ts, body, map[string]string{"X-FPVM-Tenant": "alice"})
+	if code != http.StatusOK {
+		t.Fatalf("cold run: %d %s", code, raw)
+	}
+	if cold.SBCompiled == 0 || cold.SBStitched == 0 {
+		t.Fatalf("cold run never engaged jit+stitch: %+v", cold)
+	}
+
+	code, warm, raw := postRun(t, ts, body, map[string]string{"X-FPVM-Tenant": "bob"})
+	if code != http.StatusOK {
+		t.Fatalf("warm run: %d %s", code, raw)
+	}
+	if warm.SBCompiled != 0 {
+		t.Fatalf("warm run compiled %d superblocks, want 0 (adopted)", warm.SBCompiled)
+	}
+	if warm.Output != cold.Output {
+		t.Fatalf("warm output diverged from cold run")
+	}
+	// Hit counts are not comparable to the cold run: adoption publishes the
+	// first-compiled (longest) traces, which cross sibling entries, so a warm
+	// run serves fewer but larger superblock hits. The contract is zero
+	// compiles, nonzero service, identical output.
+	if warm.SBHits == 0 {
+		t.Fatal("warm run served no superblock entries")
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.SBCompiled != cold.SBCompiled || stats.SBHits == 0 || stats.SBStitched == 0 {
+		t.Errorf("service superblock counters wrong: %+v", stats)
+	}
+	if stats.SharedSB == nil {
+		t.Fatal("shared_sb missing from /stats")
+	}
+	if stats.SharedSB.Stores == 0 || stats.SharedSB.Adopted == 0 || stats.SharedSB.HitRate <= 0 {
+		t.Errorf("shared cache stats wrong: %+v", *stats.SharedSB)
+	}
+	alice, bob := stats.Tenants["alice"], stats.Tenants["bob"]
+	if alice.SBCompiled == 0 || alice.SBStitched == 0 {
+		t.Errorf("alice superblock accounting wrong: %+v", alice)
+	}
+	if bob.SBCompiled != 0 || bob.SBHits == 0 {
+		t.Errorf("bob superblock accounting wrong: %+v", bob)
+	}
+}
+
+// TestServeNoSharedSB pins the opt-out: with the cache disabled every
+// JIT-armed request compiles privately and /stats omits shared_sb.
+func TestServeNoSharedSB(t *testing.T) {
+	_, ts := testServer(t, serverConfig{Workers: 2, NoSharedSB: true})
+	body := `{"workload":"FBench","jitthreshold":2}`
+	for i := 0; i < 2; i++ {
+		code, rr, raw := postRun(t, ts, body, nil)
+		if code != http.StatusOK {
+			t.Fatalf("run %d: %d %s", i, code, raw)
+		}
+		if rr.SBCompiled == 0 {
+			t.Fatalf("run %d compiled nothing — sharing happened with the cache disabled", i)
+		}
+	}
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.SharedSB != nil {
+		t.Errorf("shared_sb present with the cache disabled: %+v", *stats.SharedSB)
 	}
 }

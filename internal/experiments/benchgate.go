@@ -23,7 +23,19 @@ const (
 	// with the trace-JIT tier on must stay under 5× native.
 	gateLorenzJITMax   = 5.0
 	gateLorenzWorkload = "Lorenz Attractor"
+
+	// gateWarmPoolSpeedup is the warm-pool acceptance bar, checked within the
+	// current document: the shared-cache session-load record must beat the
+	// cold-pool record's sessions/sec by at least this factor.
+	gateWarmPoolSpeedup = 1.2
 )
+
+// gateStitchWorkloads are the branchy targets on which the jit+stitch rung
+// must strictly beat the jit rung's modeled cycles — the chain saving is one
+// patch dispatch per link, so on loop-closing workloads the win is exact and
+// deterministic. Checked within the current document, not against baselines
+// (older documents predate the stitch rung).
+var gateStitchWorkloads = []string{"NAS LU", "NAS IS"}
 
 // ReadBenchDoc loads a checked-in BENCH_N.json document.
 func ReadBenchDoc(path string) (*BenchDoc, error) {
@@ -48,6 +60,7 @@ type benchKey struct {
 	System    string
 	SeqLen    int
 	JIT       int
+	Stitch    int
 }
 
 // GateBench compares a freshly produced bench document against a baseline
@@ -63,7 +76,7 @@ func GateBench(base, cur *BenchDoc) []string {
 	}
 	curRows := make(map[benchKey]BenchRow, len(cur.Rows))
 	for _, r := range cur.Rows {
-		curRows[benchKey{r.Workload, r.Specifics, r.System, r.SeqLen, r.JIT}] = r
+		curRows[benchKey{r.Workload, r.Specifics, r.System, r.SeqLen, r.JIT, r.Stitch}] = r
 		// The Lorenz bar is absolute: it binds even when the baseline
 		// itself was produced before the JIT tier existed.
 		if r.JIT > 0 && r.Workload == gateLorenzWorkload && r.Slowdown >= gateLorenzJITMax {
@@ -71,8 +84,33 @@ func GateBench(base, cur *BenchDoc) []string {
 				r.Workload, r.System, r.SeqLen, r.JIT, r.Slowdown, gateLorenzJITMax))
 		}
 	}
+	// Stitch bar, within-document: on the gate workloads, chaining must
+	// strictly reduce modeled overhead versus the plain jit rung.
+	for _, r := range cur.Rows {
+		if r.Stitch == 0 {
+			continue
+		}
+		jit, ok := curRows[benchKey{r.Workload, r.Specifics, r.System, r.SeqLen, r.JIT, 0}]
+		if !ok {
+			continue
+		}
+		for _, wl := range gateStitchWorkloads {
+			if r.Workload != wl {
+				continue
+			}
+			if r.VirtCycles >= jit.VirtCycles {
+				bad = append(bad, fmt.Sprintf("%s %s [%s seq=%d jit=%d stitch=%d]: stitched cycles %d not below jit rung's %d",
+					r.Workload, r.Specifics, r.System, r.SeqLen, r.JIT, r.Stitch,
+					r.VirtCycles, jit.VirtCycles))
+			}
+			if r.SBStitched == 0 {
+				bad = append(bad, fmt.Sprintf("%s %s [%s seq=%d jit=%d stitch=%d]: stitch rung served zero chained entries",
+					r.Workload, r.Specifics, r.System, r.SeqLen, r.JIT, r.Stitch))
+			}
+		}
+	}
 	for _, old := range base.Rows {
-		key := benchKey{old.Workload, old.Specifics, old.System, old.SeqLen, old.JIT}
+		key := benchKey{old.Workload, old.Specifics, old.System, old.SeqLen, old.JIT, old.Stitch}
 		now, ok := curRows[key]
 		if !ok {
 			bad = append(bad, fmt.Sprintf("%v: row disappeared from the bench", key))
@@ -113,6 +151,34 @@ func GateBench(base, cur *BenchDoc) []string {
 			bad = append(bad, fmt.Sprintf("session load shrank: %d -> %d sessions",
 				base.SessionLoad.Sessions, cur.SessionLoad.Sessions))
 		}
+	}
+	// Warm-pool bar, within-document: the shared-cache record must prove the
+	// cache is doing its job — near-zero compiles after the first checkout
+	// and a wall-clock sessions/sec win over the cold pool.
+	if cur.SessionLoadShared != nil && cur.SessionLoad != nil {
+		warm, cold := cur.SessionLoadShared, cur.SessionLoad
+		if warm.Errors > 0 {
+			bad = append(bad, fmt.Sprintf("warm session load: %d of %d sessions failed",
+				warm.Errors, warm.Sessions))
+		}
+		// Warm checkouts must compile ~nothing: at worst the first concurrent
+		// wave (one checkout per worker) races ahead of publication, so the
+		// total is bounded by that wave's compiles, not by session count.
+		if cold.Sessions > 0 && cold.SBCompiled > 0 {
+			perSession := cold.SBCompiled / uint64(cold.Sessions)
+			if limit := perSession * uint64(warm.Workers); warm.SBCompiled > limit {
+				bad = append(bad, fmt.Sprintf(
+					"warm pool compiled %d superblocks over %d sessions (first-wave bound %d; cold pool: %d) — the shared cache is not absorbing compiles",
+					warm.SBCompiled, warm.Sessions, limit, cold.SBCompiled))
+			}
+		}
+		if warm.PerSec < cold.PerSec*gateWarmPoolSpeedup {
+			bad = append(bad, fmt.Sprintf(
+				"warm pool %.0f sessions/sec is not >=%.1fx the cold pool's %.0f",
+				warm.PerSec, gateWarmPoolSpeedup, cold.PerSec))
+		}
+	} else if base.SessionLoadShared != nil && cur.SessionLoadShared == nil {
+		bad = append(bad, "warm session-load record disappeared from the bench")
 	}
 	return bad
 }

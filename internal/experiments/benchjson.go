@@ -22,6 +22,7 @@ type BenchRow struct {
 	System    string `json:"system"`
 	SeqLen    int    `json:"max_sequence_len"`
 	JIT       int    `json:"jit_threshold"`
+	Stitch    int    `json:"stitch_depth,omitempty"`
 
 	NativeCycles uint64  `json:"native_cycles"`
 	VirtCycles   uint64  `json:"virt_cycles"`
@@ -42,6 +43,7 @@ type BenchRow struct {
 	// Superblock (trace-JIT) counters, non-zero only on JIT > 0 rows.
 	SBCompiled      uint64 `json:"sb_compiled,omitempty"`
 	SBHits          uint64 `json:"sb_hits,omitempty"`
+	SBStitched      uint64 `json:"sb_stitched,omitempty"`
 	SBInvalidations uint64 `json:"sb_invalidations,omitempty"`
 
 	GCPasses       uint64 `json:"gc_passes"`
@@ -58,7 +60,7 @@ type BenchRow struct {
 
 // benchRow flattens one finished pair into a record. topSites bounds the
 // exported per-PC site ranking (0 omits it).
-func benchRow(w workloads.Workload, sys string, seqLen, jit, topSites int, r *RunResult) BenchRow {
+func benchRow(w workloads.Workload, sys string, seqLen, jit, stitch, topSites int, r *RunResult) BenchRow {
 	st := r.VM.Stats
 	row := BenchRow{
 		Workload:        w.Name,
@@ -66,8 +68,10 @@ func benchRow(w workloads.Workload, sys string, seqLen, jit, topSites int, r *Ru
 		System:          sys,
 		SeqLen:          seqLen,
 		JIT:             jit,
+		Stitch:          stitch,
 		SBCompiled:      r.Virt.Stats.SBCompiled,
 		SBHits:          r.Virt.Stats.SBHits,
+		SBStitched:      r.Virt.Stats.SBStitched,
 		SBInvalidations: r.Virt.Stats.SBInvalidations,
 		NativeCycles:    r.NativeCycles,
 		VirtCycles:      r.VirtCycles,
@@ -100,35 +104,47 @@ func benchRow(w workloads.Workload, sys string, seqLen, jit, topSites int, r *Ru
 // BenchJSONData runs every benchmark under FPVM+MPFR with sequence emulation
 // off, then — when o.MaxSequenceLen > 0 — again with it on, then — when
 // o.JITThreshold > 0 — again with the trace-JIT superblock tier stacked on
-// top, returning one record per run so the set forms a machine-readable
-// ablation ladder.
+// top, then — when o.StitchDepth > 0 as well — once more with superblock
+// stitching chained onto the JIT tier, returning one record per run so the
+// set forms a machine-readable ablation ladder.
 func BenchJSONData(o Options) ([]BenchRow, error) {
 	o.defaults()
 	base := o
 	base.MaxSequenceLen = 0
 	base.JITThreshold = 0
+	base.StitchDepth = 0
 	seqOnly := o
 	seqOnly.JITThreshold = 0
+	seqOnly.StitchDepth = 0
+	jitOnly := o
+	jitOnly.StitchDepth = 0
 	cells, err := forEachCell(o.Workers, allFig12(o), func(_ int, w workloads.Workload) ([]BenchRow, error) {
 		sys := arith.NewMPFR(o.Prec)
 		r, err := runPair(w, sys, base)
 		if err != nil {
 			return nil, err
 		}
-		rows := []BenchRow{benchRow(w, sys.Name(), 0, 0, o.TopSites, r)}
+		rows := []BenchRow{benchRow(w, sys.Name(), 0, 0, 0, o.TopSites, r)}
 		if o.MaxSequenceLen > 0 {
 			sr, err := runPair(w, arith.NewMPFR(o.Prec), seqOnly)
 			if err != nil {
 				return nil, err
 			}
-			rows = append(rows, benchRow(w, sys.Name(), o.MaxSequenceLen, 0, o.TopSites, sr))
+			rows = append(rows, benchRow(w, sys.Name(), o.MaxSequenceLen, 0, 0, o.TopSites, sr))
 		}
 		if o.JITThreshold > 0 {
-			jr, err := runPair(w, arith.NewMPFR(o.Prec), o)
+			jr, err := runPair(w, arith.NewMPFR(o.Prec), jitOnly)
 			if err != nil {
 				return nil, err
 			}
-			rows = append(rows, benchRow(w, sys.Name(), o.MaxSequenceLen, o.JITThreshold, o.TopSites, jr))
+			rows = append(rows, benchRow(w, sys.Name(), o.MaxSequenceLen, o.JITThreshold, 0, o.TopSites, jr))
+			if o.StitchDepth > 0 {
+				tr, err := runPair(w, arith.NewMPFR(o.Prec), o)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, benchRow(w, sys.Name(), o.MaxSequenceLen, o.JITThreshold, o.StitchDepth, o.TopSites, tr))
+			}
 		}
 		return rows, nil
 	})
@@ -151,6 +167,7 @@ type BenchOptions struct {
 	SeqLen int    `json:"max_sequence_len"`
 	Storm  uint64 `json:"storm_threshold"`
 	JIT    int    `json:"jit_threshold"`
+	Stitch int    `json:"stitch_depth,omitempty"`
 }
 
 // SessionLoad is the pooled-session throughput record attached to a bench
@@ -167,6 +184,11 @@ type SessionLoad struct {
 	P99Ns    int64   `json:"p99_ns"`
 	Errors   int     `json:"errors"`
 	Fresh    uint64  `json:"fresh_sessions"` // pool misses (constructions)
+	// SBCompiled sums superblock compiles across all runs. On the shared
+	// warm-cache record this stays at the program's distinct-entry count
+	// (only the first checkout compiles); on the cold record it scales with
+	// Sessions.
+	SBCompiled uint64 `json:"sb_compiled,omitempty"`
 }
 
 // BenchDoc is the canonical machine-readable benchmark record (the checked-in
@@ -177,6 +199,11 @@ type BenchDoc struct {
 	Options     BenchOptions `json:"options"`
 	Rows        []BenchRow   `json:"rows"`
 	SessionLoad *SessionLoad `json:"session_load,omitempty"`
+	// SessionLoadShared repeats the session-load run with a shared warm
+	// superblock cache attached to the pool config (Options.JITThreshold > 0
+	// only): same workload, geometry, and concurrency, but only the first
+	// checkout compiles traces — the warm-pool column of the record.
+	SessionLoadShared *SessionLoad `json:"session_load_shared,omitempty"`
 }
 
 // BenchDocData assembles the full bench document: the per-workload rows and,
@@ -198,12 +225,20 @@ func BenchDocData(o Options) (*BenchDoc, error) {
 		},
 		Rows: rows,
 	}
+	doc.Options.Stitch = o.StitchDepth
 	if o.Sessions > 0 {
-		sl, err := sessionLoadRecord(o)
+		sl, err := sessionLoadRecord(o, false)
 		if err != nil {
 			return nil, err
 		}
 		doc.SessionLoad = sl
+		if o.JITThreshold > 0 {
+			warm, err := sessionLoadRecord(o, true)
+			if err != nil {
+				return nil, err
+			}
+			doc.SessionLoadShared = warm
+		}
 	}
 	return doc, nil
 }
@@ -218,7 +253,21 @@ const sessionLoadWorkload = "FBench/"
 // only comparable to other session-load records, which share this geometry.
 const sessionLoadMemSize = 256 << 10
 
-func sessionLoadRecord(o Options) (*SessionLoad, error) {
+// sessionLoadJIT pins the session-load records' JIT threshold (when the
+// bench runs with the tier armed). The records deliberately run WITHOUT
+// sequence emulation and at an aggressive threshold: coalescing hides most
+// deliveries behind one trap, leaving almost no sites hot enough to compile,
+// which would make the warm-cache ablation unmeasurable. At threshold 2
+// every trap site compiles within a run, so the cold record pays the full
+// warm-up + compile bill per checkout and the shared-cache record's zero
+// compiles are a wall-clock difference, not a rounding error. Cold and warm
+// records always share this exact configuration.
+const sessionLoadJIT = 2
+
+// sessionLoadRecord measures pooled-session throughput; with shared set it
+// attaches a fresh shared superblock cache so every checkout after the first
+// adopts the published traces instead of re-warming and recompiling them.
+func sessionLoadRecord(o Options, shared bool) (*SessionLoad, error) {
 	w, ok := workloads.Get(sessionLoadWorkload)
 	if !ok {
 		return nil, fmt.Errorf("session load: unknown workload %q", sessionLoadWorkload)
@@ -234,10 +283,15 @@ func sessionLoadRecord(o Options) (*SessionLoad, error) {
 	cfg := session.Config{
 		System:         sys,
 		MemSize:        sessionLoadMemSize,
-		MaxSequenceLen: o.MaxSequenceLen,
 		StormThreshold: o.StormThreshold,
-		JITThreshold:   o.JITThreshold,
+		StitchDepth:    o.StitchDepth,
 		GCEveryNAllocs: o.GCEveryNAllocs,
+	}
+	if o.JITThreshold > 0 {
+		cfg.JITThreshold = sessionLoadJIT // see the constant: no seqemu, threshold 2
+	}
+	if shared {
+		cfg.SBCache = fpvm.NewSBCache()
 	}
 	var pool session.Pool
 	rep := loadgen.Run(&pool, prog, cfg, loadgen.Options{
@@ -245,15 +299,16 @@ func sessionLoadRecord(o Options) (*SessionLoad, error) {
 		Workers:  o.LoadWorkers,
 	})
 	return &SessionLoad{
-		Workload: sessionLoadWorkload,
-		System:   sys.Name(),
-		Sessions: rep.Sessions,
-		Workers:  rep.Workers,
-		PerSec:   rep.PerSec,
-		P50Ns:    rep.P50.Nanoseconds(),
-		P99Ns:    rep.P99.Nanoseconds(),
-		Errors:   rep.Errors,
-		Fresh:    rep.Pool.News,
+		Workload:   sessionLoadWorkload,
+		System:     sys.Name(),
+		Sessions:   rep.Sessions,
+		Workers:    rep.Workers,
+		PerSec:     rep.PerSec,
+		P50Ns:      rep.P50.Nanoseconds(),
+		P99Ns:      rep.P99.Nanoseconds(),
+		Errors:     rep.Errors,
+		Fresh:      rep.Pool.News,
+		SBCompiled: rep.SBCompiled,
 	}, nil
 }
 

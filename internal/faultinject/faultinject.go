@@ -48,13 +48,19 @@ const (
 	// site degrades to the classic per-trap path and is blacklisted from
 	// recompilation.
 	SeamSBCompile
+	// SeamSBStitch fails a trace-JIT stitch link (as if the successor
+	// superblock could not be validated for chaining); the chain is severed
+	// at the seam and the successor entry falls back to its own patch
+	// dispatch on the next Step, accounted as a typed DegradeJIT
+	// degradation.
+	SeamSBStitch
 
 	// NumSeams is the number of named seams.
-	NumSeams = int(SeamSBCompile) + 1
+	NumSeams = int(SeamSBStitch) + 1
 )
 
 var seamNames = [NumSeams]string{
-	"decode", "bind", "emulate", "arena", "gc-scan", "mem-access", "sb-compile",
+	"decode", "bind", "emulate", "arena", "gc-scan", "mem-access", "sb-compile", "sb-stitch",
 }
 
 // String names the seam as it appears in specs, stats, and telemetry.

@@ -97,6 +97,31 @@ type Config struct {
 	// the site back to the classic per-trap path. 0 disables the tier and
 	// preserves behavior bit for bit.
 	JITThreshold int
+	// StitchDepth arms superblock stitching on top of the trace-JIT tier
+	// (requires JITThreshold > 0): after a superblock's thunks retire, the
+	// handler walks the glue instructions behind the trace (branches, integer
+	// ops, FP moves — anything that can neither trap nor carry side-table
+	// dispatch) and, when control lands on another valid superblock entry,
+	// chains straight into its thunks with no patch dispatch at all — a trace
+	// graph instead of isolated runs. Each link revalidates the successor
+	// against the code/side-table versions (a discarded successor severs the
+	// link, never corrupts it); this value caps the links per delivery. A
+	// chained Step retires every linked run at once, so instruction budgets
+	// pause at coarser boundaries. 0 disables stitching and preserves
+	// behavior bit for bit.
+	StitchDepth int
+	// SBCache attaches a shared read-mostly superblock cache, keyed by
+	// (pointer-identical immutable program, entry index): compiled traces are
+	// published to it and Reattach eagerly adopts every published trace that
+	// the session's own side table permits, so in a session pool only the
+	// first tenant per program pays compilation. Adopted blocks live in
+	// per-session wrappers with private version stamps — one tenant's code
+	// writes, storm patches, or degradations never touch another tenant's
+	// traces or the published ones. Warm attachment changes modeled cycles
+	// (the warm-up deliveries and compile costs disappear) but never any
+	// guest-visible output. nil disables sharing and preserves behavior bit
+	// for bit.
+	SBCache *SBCache
 	// Inject attaches a fault injector to the runtime's seams (testing /
 	// chaos suite). nil disables injection and preserves behavior bit for
 	// bit.
@@ -305,6 +330,14 @@ func (vm *VM) Reattach(m *machine.Machine, cfg Config) {
 	m.CorrectnessTrap = vm.corrTrapFn
 	m.ExternalTrap = vm.extTrapFn
 	m.OutFilter = vm.outFn
+
+	// Shared warm cache: adopt every trace another session already published
+	// for this program, so this attach starts hot instead of recompiling.
+	// Must run last — it installs entry patches through vm.sbFn and stamps
+	// wrappers against the side table the caller has finished building.
+	if cfg.JITThreshold > 0 && cfg.SBCache != nil {
+		vm.adoptShared(m)
+	}
 }
 
 // handleFPTrap is the SIGFPE-analog entry point: decode (cached), bind,

@@ -1,0 +1,229 @@
+package fpvm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/asm"
+	"fpvm/internal/isa"
+	"fpvm/internal/machine"
+)
+
+// newSBMachine builds a fresh machine over prog with its own output buffer.
+func newSBMachine(t *testing.T, prog *isa.Program) (*machine.Machine, *bytes.Buffer) {
+	t.Helper()
+	var out bytes.Buffer
+	m, err := machine.New(prog, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, &out
+}
+
+// TestSBCacheWarmAttach is the tentpole shared-cache contract: the first
+// session over a program compiles and publishes; a second session over the
+// pointer-identical program adopts at attach time, compiles nothing, serves
+// every entry from the shared trace, and produces bit-identical output at
+// strictly lower modeled cost.
+func TestSBCacheWarmAttach(t *testing.T) {
+	native, _ := runNative(t, jitHotSrc)
+	prog := asm.MustAssemble(jitHotSrc)
+	cache := NewSBCache()
+	cfg := Config{System: arith.Vanilla{}, JITThreshold: 3, SBCache: cache}
+
+	mA, outA := newSBMachine(t, prog)
+	Attach(mA, cfg)
+	if err := mA.Run(0); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if outA.String() != native {
+		t.Fatalf("cold output diverged:\nnative: %sfpvm:  %s", native, outA.String())
+	}
+	if mA.Stats.SBCompiled != 1 {
+		t.Fatalf("cold session compiled %d blocks, want 1", mA.Stats.SBCompiled)
+	}
+	if s := cache.Stats(); s.Stores != 1 || s.Programs != 1 || s.Entries != 1 {
+		t.Fatalf("after cold run cache = %+v, want 1 store/program/entry", s)
+	}
+
+	mB, outB := newSBMachine(t, prog)
+	Attach(mB, cfg)
+	if err := mB.Run(0); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if outB.String() != native {
+		t.Fatalf("warm output diverged:\nnative: %sfpvm:  %s", native, outB.String())
+	}
+	if mB.Stats.SBCompiled != 0 {
+		t.Fatalf("warm session compiled %d blocks, want 0 (adopted)", mB.Stats.SBCompiled)
+	}
+	// With the trace installed from instruction zero, all 50 iterations are
+	// superblock entries — no warm-up deliveries at all.
+	if mB.Stats.SBHits != 50 {
+		t.Fatalf("warm SBHits = %d, want 50", mB.Stats.SBHits)
+	}
+	if mB.Cycles >= mA.Cycles {
+		t.Fatalf("warm attach not cheaper: %d vs %d cycles", mB.Cycles, mA.Cycles)
+	}
+	if s := cache.Stats(); s.Adopted == 0 || s.Hits == 0 {
+		t.Fatalf("adoption not accounted: %+v", s)
+	}
+}
+
+// TestSBCacheBarrierRefusal: a session whose side table shadows the published
+// trace (a correctness site inside the body) must decline adoption and take
+// the classic compile path against its own barriers — never execute a shared
+// trace its semantics forbid.
+func TestSBCacheBarrierRefusal(t *testing.T) {
+	native, _ := runNative(t, jitHotSrc)
+	prog := asm.MustAssemble(jitHotSrc)
+	cache := NewSBCache()
+	cfg := Config{System: arith.Vanilla{}, JITThreshold: 3, SBCache: cache}
+
+	mA, _ := newSBMachine(t, prog)
+	Attach(mA, cfg)
+	if err := mA.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	mB, outB := newSBMachine(t, prog)
+	if !mB.SetCorrectnessSite(traceBodyAddr(mB), 1) {
+		t.Fatal("SetCorrectnessSite refused the body address")
+	}
+	vmB := Attach(mB, cfg)
+	entry, _ := mB.InstIndex(findOpAddr(mB, isa.OpDivsd))
+	if vmB.sblocks[entry] != nil {
+		t.Fatal("adoption installed a trace the session's side table forbids")
+	}
+	if err := mB.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if outB.String() != native {
+		t.Fatalf("refusing session output diverged:\nnative: %sfpvm:  %s",
+			native, outB.String())
+	}
+	// It still compiles its own (shorter, barrier-respecting) trace.
+	if mB.Stats.SBCompiled != 1 {
+		t.Fatalf("refusing session compiled %d blocks, want its own 1", mB.Stats.SBCompiled)
+	}
+}
+
+// TestSBCacheInvalidationLocality: one tenant discarding its wrapper (a
+// mid-run side-table mutation) must not disturb the shared entry — a later
+// session still adopts the original published trace and runs bit-identically
+// with zero compiles.
+func TestSBCacheInvalidationLocality(t *testing.T) {
+	native, _ := runNative(t, jitHotSrc)
+	prog := asm.MustAssemble(jitHotSrc)
+	cache := NewSBCache()
+	cfg := Config{System: arith.Vanilla{}, JITThreshold: 3, SBCache: cache}
+
+	mA, _ := newSBMachine(t, prog)
+	Attach(mA, cfg)
+	if err := mA.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tenant B adopts, then mutates its own side table mid-run, discarding
+	// its private wrapper.
+	mB, outB := newSBMachine(t, prog)
+	Attach(mB, cfg)
+	err := mB.Run(uint64(jitHotPrelude + 10*jitHotInstsPerIter))
+	var be *machine.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("expected budget pause, got %v", err)
+	}
+	mB.SetCorrectnessSite(traceBodyAddr(mB), 1)
+	if err := mB.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if outB.String() != native {
+		t.Fatalf("mutating tenant output diverged:\nnative: %sfpvm:  %s",
+			native, outB.String())
+	}
+	if mB.Stats.SBInvalidations == 0 {
+		t.Fatal("mutating tenant never discarded its wrapper")
+	}
+
+	// Tenant C, clean side table: the shared entry must still be the full
+	// original trace, adoptable with zero compiles.
+	mC, outC := newSBMachine(t, prog)
+	Attach(mC, cfg)
+	if err := mC.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if outC.String() != native {
+		t.Fatalf("post-invalidation adopter output diverged:\nnative: %sfpvm:  %s",
+			native, outC.String())
+	}
+	if mC.Stats.SBCompiled != 0 {
+		t.Fatalf("post-invalidation adopter compiled %d blocks, want 0", mC.Stats.SBCompiled)
+	}
+	if mC.Stats.SBInvalidations != 0 {
+		t.Fatalf("tenant B's invalidation leaked into tenant C: %d", mC.Stats.SBInvalidations)
+	}
+}
+
+// TestSBCacheConcurrentTenants races many sessions over one shared cache and
+// pointer-identical program — some stitching, some mutating their side tables
+// mid-run — and requires every tenant to produce the native output. Run under
+// -race this is the cross-tenant staleness check at the fpvm layer.
+func TestSBCacheConcurrentTenants(t *testing.T) {
+	native, _ := runNative(t, jitHotSrc)
+	prog := asm.MustAssemble(jitHotSrc)
+	cache := NewSBCache()
+
+	const tenants = 12
+	outs := make([]string, tenants)
+	errs := make([]error, tenants)
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var out bytes.Buffer
+			m, err := machine.New(prog, &out)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cfg := Config{System: arith.Vanilla{}, JITThreshold: 3, SBCache: cache}
+			if i%3 == 0 {
+				cfg.StitchDepth = 4
+			}
+			Attach(m, cfg)
+			if i%4 == 1 {
+				// Mutating tenant: pause, shadow the trace body, resume.
+				if err := m.Run(uint64(jitHotPrelude + 5*jitHotInstsPerIter)); err != nil {
+					var be *machine.BudgetError
+					if !errors.As(err, &be) {
+						errs[i] = err
+						return
+					}
+				}
+				m.SetCorrectnessSite(traceBodyAddr(m), 1)
+			}
+			if err := m.Run(0); err != nil {
+				errs[i] = fmt.Errorf("tenant %d: %w", i, err)
+				return
+			}
+			outs[i] = out.String()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < tenants; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if outs[i] != native {
+			t.Fatalf("tenant %d output diverged:\nnative: %sfpvm:  %s", i, native, outs[i])
+		}
+	}
+	if s := cache.Stats(); s.Entries != 1 || s.Lookups != tenants {
+		t.Fatalf("cache accounting off after race: %+v", s)
+	}
+}

@@ -1,0 +1,257 @@
+package fpvm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"fpvm/internal/arith"
+	"fpvm/internal/asm"
+	"fpvm/internal/faultinject"
+	"fpvm/internal/isa"
+	"fpvm/internal/machine"
+	"fpvm/internal/telemetry"
+)
+
+// stitchTwoBlockSrc is the canonical chain workload: two trapping sites per
+// iteration (the inexact divsd and mulsd), each heading its own short trace,
+// separated and followed by glue the stitch walk must cross. Once both sites
+// compile, one patch dispatch at the divsd can retire the divsd block, the
+// inc, the mulsd block, and the loop seam back to the divsd — a closed loop
+// in the trace graph.
+const stitchTwoBlockSrc = `
+.text
+	mov r0, $0
+loop:
+	movsd f0, =1.0
+	divsd f0, =3.0
+	movsd f1, f0
+	inc r1
+	mulsd f1, =1.7
+	movsd f2, f1
+	inc r0
+	cmp r0, $40
+	jl loop
+	outf f0
+	outf f1
+	outf f2
+	halt
+`
+
+// stitchCounters runs jitHotSrc-style sources under a config and returns the
+// machine and VM for counter assertions, checking native bit-identity first.
+func stitchCounters(t *testing.T, src string, cfg Config) (*machine.Machine, *VM) {
+	t.Helper()
+	native, _ := runNative(t, src)
+	virt, m, vm := runSB(t, src, cfg, nil)
+	if virt != native {
+		t.Fatalf("stitched output differs:\nnative: %sfpvm:  %s", native, virt)
+	}
+	return m, vm
+}
+
+// TestStitchChainsLoop is the tentpole happy path: with stitching armed on
+// the single-block hot loop, retirement chains from the block through the
+// loop seam back into the block, so most entries are served with no patch
+// dispatch at all — strictly fewer patch invokes and strictly fewer modeled
+// cycles than the unstitched tier, with every superblock entry still
+// accounted as a hit.
+func TestStitchChainsLoop(t *testing.T) {
+	mJit, _ := stitchCounters(t, jitHotSrc, Config{JITThreshold: 3})
+	mStitch, _ := stitchCounters(t, jitHotSrc, Config{JITThreshold: 3, StitchDepth: 4})
+
+	if mStitch.Stats.SBStitched == 0 {
+		t.Fatal("no entries served through a stitch link")
+	}
+	if mJit.Stats.SBStitched != 0 {
+		t.Fatalf("unstitched run recorded %d stitched entries", mJit.Stats.SBStitched)
+	}
+	// Every block execution is a hit whether reached by patch or by chain;
+	// only the dispatch mechanism changes.
+	if mStitch.Stats.SBHits != mJit.Stats.SBHits {
+		t.Fatalf("SBHits changed under stitching: %d vs %d",
+			mStitch.Stats.SBHits, mJit.Stats.SBHits)
+	}
+	if mStitch.Stats.PatchInvokes >= mJit.Stats.PatchInvokes {
+		t.Fatalf("stitching did not reduce patch dispatches: %d vs %d",
+			mStitch.Stats.PatchInvokes, mJit.Stats.PatchInvokes)
+	}
+	if mStitch.Cycles >= mJit.Cycles {
+		t.Fatalf("stitching did not reduce modeled cycles: %d vs %d",
+			mStitch.Cycles, mJit.Cycles)
+	}
+	if mStitch.Stats.Instructions != mJit.Stats.Instructions {
+		t.Fatalf("retirement accounting diverged: %d vs %d instructions",
+			mStitch.Stats.Instructions, mJit.Stats.Instructions)
+	}
+}
+
+// TestStitchCrossSiteChain drives the two-block trace graph: the chain must
+// cross integer glue between two distinct superblocks and close the loop,
+// again with identical retirement accounting and reduced dispatch cost.
+func TestStitchCrossSiteChain(t *testing.T) {
+	mJit, _ := stitchCounters(t, stitchTwoBlockSrc, Config{JITThreshold: 3})
+	mStitch, vm := stitchCounters(t, stitchTwoBlockSrc, Config{JITThreshold: 3, StitchDepth: 6})
+
+	if mStitch.Stats.SBCompiled != 2 {
+		t.Fatalf("SBCompiled = %d, want 2 (both sites)", mStitch.Stats.SBCompiled)
+	}
+	if mStitch.Stats.SBStitched == 0 {
+		t.Fatal("no stitched entries across the two-block graph")
+	}
+	if mStitch.Stats.SBHits != mJit.Stats.SBHits {
+		t.Fatalf("SBHits changed under stitching: %d vs %d",
+			mStitch.Stats.SBHits, mJit.Stats.SBHits)
+	}
+	if mStitch.Cycles >= mJit.Cycles {
+		t.Fatalf("stitching did not reduce modeled cycles: %d vs %d",
+			mStitch.Cycles, mJit.Cycles)
+	}
+	if mStitch.Stats.Instructions != mJit.Stats.Instructions {
+		t.Fatalf("retirement accounting diverged: %d vs %d instructions",
+			mStitch.Stats.Instructions, mJit.Stats.Instructions)
+	}
+	if vm.Stats.Degradations != 0 || mStitch.Stats.SBInvalidations != 0 {
+		t.Fatalf("clean run degraded (%d) or invalidated (%d)",
+			vm.Stats.Degradations, mStitch.Stats.SBInvalidations)
+	}
+}
+
+// TestStitchDepthCaps pins the chain-depth cap: a deeper budget serves more
+// entries per dispatch, so dispatch counts must fall monotonically as the
+// cap rises — and depth 0 must be exactly the unstitched tier.
+func TestStitchDepthCaps(t *testing.T) {
+	m0, _ := stitchCounters(t, jitHotSrc, Config{JITThreshold: 3, StitchDepth: 0})
+	m1, _ := stitchCounters(t, jitHotSrc, Config{JITThreshold: 3, StitchDepth: 1})
+	m8, _ := stitchCounters(t, jitHotSrc, Config{JITThreshold: 3, StitchDepth: 8})
+
+	if m0.Stats.SBStitched != 0 {
+		t.Fatalf("depth 0 stitched %d entries", m0.Stats.SBStitched)
+	}
+	if m1.Stats.SBStitched == 0 || m8.Stats.SBStitched <= m1.Stats.SBStitched {
+		t.Fatalf("stitched entries not increasing with depth: %d (1) vs %d (8)",
+			m1.Stats.SBStitched, m8.Stats.SBStitched)
+	}
+	if !(m8.Stats.PatchInvokes < m1.Stats.PatchInvokes && m1.Stats.PatchInvokes < m0.Stats.PatchInvokes) {
+		t.Fatalf("patch dispatches not decreasing with depth: %d (0) %d (1) %d (8)",
+			m0.Stats.PatchInvokes, m1.Stats.PatchInvokes, m8.Stats.PatchInvokes)
+	}
+}
+
+// TestStitchSeamInjectionDegrades: an injected fault at the sb-stitch seam
+// severs every chain link as a typed DegradeJIT degradation — the successor
+// entry falls back to its own patch dispatch, nothing is re-executed, and
+// the output stays bit-identical to native.
+func TestStitchSeamInjectionDegrades(t *testing.T) {
+	native, _ := runNative(t, jitHotSrc)
+	prog := asm.MustAssemble(jitHotSrc)
+	var out bytes.Buffer
+	m, err := machine.New(prog, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(faultinject.Config{
+		Sites: map[uint64]faultinject.Seam{
+			findOpAddr(m, isa.OpDivsd): faultinject.SeamSBStitch,
+		},
+	})
+	vm := Attach(m, Config{System: arith.Vanilla{}, JITThreshold: 3, StitchDepth: 4, Inject: inj})
+	if err := m.Run(0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.String() != native {
+		t.Fatalf("output diverged:\nnative: %sfpvm:  %s", native, out.String())
+	}
+	if m.Stats.SBStitched != 0 {
+		t.Fatalf("SBStitched = %d, want 0 with the seam forced at the only entry", m.Stats.SBStitched)
+	}
+	if got := vm.Stats.DegradeByCause[telemetry.DegradeJIT]; got == 0 {
+		t.Fatal("no DegradeJIT degradations recorded for severed links")
+	}
+	if m.Stats.SBHits == 0 {
+		t.Fatal("patched entries stopped serving after severed links")
+	}
+}
+
+// TestStitchSeveredByInvalidSuccessor: a side-table mutation landing inside
+// block B's trace mid-run must make the A→B link discard B (sever, never
+// corrupt): the chain parks RIP at B's entry, B re-traps classically and
+// recompiles against the new barrier, and output stays native-identical.
+func TestStitchSeveredByInvalidSuccessor(t *testing.T) {
+	native, _ := runNative(t, stitchTwoBlockSrc)
+
+	prog := asm.MustAssemble(stitchTwoBlockSrc)
+	var out bytes.Buffer
+	m, err := machine.New(prog, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := Attach(m, Config{System: arith.Vanilla{}, JITThreshold: 3, StitchDepth: 6})
+	// Pause mid-run. Chained steps retire whole linked runs, so the pause
+	// lands at a chain boundary at-or-past the requested budget rather than
+	// an exact instruction count.
+	err = m.Run(120)
+	var be *machine.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("expected budget pause, got %v", err)
+	}
+	if m.Stats.SBCompiled != 2 || m.Stats.SBStitched == 0 {
+		t.Fatalf("premise broken at pause: %d compiled, %d stitched",
+			m.Stats.SBCompiled, m.Stats.SBStitched)
+	}
+
+	// Install a correctness site on block B's body (the movsd after the
+	// mulsd): B's next validation — patched or chained — must discard it.
+	idx, ok := m.InstIndex(findOpAddr(m, isa.OpMulsd))
+	if !ok {
+		t.Fatal("mulsd not on an instruction boundary")
+	}
+	m.SetCorrectnessSite(m.Insts()[idx+1].Addr, 1)
+
+	if err := m.Run(0); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if out.String() != native {
+		t.Fatalf("output diverged after severed link:\nnative: %sfpvm:  %s",
+			native, out.String())
+	}
+	if m.Stats.SBInvalidations == 0 {
+		t.Fatal("invalid successor was never discarded")
+	}
+	sb := vm.sblocks[idx]
+	if sb == nil {
+		t.Fatal("block B never recompiled after the discard")
+	}
+	if len(sb.thunks) != 1 {
+		t.Fatalf("rebuilt trace length %d, want 1 (stops at the new barrier)", len(sb.thunks))
+	}
+}
+
+// TestStitchTelemetry: stitched entries land in the per-site table (SBHits
+// consistent with the machine aggregate, SBStitches attributed to the linked
+// entries) without flooding the event ring.
+func TestStitchTelemetry(t *testing.T) {
+	prog := asm.MustAssemble(stitchTwoBlockSrc)
+	var out bytes.Buffer
+	m, err := machine.New(prog, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := telemetry.NewCollector(0)
+	m.Telem = col
+	Attach(m, Config{System: arith.Vanilla{}, JITThreshold: 3, StitchDepth: 6})
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	var sbHits, sbStitches uint64
+	for _, r := range col.TopSites(0) {
+		sbHits += r.SBHits
+		sbStitches += r.SBStitches
+	}
+	if sbHits != m.Stats.SBHits {
+		t.Fatalf("per-site SBHits sum %d disagrees with machine stat %d", sbHits, m.Stats.SBHits)
+	}
+	if sbStitches != m.Stats.SBStitched {
+		t.Fatalf("per-site SBStitches sum %d disagrees with machine stat %d", sbStitches, m.Stats.SBStitched)
+	}
+}

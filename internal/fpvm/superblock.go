@@ -28,6 +28,7 @@ package fpvm
 
 import (
 	"fpvm/internal/faultinject"
+	"fpvm/internal/isa"
 	"fpvm/internal/machine"
 	"fpvm/internal/telemetry"
 )
@@ -36,6 +37,13 @@ import (
 // disabled (Config.MaxSequenceLen = 0); with it enabled, the trace cap
 // matches the coalescing cap so both tiers retire identical runs.
 const sbTraceCapDefault = 64
+
+// stitchGlueCap bounds the glue instructions executed between two chained
+// superblocks. Real loop seams are a handful of instructions (an index
+// update, a compare, the branch, a reload); a longer walk is control flow
+// wandering away from the trace graph, and the chain is better severed so
+// the ordinary dispatch loop takes over.
+const stitchGlueCap = 8
 
 // sbThunk is one pre-compiled step of a superblock: an owned decoded
 // instruction (decode done, operand slots resolved into the inline buffer —
@@ -142,6 +150,12 @@ func (vm *VM) compileSB(f *machine.TrapFrame) {
 	if t := m.Telem; t != nil {
 		t.SBCompile(idx, f.Inst.Addr, f.Inst.Op, len(sb.thunks), m.Cycles)
 	}
+	// Publish to the shared warm cache: the thunks are a pure function of the
+	// immutable program text, so another session attached to the same cache
+	// (and the same *isa.Program) can adopt them instead of recompiling. The
+	// slice itself is shared — it is read-only from here on — while version
+	// stamps and hit counts stay in each session's private wrapper.
+	vm.cfg.SBCache.publish(m.Prog, idx, sb.thunks)
 }
 
 // degradeJITCompile records a failed superblock compile. Unlike the main
@@ -160,9 +174,11 @@ func (vm *VM) degradeJITCompile(m *machine.Machine, f *machine.TrapFrame) {
 
 // sbHandler is the patch handler installed at a superblock's entry: validate
 // the cached trace, then execute its thunks back to back, multi-retiring the
-// run through TrapFrame.Coalesced. Returning handled=false (after an
-// invalidation) sends the entry through native dispatch, where it re-traps
-// into the classic path.
+// run through TrapFrame.Coalesced. With Config.StitchDepth > 0 a clean
+// retirement keeps going: the handler walks the glue instructions behind the
+// trace and chains into the next superblock it lands on, up to StitchDepth
+// links per delivery. Returning handled=false (after an invalidation) sends
+// the entry through native dispatch, where it re-traps into the classic path.
 func (vm *VM) sbHandler(f *machine.TrapFrame) (bool, error) {
 	idx := f.Idx
 	if idx < 0 || idx >= len(vm.sblocks) || vm.sblocks[idx] == nil {
@@ -171,13 +187,78 @@ func (vm *VM) sbHandler(f *machine.TrapFrame) (bool, error) {
 	m := f.M
 	sb := vm.sblocks[idx]
 	if m.CodeVersion() != sb.codeVer || !vm.revalidateSB(m, sb) {
-		vm.invalidateSB(m, idx, f)
+		vm.invalidateSB(m, idx)
 		return false, nil
 	}
 
 	sb.hits++
 	m.Stats.SBHits++
-	retired := 0
+	retired, cut, err := vm.runSBThunks(m, sb)
+	if err != nil {
+		return false, err
+	}
+	if t := m.Telem; t != nil {
+		t.SBHit(idx, f.Inst.Addr, f.Inst.Op, retired)
+	}
+
+	// Stitching: chain into successor traces while retirement stays clean.
+	// Each link revalidates its target under the same version lattice a patch
+	// dispatch would; any refusal — an invalidated successor, an injected
+	// stitch fault, glue that wanders — severs the chain at an instruction
+	// boundary and lets the ordinary dispatch loop resume from RIP.
+	for links := 0; !cut && links < vm.cfg.StitchDepth; links++ {
+		next, werr := vm.stitchNext(m)
+		if werr != nil {
+			return false, werr
+		}
+		if next < 0 {
+			break
+		}
+		nin := m.Insts()[next]
+		if j := vm.inject; j != nil && j.Fire(faultinject.SeamSBStitch, nin.Addr) {
+			vm.degradeJITStitch(m, next)
+			break
+		}
+		nsb := vm.sblocks[next]
+		if m.CodeVersion() != nsb.codeVer || !vm.revalidateSB(m, nsb) {
+			// A discarded successor severs the link, never corrupts it: RIP is
+			// parked at the entry, which re-traps through the classic path on
+			// the next Step.
+			vm.invalidateSB(m, next)
+			break
+		}
+		nsb.hits++
+		m.Stats.SBHits++
+		m.Stats.SBStitched++
+		var r int
+		r, cut, err = vm.runSBThunks(m, nsb)
+		if err != nil {
+			return false, err
+		}
+		retired += r
+		if t := m.Telem; t != nil {
+			t.SBStitch(next, nin.Addr, nin.Op, r)
+		}
+	}
+
+	// Glue instructions executed by stitchNext retired themselves through the
+	// machine's own counters, so Coalesced reports only thunk retirements.
+	f.Coalesced = retired - 1
+
+	// The trace allocates shadow cells like any emulation; keep the epoch GC
+	// running on the same trigger the trap path uses.
+	if !vm.cfg.DisableGC && vm.Arena.Allocs()-vm.lastGC >= vm.gcEvery {
+		vm.RunGC()
+	}
+	return true, nil
+}
+
+// runSBThunks executes one superblock's thunks back to back, charging the
+// dispatch cost per thunk and advancing RIP as each retires. It returns the
+// thunk retirements, whether a degradable fault cut the run short (the
+// degraded instruction is retired natively and counted), and any genuine
+// machine fault.
+func (vm *VM) runSBThunks(m *machine.Machine, sb *superblock) (retired int, cut bool, err error) {
 	for i := range sb.thunks {
 		t := &sb.thunks[i]
 		if vm.inject != nil {
@@ -188,34 +269,70 @@ func (vm *VM) sbHandler(f *machine.TrapFrame) (bool, error) {
 		}
 		vm.Stats.Cycles.Emulate += vm.costs.SBDispatch
 		m.Cycles += vm.costs.SBDispatch
-		if err := t.run(vm, m, &t.d); err != nil {
-			cause, ok := asDegrade(err)
+		if rerr := t.run(vm, m, &t.d); rerr != nil {
+			cause, ok := asDegrade(rerr)
 			if !ok {
-				return false, err // genuine machine fault: native execution would die too
+				return retired, false, rerr // genuine machine fault: native execution would die too
 			}
 			// Degradable fault mid-trace (arena cap, injected access fault):
 			// retire this instruction natively via the degrade engine and cut
 			// the run short, exactly as coalesce does.
 			if derr := vm.degrade(m, t.d.inst, sb.entry+i, cause); derr != nil {
-				return false, derr
+				return retired, false, derr
 			}
-			retired++
-			break
+			return retired + 1, true, nil
 		}
 		m.Advance(t.d.inst)
 		retired++
 	}
-	f.Coalesced = retired - 1
-	if t := m.Telem; t != nil {
-		t.SBHit(idx, f.Inst.Addr, f.Inst.Op, retired)
-	}
+	return retired, false, nil
+}
 
-	// The trace allocates shadow cells like any emulation; keep the epoch GC
-	// running on the same trigger the trap path uses.
-	if !vm.cfg.DisableGC && vm.Arena.Allocs()-vm.lastGC >= vm.gcEvery {
-		vm.RunGC()
+// stitchNext walks the glue between traces: starting at RIP it executes
+// instructions that can neither trap nor carry side-table dispatch —
+// branches, integer ops, FP moves and bitwise ops, stack and output
+// instructions — until control lands on a superblock entry (returned) or the
+// walk must stop (-1): an FP-arith instruction (it would deliver a trap,
+// which only the dispatch loop may do), a halt, any side-table entry, an
+// off-boundary RIP, or the glue cap. Executed glue is indistinguishable from
+// native dispatch — ExecAt is Step minus the patch check, and glue has no
+// patch — so severing the walk at any point leaves the machine exactly where
+// the ordinary loop would pick it up. A genuine machine fault propagates;
+// native execution would die the same way.
+func (vm *VM) stitchNext(m *machine.Machine) (int, error) {
+	insts := m.Insts()
+	for g := 0; ; g++ {
+		idx, ok := m.InstIndex(m.RIP)
+		if !ok {
+			return -1, nil // next Step reports the boundary fault
+		}
+		if vm.sblocks[idx] != nil {
+			return idx, nil
+		}
+		if g == stitchGlueCap {
+			return -1, nil
+		}
+		op := insts[idx].Op
+		if op.IsFPArith() || op == isa.OpHalt || m.SeqBarrier(idx) {
+			return -1, nil
+		}
+		if err := m.ExecAt(idx); err != nil {
+			return -1, err
+		}
 	}
-	return true, nil
+}
+
+// degradeJITStitch records an injected stitch-link failure: the chain is
+// severed before entering the successor, whose state is untouched — the next
+// Step dispatches it through its own patch — so nothing is re-executed and
+// nothing is blacklisted; only the degradation is accounted.
+func (vm *VM) degradeJITStitch(m *machine.Machine, idx int) {
+	vm.Stats.Degradations++
+	vm.Stats.DegradeByCause[telemetry.DegradeJIT]++
+	if t := m.Telem; t != nil {
+		in := m.Insts()[idx]
+		t.Degradation(idx, in.Addr, in.Op, telemetry.DegradeJIT, m.Cycles)
+	}
 }
 
 // revalidateSB checks a superblock against the current side table. An
@@ -243,20 +360,23 @@ func (vm *VM) revalidateSB(m *machine.Machine, sb *superblock) bool {
 	return true
 }
 
-// invalidateSB discards the superblock at idx: the cache entry is dropped,
-// the entry patch removed (native dispatch resumes, re-trapping into the
-// classic path), and the site's threshold counter reset so it must prove
-// itself hot again before recompiling.
-func (vm *VM) invalidateSB(m *machine.Machine, idx int, f *machine.TrapFrame) {
+// invalidateSB discards the superblock at idx: the local cache entry is
+// dropped (a shared-cache original, if any, is untouched — it stays valid
+// for sessions whose side tables still permit it), the entry patch removed
+// (native dispatch resumes, re-trapping into the classic path), and the
+// site's threshold counter reset so it must prove itself hot again before
+// recompiling.
+func (vm *VM) invalidateSB(m *machine.Machine, idx int) {
 	sb := vm.sblocks[idx]
 	if sb == nil {
 		return
 	}
 	vm.sblocks[idx] = nil
 	vm.jitCounts[idx] = 0
-	m.SetPatch(f.Inst.Addr, nil)
+	in := m.Insts()[idx]
+	m.SetPatch(in.Addr, nil)
 	m.Stats.SBInvalidations++
 	if t := m.Telem; t != nil {
-		t.SBInvalidate(idx, f.Inst.Addr, f.Inst.Op, sb.hits, m.Cycles)
+		t.SBInvalidate(idx, in.Addr, in.Op, sb.hits, m.Cycles)
 	}
 }

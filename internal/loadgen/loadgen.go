@@ -53,6 +53,10 @@ type Report struct {
 	P50      time.Duration // median per-session latency
 	P99      time.Duration // 99th-percentile per-session latency
 	Pool     session.PoolStats
+	// SBCompiled sums superblock compiles across all runs. Under a shared
+	// warm SBCache this stays near the distinct-entry count of the program
+	// (only the first tenant compiles); without one it scales with Sessions.
+	SBCompiled uint64
 }
 
 // Write renders the one-line human summary used by -selftest and the bench
@@ -62,6 +66,9 @@ func (r *Report) Write(w io.Writer) {
 		r.Sessions, r.Workers, r.PerSec, r.P50, r.P99, r.Errors)
 	if r.Pool.Gets > 0 {
 		fmt.Fprintf(w, " (pool: %d gets, %d fresh)", r.Pool.Gets, r.Pool.News)
+	}
+	if r.SBCompiled > 0 {
+		fmt.Fprintf(w, " (sb compiles: %d)", r.SBCompiled)
 	}
 	fmt.Fprintln(w)
 }
@@ -76,6 +83,7 @@ func Run(pool *session.Pool, prog *isa.Program, cfg session.Config, opts Options
 	before := pool.Stats()
 	durs := make([]time.Duration, opts.Sessions)
 	var next, errs atomic.Int64
+	var sbCompiled atomic.Uint64
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
@@ -88,8 +96,10 @@ func Run(pool *session.Pool, prog *isa.Program, cfg session.Config, opts Options
 					return
 				}
 				t0 := time.Now()
-				if _, err := pool.Run(prog, cfg); err != nil {
+				if res, err := pool.Run(prog, cfg); err != nil {
 					errs.Add(1)
+				} else {
+					sbCompiled.Add(res.Machine.SBCompiled)
 				}
 				durs[i] = time.Since(t0)
 			}
@@ -97,6 +107,7 @@ func Run(pool *session.Pool, prog *isa.Program, cfg session.Config, opts Options
 	}
 	wg.Wait()
 	rep := summarize(durs, time.Since(start), opts, int(errs.Load()))
+	rep.SBCompiled = sbCompiled.Load()
 	after := pool.Stats()
 	rep.Pool = session.PoolStats{
 		Gets: after.Gets - before.Gets,

@@ -51,15 +51,24 @@ type Config struct {
 	// NoPatch skips the §4.2 static analysis + correctness patching. The
 	// default mirrors the full pipeline, as the experiments harness does.
 	NoPatch bool
-	// MaxSequenceLen, StormThreshold, JITThreshold, GCEveryNAllocs,
-	// ArenaSoftCap, ArenaHardCap, and Inject pass through to fpvm.Config.
+	// MaxSequenceLen, StormThreshold, JITThreshold, StitchDepth,
+	// GCEveryNAllocs, ArenaSoftCap, ArenaHardCap, and Inject pass through to
+	// fpvm.Config.
 	MaxSequenceLen int
 	StormThreshold uint64
 	JITThreshold   int
+	StitchDepth    int
 	GCEveryNAllocs uint64
 	ArenaSoftCap   int
 	ArenaHardCap   int
 	Inject         *faultinject.Injector
+	// SBCache, when non-nil, shares compiled superblocks across every session
+	// (and pool checkout) pointing at it: only the first session per cached
+	// program pays the warm-up and compile, later checkouts adopt the traces
+	// at attach time. Sharing is keyed by pointer-identical *isa.Program, so
+	// it composes with the session's own predecode/analysis caches. Requires
+	// JITThreshold > 0 to have any effect.
+	SBCache *fpvm.SBCache
 	// Delivery selects the trap delivery model (default user signal).
 	Delivery trap.Kind
 	// Telemetry attaches the session's collector to the run, enabling the
@@ -202,6 +211,8 @@ func (s *Session) Run(prog *isa.Program, cfg Config) (Result, error) {
 		MaxSequenceLen: cfg.MaxSequenceLen,
 		StormThreshold: cfg.StormThreshold,
 		JITThreshold:   cfg.JITThreshold,
+		StitchDepth:    cfg.StitchDepth,
+		SBCache:        cfg.SBCache,
 		ArenaSoftCap:   cfg.ArenaSoftCap,
 		ArenaHardCap:   cfg.ArenaHardCap,
 		Inject:         cfg.Inject,
