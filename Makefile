@@ -3,10 +3,10 @@ FUZZTIME ?= 30s
 # Minimum aggregate statement coverage (percent) over ./internal/...
 COVERFLOOR ?= 80
 
-.PHONY: ci fmt vet build test race cover oracle chaos bench-smoke bench-gate bench-record serve-smoke fuzz-smoke bench
+.PHONY: ci fmt vet build test race cover oracle chaos bench-smoke bench-gate bench-record serve-smoke sanitize-smoke fuzz-smoke bench
 
 # ci mirrors .github/workflows/ci.yml exactly.
-ci: fmt vet build test race cover oracle chaos bench-gate serve-smoke fuzz-smoke
+ci: fmt vet build test race cover oracle chaos bench-gate serve-smoke sanitize-smoke fuzz-smoke
 
 fmt:
 	@files=$$(gofmt -l .); \
@@ -79,11 +79,21 @@ bench-record:
 serve-smoke:
 	$(GO) run ./cmd/fpvm-serve -smoke
 
+# Sanitizer smoke (DESIGN.md §12): the corpus expectations (naive kernels
+# flagged at the guilty PC, stable rewrites clean), then one NAS target under
+# -sanitize (report must be non-empty: grep for the banner's site count) and
+# under -certify (exit 0 = every output proved inside its enclosure).
+sanitize-smoke:
+	$(GO) test -run '^TestCorpus$$' ./internal/sanitize
+	$(GO) run ./cmd/fpvm-run -workload "NAS EP/Class S" -sanitize | grep -q 'samples over [1-9][0-9]* sites'
+	$(GO) run ./cmd/fpvm-run -workload "NAS EP/Class S" -certify > /dev/null
+
 # Short coverage-guided fuzzing passes (beyond the checked-in seed corpus,
 # which already runs as part of `test`).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDifferentialOracle$$' -fuzztime $(FUZZTIME) ./internal/oracle
 	$(GO) test -run '^$$' -fuzz '^FuzzRawExecution$$' -fuzztime $(FUZZTIME) ./internal/machine
+	$(GO) test -run '^$$' -fuzz '^FuzzSanitize$$' -fuzztime $(FUZZTIME) ./internal/sanitize
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -35,6 +35,7 @@ import (
 	"fpvm/internal/oracle"
 	"fpvm/internal/patch"
 	"fpvm/internal/posit"
+	"fpvm/internal/sanitize"
 	"fpvm/internal/telemetry"
 	"fpvm/internal/trap"
 	"fpvm/internal/workloads"
@@ -103,6 +104,10 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		traceOut  = fs.String("trace", "", "write the telemetry event stream (trap entry/exit, promotions, demotions, GC epochs, sequences) to this JSONL file")
 		topSites  = fs.Int("topsites", 0, "print the N hottest trap sites (per-PC hits, attributed cycles, exception flags) after the run")
 		storm     = fs.Uint64("storm", 0, "trap-storm governor threshold: sites trapping more than N times are patched to demote and stay native (0 = off)")
+		sanRun    = fs.Bool("sanitize", false, "numerical sanitizer: shadow every emulated FP op with high-precision and interval arithmetic and report ranked cancellation/error sites (results stay bit-identical)")
+		sanThresh = fs.Float64("sanitize-threshold", sanitize.DefaultThresholdBits, "lost-bits threshold above which a site is flagged (with -sanitize)")
+		sanPrec   = fs.Uint("sanitize-prec", 0, "high-precision shadow mantissa bits (0 = default, with -sanitize)")
+		certify   = fs.Bool("certify", false, "interval certification: record an enclosure per guest output and fail unless every native output is proved contained (implies -sanitize)")
 		faults    = fs.String("faults", "", "fault-injection spec, e.g. seed=7,rate=0.001,decode=0.01,corrupt=0.0001,site=0x40:emulate")
 		chaosRun  = fs.Bool("chaos", false, "chaos suite: sweep targets through seeded fault-injection campaigns and enforce the degradation invariants")
 		seeds     = fs.Int("seeds", 3, "injection seeds per target per tier (with -chaos)")
@@ -115,6 +120,13 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "fpvm-run:", err)
 		return 1
+	}
+
+	sanitizing := *sanRun || *certify
+	if sanitizing && *arithName == "" {
+		// The sanitizer wraps an arithmetic system; certification soundness is
+		// stated against Vanilla's per-op rounding, so that is the default.
+		*arithName = "vanilla"
 	}
 
 	maxSeq := 0
@@ -156,7 +168,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *chaosRun {
-		return runChaos(stdout, stderr, *workload, injectCfg, *seeds, *storm, jitT, stitchDepth, *maxInst)
+		return runChaos(stdout, stderr, *workload, injectCfg, *seeds, *storm, jitT, stitchDepth, *maxInst, sanitizing)
 	}
 
 	if *oracleRun {
@@ -204,6 +216,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Errorf("-faults, -storm, and -jit act on the FPVM runtime; pick an -arith system"))
 	}
 	var inj *faultinject.Injector
+	var san *sanitize.Sanitizer
 	if *arithName != "" {
 		sys, err := selectArith(*arithName, *prec)
 		if err != nil {
@@ -222,6 +235,14 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		if injectCfg != nil {
 			inj = faultinject.New(*injectCfg)
 		}
+		if sanitizing {
+			san = sanitize.New(sanitize.Options{
+				Primary:       sys,
+				Prec:          *sanPrec,
+				ThresholdBits: *sanThresh,
+				Certify:       *certify,
+			})
+		}
 		vm = fpvm.Attach(m, fpvm.Config{
 			System:         sys,
 			MaxSequenceLen: maxSeq,
@@ -229,6 +250,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 			JITThreshold:   jitT,
 			StitchDepth:    stitchDepth,
 			Inject:         inj,
+			Sanitize:       san,
 		})
 		if *patchMode {
 			vm.PatchAllFPArith()
@@ -274,7 +296,22 @@ func Run(args []string, stdout, stderr io.Writer) int {
 				m.Stats.Trap.TotalCycles(), m.Stats.Trap.Delivered)
 		}
 	}
-	return finishTelemetry(stdout, stderr, telem, *traceOut, *topSites)
+	rc := finishTelemetry(stdout, stderr, telem, *traceOut, *topSites)
+	if san != nil {
+		rep := san.Snapshot()
+		n := *topSites
+		if n <= 0 {
+			n = 10
+		}
+		rep.Write(stdout, n)
+		if c := rep.Certification; c != nil {
+			c.Write(stdout)
+			if !c.Pass() && rc == 0 {
+				rc = 1
+			}
+		}
+	}
+	return rc
 }
 
 // finishTelemetry renders the post-run telemetry artifacts: the hot-site
@@ -372,13 +409,14 @@ func runOracle(stdout, stderr io.Writer, workload, asmFile string, prec uint, ma
 // hard degradation invariants. A -faults spec seeds the sweep: its seed
 // becomes the base seed, its highest seam rate the uniform error rate, and
 // its corrupt rate the corruption-tier rate.
-func runChaos(stdout, stderr io.Writer, workload string, inject *faultinject.Config, seeds int, storm uint64, jitT, stitchDepth int, maxInst uint64) int {
+func runChaos(stdout, stderr io.Writer, workload string, inject *faultinject.Config, seeds int, storm uint64, jitT, stitchDepth int, maxInst uint64, sanitize bool) int {
 	opts := chaos.Options{
 		Seeds:          seeds,
 		StormThreshold: storm,
 		JITThreshold:   jitT,
 		StitchDepth:    stitchDepth,
 		MaxInst:        maxInst,
+		Sanitize:       sanitize,
 		Log:            stderr,
 	}
 	if workload != "" {

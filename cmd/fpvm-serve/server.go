@@ -12,6 +12,7 @@ import (
 	"fpvm/internal/fpvm"
 	"fpvm/internal/isa"
 	"fpvm/internal/oracle"
+	"fpvm/internal/sanitize"
 	"fpvm/internal/session"
 	"fpvm/internal/telemetry"
 )
@@ -74,6 +75,8 @@ type tenantState struct {
 	sbCompiled   atomic.Uint64 // superblocks this tenant's runs compiled
 	sbHits       atomic.Uint64 // superblock entries this tenant's runs served
 	sbStitched   atomic.Uint64 // entries served through stitch links
+	sanitizeRuns atomic.Uint64 // runs with the sanitizer armed
+	certifyRuns  atomic.Uint64 // runs with interval certification armed
 }
 
 // server is the multi-tenant execution service: a session pool, a bounded
@@ -98,6 +101,11 @@ type server struct {
 	sbCompiled atomic.Uint64
 	sbHits     atomic.Uint64
 	sbStitched atomic.Uint64
+
+	sanitizeRuns    atomic.Uint64 // runs with the sanitizer armed
+	sanitizeFlagged atomic.Uint64 // sanitized runs that flagged at least one site
+	certifyRuns     atomic.Uint64 // runs with certification armed
+	certifyFailed   atomic.Uint64 // certification runs whose verdict was FAIL
 }
 
 func newServer(cfg serverConfig) *server {
@@ -154,6 +162,16 @@ type runRequest struct {
 	Trace bool `json:"trace,omitempty"`
 	// TopSites returns the N hottest trap sites.
 	TopSites int `json:"topsites,omitempty"`
+	// Sanitize arms the numerical sanitizer for this run; the response then
+	// carries the ranked cancellation/error report. Architectural results are
+	// bit-identical with or without it.
+	Sanitize bool `json:"sanitize,omitempty"`
+	// SanitizeThreshold is the lost-bits flagging threshold (0 = default).
+	SanitizeThreshold float64 `json:"sanitize_threshold,omitempty"`
+	// Certify additionally records an interval enclosure per guest output and
+	// reports whether every native output is proved contained (implies
+	// Sanitize).
+	Certify bool `json:"certify,omitempty"`
 	// Tenant is the accounting identity (default "anonymous"); the
 	// X-FPVM-Tenant header takes precedence.
 	Tenant string `json:"tenant,omitempty"`
@@ -180,6 +198,96 @@ type runResponse struct {
 	Tenant           string               `json:"tenant"`
 	TopSites         []telemetry.SiteRank `json:"top_sites,omitempty"`
 	TraceJSONL       string               `json:"trace_jsonl,omitempty"`
+	Sanitize         *sanitizeSummary     `json:"sanitize,omitempty"`
+}
+
+// sanitizeSummary is the JSON-safe projection of a sanitize.Report: lost-bits
+// figures are always finite (clamped to [0, 53]) but enclosure widths can be
+// Inf or NaN, which encoding/json rejects — so widths travel as %g strings.
+type sanitizeSummary struct {
+	Primary       string          `json:"primary"`
+	Prec          uint            `json:"prec"`
+	ThresholdBits float64         `json:"threshold_bits"`
+	Samples       uint64          `json:"samples"`
+	Sites         int             `json:"sites"`
+	FlaggedSites  int             `json:"flagged_sites"`
+	Truncated     bool            `json:"truncated,omitempty"`
+	TopSites      []sanitizeSite  `json:"top_sites,omitempty"`
+	Certify       *certifySummary `json:"certify,omitempty"`
+}
+
+type sanitizeSite struct {
+	PC            string  `json:"pc"`
+	Op            string  `json:"op"`
+	Samples       uint64  `json:"samples"`
+	MaxLostBits   float64 `json:"max_lost_bits"`
+	MeanLostBits  float64 `json:"mean_lost_bits"`
+	Cancellations uint64  `json:"cancellations,omitempty"`
+	MaxCancelBits int     `json:"max_cancel_bits,omitempty"`
+	Depth         int     `json:"depth,omitempty"`
+	MaxWidth      string  `json:"max_width,omitempty"`
+	Flagged       bool    `json:"flagged,omitempty"`
+}
+
+type certifySummary struct {
+	Pass          bool   `json:"pass"`
+	Outputs       int    `json:"outputs"`
+	Proved        int    `json:"proved"`
+	Indeterminate int    `json:"indeterminate"`
+	Violated      int    `json:"violated"`
+	Dropped       uint64 `json:"dropped,omitempty"`
+	MaxWidth      string `json:"max_width,omitempty"`
+}
+
+// maxSanitizeSites caps the per-response site ranking; the full report stays
+// available to CLI users via fpvm-run -sanitize.
+const maxSanitizeSites = 16
+
+func summarizeSanitize(r *sanitize.Report) *sanitizeSummary {
+	sum := &sanitizeSummary{
+		Primary:       r.Primary,
+		Prec:          r.Prec,
+		ThresholdBits: r.ThresholdBits,
+		Samples:       r.Samples,
+		Sites:         len(r.Sites),
+		FlaggedSites:  r.FlaggedSites,
+		Truncated:     r.Truncated,
+	}
+	for i, s := range r.Sites {
+		if i >= maxSanitizeSites {
+			break
+		}
+		site := sanitizeSite{
+			PC:            fmt.Sprintf("%#x", s.PC),
+			Op:            s.Op,
+			Samples:       s.Samples,
+			MaxLostBits:   s.MaxLostBits,
+			MeanLostBits:  s.MeanLostBits,
+			Cancellations: s.Cancellations,
+			MaxCancelBits: s.MaxCancelBits,
+			Depth:         s.Depth,
+			Flagged:       s.Flagged,
+		}
+		if s.MaxWidth != 0 {
+			site.MaxWidth = fmt.Sprintf("%g", s.MaxWidth)
+		}
+		sum.TopSites = append(sum.TopSites, site)
+	}
+	if c := r.Certification; c != nil {
+		cs := &certifySummary{
+			Pass:          c.Pass(),
+			Outputs:       len(c.Outputs),
+			Proved:        c.Proved,
+			Indeterminate: c.Indeterminate,
+			Violated:      c.Violated,
+			Dropped:       c.Dropped,
+		}
+		if c.MaxWidth != 0 {
+			cs.MaxWidth = fmt.Sprintf("%g", c.MaxWidth)
+		}
+		sum.Certify = cs
+	}
+	return sum
 }
 
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -244,6 +352,11 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Telemetry:      req.Trace,
 		TopSites:       req.TopSites,
 	}
+	if req.Sanitize || req.Certify {
+		cfg.Sanitize = true
+		cfg.SanitizeThreshold = req.SanitizeThreshold
+		cfg.Certify = req.Certify
+	}
 	// Only pooled bundled programs share the warm cache: ad-hoc asm bodies
 	// have a fresh *isa.Program per request, so caching them would only grow
 	// the cache without ever hitting.
@@ -285,6 +398,22 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if res.BudgetExhausted || res.VM.Degradations > 0 || res.VM.StormPatches > 0 {
 		s.degraded.Add(1)
 	}
+	var sanSummary *sanitizeSummary
+	if res.Sanitize != nil {
+		sanSummary = summarizeSanitize(res.Sanitize)
+		s.sanitizeRuns.Add(1)
+		ts.sanitizeRuns.Add(1)
+		if sanSummary.FlaggedSites > 0 {
+			s.sanitizeFlagged.Add(1)
+		}
+		if c := sanSummary.Certify; c != nil {
+			s.certifyRuns.Add(1)
+			ts.certifyRuns.Add(1)
+			if !c.Pass {
+				s.certifyFailed.Add(1)
+			}
+		}
+	}
 
 	resp := runResponse{
 		Output:           res.Output,
@@ -306,6 +435,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Tenant:           tenant,
 		TopSites:         res.TopSites,
 		TraceJSONL:       string(res.TraceJSONL),
+		Sanitize:         sanSummary,
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -367,6 +497,12 @@ type statsResponse struct {
 	SBCompiled uint64 `json:"sb_compiled"`
 	SBHits     uint64 `json:"sb_hits"`
 	SBStitched uint64 `json:"sb_stitched"`
+	// Sanitizer counters: how many runs armed the sanitizer / certification
+	// and how many of those flagged sites or failed their verdict.
+	SanitizeRuns    uint64 `json:"sanitize_runs"`
+	SanitizeFlagged uint64 `json:"sanitize_flagged"`
+	CertifyRuns     uint64 `json:"certify_runs"`
+	CertifyFailed   uint64 `json:"certify_failed"`
 	// SharedSB describes the warm superblock cache (omitted when disabled).
 	SharedSB *sharedSBStats         `json:"shared_sb,omitempty"`
 	Pool     session.PoolStats      `json:"pool"`
@@ -393,20 +529,26 @@ type tenantStats struct {
 	SBCompiled   uint64 `json:"sb_compiled"`
 	SBHits       uint64 `json:"sb_hits"`
 	SBStitched   uint64 `json:"sb_stitched"`
+	SanitizeRuns uint64 `json:"sanitize_runs,omitempty"`
+	CertifyRuns  uint64 `json:"certify_runs,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
-		Requests:   s.requests.Load(),
-		Errors:     s.errors.Load(),
-		Degraded:   s.degraded.Load(),
-		Workers:    s.cfg.Workers,
-		InFlight:   len(s.sem),
-		SBCompiled: s.sbCompiled.Load(),
-		SBHits:     s.sbHits.Load(),
-		SBStitched: s.sbStitched.Load(),
-		Pool:       s.pool.Stats(),
-		Tenants:    make(map[string]tenantStats),
+		Requests:        s.requests.Load(),
+		Errors:          s.errors.Load(),
+		Degraded:        s.degraded.Load(),
+		Workers:         s.cfg.Workers,
+		InFlight:        len(s.sem),
+		SBCompiled:      s.sbCompiled.Load(),
+		SBHits:          s.sbHits.Load(),
+		SBStitched:      s.sbStitched.Load(),
+		SanitizeRuns:    s.sanitizeRuns.Load(),
+		SanitizeFlagged: s.sanitizeFlagged.Load(),
+		CertifyRuns:     s.certifyRuns.Load(),
+		CertifyFailed:   s.certifyFailed.Load(),
+		Pool:            s.pool.Stats(),
+		Tenants:         make(map[string]tenantStats),
 	}
 	if s.sbcache != nil {
 		cs := s.sbcache.Stats()
@@ -432,6 +574,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			SBCompiled:   ts.sbCompiled.Load(),
 			SBHits:       ts.sbHits.Load(),
 			SBStitched:   ts.sbStitched.Load(),
+			SanitizeRuns: ts.sanitizeRuns.Load(),
+			CertifyRuns:  ts.certifyRuns.Load(),
 		}
 	}
 	s.mu.Unlock()

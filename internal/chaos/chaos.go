@@ -61,6 +61,11 @@ type Options struct {
 	// ArenaSoftCap / ArenaHardCap exercise arena-pressure handling (0 = off).
 	ArenaSoftCap int
 	ArenaHardCap int
+	// Sanitize attaches the numerical sanitizer to the error tier, exposing
+	// the sanitize seam: an injected sanitizer failure must truncate the
+	// report (typed degradation) while the guest run — still gated on full
+	// Vanilla bit-identity — is unharmed.
+	Sanitize bool
 	// MaxInst bounds each run (0 = 20M, far above any workload's length).
 	MaxInst uint64
 	// Log receives one line per run when non-nil.
@@ -92,7 +97,12 @@ type Summary struct {
 	SBStitched      uint64
 	SBInvalidations uint64
 	JITDegradations uint64
-	Failures        []Failure
+	// Sanitizer accounting (Options.Sanitize): injected sanitize-seam faults
+	// absorbed as report truncation, and how many runs ended truncated.
+	SanitizeDegradations uint64
+	SanitizeTruncated    uint64
+	SanitizeSamples      uint64
+	Failures             []Failure
 }
 
 // Ok reports whether every run upheld every invariant.
@@ -137,6 +147,12 @@ func Run(o Options) *Summary {
 				// per-chain, not per-delivery, so boost the seam until severed
 				// links are a routine event in every sweep.
 				errCfg.Rate[faultinject.SeamSBStitch] = 0.25
+			}
+			if o.Sanitize {
+				// The sanitize seam truncates once and then stops being
+				// crossed, so a high rate just means every sweep proves the
+				// truncation path instead of waiting for a rare fire.
+				errCfg.Rate[faultinject.SeamSanitize] = 0.25
 			}
 			s.runOne(t, "error", seed, errCfg, o, true)
 
@@ -184,6 +200,7 @@ func (s *Summary) runOne(t oracle.Target, tier string, seed uint64,
 			StitchDepth:    o.StitchDepth,
 			ArenaSoftCap:   o.ArenaSoftCap,
 			ArenaHardCap:   o.ArenaHardCap,
+			Sanitize:       o.Sanitize,
 		})
 	}()
 
@@ -197,6 +214,13 @@ func (s *Summary) runOne(t oracle.Target, tier string, seed uint64,
 		s.SBStitched += v.SBStitched
 		s.SBInvalidations += v.SBInvalidations
 		s.JITDegradations += v.JITDegradations
+		s.SanitizeDegradations += v.SanitizeDegradations
+		if r := v.SanitizeReport; r != nil {
+			s.SanitizeSamples += r.Samples
+			if r.Truncated {
+				s.SanitizeTruncated++
+			}
+		}
 		if wantIdentical && !v.BitIdentical() {
 			fail("bit-identical", fmt.Sprintf(
 				"degraded Vanilla diverged from native (first PC %#x op %s; inject %s)",
@@ -245,5 +269,9 @@ func (s *Summary) WriteReport(w io.Writer) {
 	if s.SBCompiled > 0 || s.JITDegradations > 0 {
 		fmt.Fprintf(w, "chaos: jit tier — %d superblocks compiled, %d entries stitched, %d invalidated, %d compile/stitch faults degraded\n",
 			s.SBCompiled, s.SBStitched, s.SBInvalidations, s.JITDegradations)
+	}
+	if s.SanitizeDegradations > 0 || s.SanitizeTruncated > 0 {
+		fmt.Fprintf(w, "chaos: sanitize — %d samples, %d injected faults truncated %d reports (guest runs unharmed)\n",
+			s.SanitizeSamples, s.SanitizeDegradations, s.SanitizeTruncated)
 	}
 }

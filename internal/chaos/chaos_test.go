@@ -162,3 +162,48 @@ func TestChaosFull(t *testing.T) {
 		t.Fatalf("acceptance requires >= 50 seeded runs, got %d", s.Runs)
 	}
 }
+
+// TestChaosSanitize arms the sanitize seam: injected faults at the shadow
+// observation layer must degrade as a typed truncation — the report covers
+// the prefix and stops, while the guest run itself stays bit-identical to
+// native. The corruption tier is disabled (negative rate) so every campaign
+// exercises the sanitizer.
+func TestChaosSanitize(t *testing.T) {
+	var targets []oracle.Target
+	for _, name := range []string{
+		"example:quickstart/harmonic",
+		"workload:FBench",
+		"workload:NAS EP/Class S",
+	} {
+		tg, err := oracle.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets = append(targets, tg)
+	}
+	var log bytes.Buffer
+	s := Run(Options{
+		Targets:        targets,
+		Seeds:          2,
+		Rate:           1e-3,
+		CorruptRate:    -1, // sanitizer reports are meaningless on corrupted boxes
+		StormThreshold: 500,
+		ArenaSoftCap:   1 << 14,
+		ArenaHardCap:   1 << 15,
+		Sanitize:       true,
+		Log:            &log,
+	})
+	if !s.Ok() {
+		s.WriteReport(&log)
+		t.Fatalf("chaos invariants violated with sanitizer armed:\n%s", log.String())
+	}
+	if s.SanitizeSamples == 0 {
+		t.Fatal("sanitizer observed nothing — the wrapper is not attached under chaos")
+	}
+	if s.SanitizeDegradations == 0 {
+		t.Fatal("no sanitize-seam faults fired — the seam is not under chaos")
+	}
+	if s.SanitizeTruncated == 0 {
+		t.Fatal("injected sanitize faults never truncated a report")
+	}
+}

@@ -54,13 +54,20 @@ const (
 	// dispatch on the next Step, accounted as a typed DegradeJIT
 	// degradation.
 	SeamSBStitch
+	// SeamSanitize fails the numerical sanitizer's shadow bookkeeping (as
+	// if a shadow allocation or high-precision step could not complete).
+	// The sanitizer truncates its report and stops observing — a typed
+	// account-only degradation; the guest run itself is never harmed. The
+	// seam is only crossed when a sanitizer is attached, so campaigns
+	// without one see identical injection streams.
+	SeamSanitize
 
 	// NumSeams is the number of named seams.
-	NumSeams = int(SeamSBStitch) + 1
+	NumSeams = int(SeamSanitize) + 1
 )
 
 var seamNames = [NumSeams]string{
-	"decode", "bind", "emulate", "arena", "gc-scan", "mem-access", "sb-compile", "sb-stitch",
+	"decode", "bind", "emulate", "arena", "gc-scan", "mem-access", "sb-compile", "sb-stitch", "sanitize",
 }
 
 // String names the seam as it appears in specs, stats, and telemetry.
@@ -128,7 +135,7 @@ func (c Config) Enabled() bool {
 //	seed=N          stream seed (default 1)
 //	rate=P          per-crossing probability for every error seam
 //	<seam>=P        per-seam override: decode, bind, emulate, arena,
-//	                gc-scan, mem-access
+//	                gc-scan, mem-access, sb-compile, sb-stitch, sanitize
 //	corrupt=P       NaN-box payload corruption probability
 //	site=PC:<seam>  force the seam to fault at guest address PC (repeatable)
 //

@@ -18,6 +18,7 @@ import (
 	"fpvm/internal/isa"
 	"fpvm/internal/machine"
 	"fpvm/internal/nanbox"
+	"fpvm/internal/sanitize"
 	"fpvm/internal/telemetry"
 )
 
@@ -122,6 +123,17 @@ type Config struct {
 	// guest-visible output. nil disables sharing and preserves behavior bit
 	// for bit.
 	SBCache *SBCache
+	// Sanitize attaches the numerical sanitizer: the guest runs under the
+	// sanitizer's wrapping arithmetic system, which carries a high-precision
+	// and an interval shadow beside every primary value, and the VM feeds it
+	// per-instruction PC attribution from all three retirement paths (trap
+	// delivery, sequence coalescing, superblock thunks). When set it
+	// supersedes Config.System (the wrapper's primary is the architectural
+	// system); because the wrapper delegates every guest-visible decision
+	// and OpCycles to its primary, sanitizer-on is bit- and cycle-identical
+	// to sanitizer-off. nil disables sanitizing and preserves behavior bit
+	// for bit.
+	Sanitize *sanitize.Sanitizer
 	// Inject attaches a fault injector to the runtime's seams (testing /
 	// chaos suite). nil disables injection and preserves behavior bit for
 	// bit.
@@ -194,6 +206,8 @@ type VM struct {
 	inject   *faultinject.Injector // nil = no injection (the common case)
 	injectPC uint64                // PC injected faults attribute to (maintained only when inject != nil)
 
+	san *sanitize.Sanitizer // nil = no sanitizer (the common case)
+
 	// Hook closures, created once on first attach. Method values allocate at
 	// the point they are taken, so Reattach reinstalls these cached funcs
 	// instead of re-taking vm.handleFPTrap etc. — keeping session reuse free
@@ -238,6 +252,12 @@ func Attach(m *machine.Machine, cfg Config) *VM {
 // reattached VM is bit-identical in behavior, stats, and modeled cycles to
 // one returned by Attach on a fresh machine.
 func (vm *VM) Reattach(m *machine.Machine, cfg Config) {
+	if cfg.Sanitize != nil {
+		cfg.System = cfg.Sanitize.System()
+		// Callers install m.Telem before attaching; mirror sanitizer
+		// observations into the same site table -topsites ranks.
+		cfg.Sanitize.BindTelemetry(m.Telem)
+	}
 	if cfg.System == nil {
 		panic("fpvm: Config.System is required")
 	}
@@ -259,6 +279,7 @@ func (vm *VM) Reattach(m *machine.Machine, cfg Config) {
 	vm.telemPC = 0
 	vm.inject = cfg.Inject
 	vm.injectPC = 0
+	vm.san = cfg.Sanitize
 	vm.scratch = [3]arith.Value{}
 	vm.Arena.Reset()
 
@@ -353,6 +374,9 @@ func (vm *VM) handleFPTrap(f *machine.TrapFrame) error {
 	if vm.inject != nil {
 		vm.injectPC = f.Inst.Addr
 	}
+	if vm.san != nil {
+		vm.sanNote(f.M, f.Idx, f.Inst)
+	}
 	// Read and clear the sticky condition flags, as the paper's handler
 	// does in preparation for the next instruction.
 	f.M.MXCSR.ClearFlags()
@@ -393,6 +417,27 @@ func (vm *VM) handleFPTrap(f *machine.TrapFrame) error {
 		vm.RunGC()
 	}
 	return nil
+}
+
+// sanNote attributes the instruction about to retire to the sanitizer and
+// crosses the sanitize fault seam. An injected sanitizer failure truncates
+// the report as a typed account-only degradation — like a failed superblock
+// compile, nothing re-executes and the guest run is untouched. Callers
+// guard with vm.san != nil, so the disabled path stays a single nil check.
+func (vm *VM) sanNote(m *machine.Machine, idx int, in isa.Inst) {
+	if vm.san.Truncated() {
+		return
+	}
+	if j := vm.inject; j != nil && j.Fire(faultinject.SeamSanitize, in.Addr) {
+		vm.san.Truncate()
+		vm.Stats.Degradations++
+		vm.Stats.DegradeByCause[telemetry.DegradeSanitize]++
+		if t := m.Telem; t != nil {
+			t.Degradation(idx, in.Addr, in.Op, telemetry.DegradeSanitize, m.Cycles)
+		}
+		return
+	}
+	vm.san.SetSite(idx, in.Addr)
 }
 
 // emulateOne runs the full decode → bind → emulate path for one instruction.

@@ -68,6 +68,9 @@ func (vm *VM) coalesce(f *machine.TrapFrame) (int, error) {
 		if m.Telem != nil {
 			vm.telemPC = insts[idx].Addr // attribute this run step's events
 		}
+		if vm.san != nil {
+			vm.sanNote(m, idx, insts[idx])
+		}
 		if err := vm.emulateOne(m, idx, insts[idx]); err != nil {
 			cause, ok := asDegrade(err)
 			if !ok {

@@ -267,6 +267,11 @@ func (vm *VM) runSBThunks(m *machine.Machine, sb *superblock) (retired int, cut 
 		if m.Telem != nil {
 			vm.telemPC = t.d.inst.Addr
 		}
+		if vm.san != nil {
+			// Superblock multi-retire: attribute each thunk's shadow
+			// observations to its own PC, not the trace entry's.
+			vm.sanNote(m, sb.entry+i, t.d.inst)
+		}
 		vm.Stats.Cycles.Emulate += vm.costs.SBDispatch
 		m.Cycles += vm.costs.SBDispatch
 		if rerr := t.run(vm, m, &t.d); rerr != nil {

@@ -45,6 +45,7 @@ import (
 	"fpvm/internal/nanbox"
 	"fpvm/internal/patch"
 	"fpvm/internal/posit"
+	"fpvm/internal/sanitize"
 	"fpvm/internal/telemetry"
 )
 
@@ -101,6 +102,22 @@ type Options struct {
 	StitchDepth    int
 	ArenaSoftCap   int
 	ArenaHardCap   int
+	// Sanitize attaches the numerical sanitizer to every virtualized run
+	// (each system becomes the primary of a sanitize wrapper). Because the
+	// wrapper delegates all architectural decisions and op cycles to its
+	// primary, every oracle gate — Vanilla bit-exactness included — must
+	// pass unchanged with this on: that is the sanitizer's differential
+	// invariance property.
+	Sanitize bool
+	// SanitizeThreshold is the lost-bits flagging threshold
+	// (0 = sanitize.DefaultThresholdBits).
+	SanitizeThreshold float64
+	// SanitizePrec is the high-precision shadow's mantissa bits
+	// (0 = sanitize.DefaultPrec).
+	SanitizePrec uint
+	// SanitizeCertify additionally records output enclosures and their
+	// containment verdicts in SanitizeReport.Certification.
+	SanitizeCertify bool
 }
 
 // DefaultMaxInst bounds oracle runs when Options.MaxInst is zero.
@@ -114,40 +131,20 @@ func DefaultSystems() []arith.System {
 }
 
 // OpError aggregates the relative error of one abstract operation kind
-// between the virtualized trace and the lockstep native IEEE trace.
+// between the virtualized trace and the lockstep native IEEE trace. The
+// sampler itself is the shared sanitize.Sample — the sanitizer measures
+// divergence with exactly the same arithmetic.
 type OpError struct {
-	Count   uint64  // lanes compared
-	Diverse uint64  // lanes with any difference at all
-	Max     float64 // worst relative error
-	Sum     float64 // for the mean
-}
-
-// Mean returns the mean relative error over all compared lanes.
-func (e *OpError) Mean() float64 {
-	if e.Count == 0 {
-		return 0
-	}
-	return e.Sum / float64(e.Count)
+	sanitize.Sample
 }
 
 // SiteError aggregates the shadow divergence attributed to one instruction
 // address — the NSan-style sampling that names the operation which produced
 // an error, rather than only the operation kind.
 type SiteError struct {
-	PC      uint64  // guest code address
-	Op      string  // mnemonic at that address
-	Count   uint64  // lanes compared
-	Diverse uint64  // lanes with any difference at all
-	Max     float64 // worst relative error produced here
-	Sum     float64 // for the mean
-}
-
-// Mean returns the mean relative error over all lanes compared at the site.
-func (e *SiteError) Mean() float64 {
-	if e.Count == 0 {
-		return 0
-	}
-	return e.Sum / float64(e.Count)
+	PC uint64 // guest code address
+	Op string // mnemonic at that address
+	sanitize.Sample
 }
 
 // TopDivergentSites returns the n sites with the worst attributed relative
@@ -221,6 +218,9 @@ type SystemReport struct {
 	SBStitched      uint64 // entries reached by stitch links (no dispatch at all)
 	SBInvalidations uint64 // superblocks discarded on side-table/code changes
 	JITDegradations uint64 // failed superblock compiles absorbed as degradations
+	// Sanitizer accounting (Options.Sanitize).
+	SanitizeReport       *sanitize.Report // ranked per-PC shadow report, nil when off
+	SanitizeDegradations uint64           // sanitize-seam faults absorbed as truncation
 	// NaN-box leak gate: after the final demote-everything pass and a
 	// closing GC sweep, no shadow cell may survive and no boxed pattern may
 	// remain anywhere in machine state.
@@ -347,6 +347,16 @@ func runSystem(t Target, sys arith.System, o Options) (*SystemReport, error) {
 		inj = faultinject.New(*o.Inject)
 		cfg.Inject = inj
 	}
+	var san *sanitize.Sanitizer
+	if o.Sanitize {
+		san = sanitize.New(sanitize.Options{
+			Primary:       sys,
+			Prec:          o.SanitizePrec,
+			ThresholdBits: o.SanitizeThreshold,
+			Certify:       o.SanitizeCertify,
+		})
+		cfg.Sanitize = san
+	}
 	vm := fpvm.Attach(vmach, cfg)
 
 	sr := &SystemReport{
@@ -460,6 +470,11 @@ func runSystem(t Target, sys arith.System, o Options) (*SystemReport, error) {
 	sr.SBStitched = vmach.Stats.SBStitched
 	sr.SBInvalidations = vmach.Stats.SBInvalidations
 	sr.JITDegradations = vm.Stats.DegradeByCause[telemetry.DegradeJIT]
+	if san != nil {
+		rep := san.Snapshot()
+		sr.SanitizeReport = &rep
+		sr.SanitizeDegradations = vm.Stats.DegradeByCause[telemetry.DegradeSanitize]
+	}
 	if inj != nil {
 		sr.InjectSummary = inj.Summary()
 	}
@@ -533,7 +548,7 @@ func compareStep(sr *SystemReport, nm *machine.Machine, vm *fpvm.VM,
 				continue
 			}
 			vb = demotedBits(vm, vb)
-			rel := relError(nb, vb)
+			rel := sanitize.RelError(nb, vb)
 			e := sr.OpErrors[aop]
 			if e == nil {
 				e = &OpError{}
@@ -544,20 +559,10 @@ func compareStep(sr *SystemReport, nm *machine.Machine, vm *fpvm.VM,
 				se = &SiteError{PC: pc, Op: in.Op.String()}
 				sr.SiteErrors[pc] = se
 			}
-			e.Count++
-			se.Count++
+			e.Note(rel, nb != vb)
+			se.Note(rel, nb != vb)
 			if nb != vb {
-				e.Diverse++
-				se.Diverse++
 				identical = false
-			}
-			e.Sum += rel
-			se.Sum += rel
-			if rel > e.Max {
-				e.Max = rel
-			}
-			if rel > se.Max {
-				se.Max = rel
 			}
 			if sr.FirstDivergencePC < 0 {
 				if vanilla && nb != vb {
@@ -604,34 +609,4 @@ func demotedBits(vm *fpvm.VM, bits uint64) uint64 {
 		return fpu.QNaN() // universal NaN demotes to the default qNaN
 	}
 	return math.Float64bits(vm.Sys.ToFloat64(v))
-}
-
-// relError computes |v-n| / max(|n|, DBL_MIN-ish) with NaN/Inf handling:
-// agreeing NaNs and exactly equal bits are zero error; a NaN on exactly one
-// side, or disagreeing infinities, count as infinite error.
-func relError(nbits, vbits uint64) float64 {
-	if nbits == vbits {
-		return 0
-	}
-	n := math.Float64frombits(nbits)
-	v := math.Float64frombits(vbits)
-	nNaN, vNaN := math.IsNaN(n), math.IsNaN(v)
-	switch {
-	case nNaN && vNaN:
-		return 0 // same class; payload differences are not numerical error
-	case nNaN || vNaN:
-		return math.Inf(1)
-	}
-	if math.IsInf(n, 0) || math.IsInf(v, 0) {
-		if n == v {
-			return 0
-		}
-		return math.Inf(1)
-	}
-	d := math.Abs(v - n)
-	den := math.Abs(n)
-	if den < math.SmallestNonzeroFloat64*1e16 { // n ~ 0: use absolute error
-		return d
-	}
-	return d / den
 }

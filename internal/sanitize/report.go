@@ -1,0 +1,265 @@
+package sanitize
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"fpvm/internal/arith"
+)
+
+// Site is the per-PC sanitizer record: one emulated instruction's
+// accumulated shadow observations.
+type Site struct {
+	PC uint64
+	Op string // abstract arith op, e.g. "add"
+	// Samples is the number of retired lanes observed here.
+	Samples uint64
+	// MaxLostBits is the worst shadow-verified precision loss, in bits of
+	// binary64 significand, clamped to [0, 53].
+	MaxLostBits float64
+	// MeanLostBits is the mean loss across samples (filled by Snapshot).
+	MeanLostBits float64
+	// Cancellations counts samples whose exponent drop crossed the
+	// threshold — NSan's catastrophic-cancellation heuristic.
+	Cancellations uint64
+	// MaxCancelBits is the worst exponent drop observed (0–53).
+	MaxCancelBits int
+	// Depth is the deepest cancellation lineage produced here: how many
+	// threshold-crossing cancellations feed the worst value this site made.
+	Depth int
+	// MaxWidth is the widest interval enclosure produced here.
+	MaxWidth float64
+	// Flagged reports that a value blaming this site — one whose error this
+	// site's operation introduced or last amplified — reached a consumption
+	// boundary (output, FP compare, FP→int conversion) still carrying at
+	// least the threshold's worth of lost bits. A large MaxLostBits without
+	// Flagged means the loss was reabsorbed before the guest could observe
+	// it (the compensated-summation pattern).
+	Flagged bool
+	// FlaggedLost is the worst lost-bits figure among the boundary
+	// crossings that flagged this site (0 when not flagged).
+	FlaggedLost float64
+
+	sumLost float64
+}
+
+// Report is an immutable snapshot of one sanitizer run, ranked worst-first.
+type Report struct {
+	Primary       string
+	Prec          uint
+	ThresholdBits float64
+	Samples       uint64
+	Truncated     bool
+	// Sites is every observed PC: flagged sites first (worst FlaggedLost
+	// leading), then by MaxLostBits descending, PC ascending on ties — the
+	// -topsites convention.
+	Sites        []Site
+	FlaggedSites int
+	// Certification is non-nil in certify mode.
+	Certification *Certification
+}
+
+// Snapshot captures the sanitizer's current state as a Report. The copy is
+// independent: pooled sessions may Reset the sanitizer afterwards.
+func (s *Sanitizer) Snapshot() Report {
+	rep := Report{
+		Primary:       s.primary.Name(),
+		Prec:          s.prec,
+		ThresholdBits: s.threshold,
+		Samples:       s.samples,
+		Truncated:     s.truncated,
+	}
+	for _, st := range s.sites {
+		c := *st
+		if c.Samples > 0 {
+			c.MeanLostBits = c.sumLost / float64(c.Samples)
+		}
+		if c.Flagged {
+			rep.FlaggedSites++
+		}
+		rep.Sites = append(rep.Sites, c)
+	}
+	sort.Slice(rep.Sites, func(i, j int) bool {
+		a, b := rep.Sites[i], rep.Sites[j]
+		if a.Flagged != b.Flagged {
+			return a.Flagged
+		}
+		if a.FlaggedLost != b.FlaggedLost {
+			return a.FlaggedLost > b.FlaggedLost
+		}
+		if a.MaxLostBits != b.MaxLostBits {
+			return a.MaxLostBits > b.MaxLostBits
+		}
+		return a.PC < b.PC
+	})
+	if s.certify {
+		rep.Certification = s.certification()
+	}
+	return rep
+}
+
+// Flagged returns the threshold-crossing sites in rank order.
+func (r *Report) Flagged() []Site {
+	var out []Site
+	for _, s := range r.Sites {
+		if s.Flagged {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Site returns the record for one PC, if observed.
+func (r *Report) Site(pc uint64) (Site, bool) {
+	for _, s := range r.Sites {
+		if s.PC == pc {
+			return s, true
+		}
+	}
+	return Site{}, false
+}
+
+// Write renders the ranked report in the -topsites table style: the worst
+// n sites (all of them when n <= 0).
+func (r *Report) Write(w io.Writer, n int) {
+	fmt.Fprintf(w, "sanitizer report: system=%s shadow=mpfr%d threshold=%g bits\n",
+		r.Primary, r.Prec, r.ThresholdBits)
+	fmt.Fprintf(w, "  %d samples over %d sites, %d flagged", r.Samples, len(r.Sites), r.FlaggedSites)
+	if r.Truncated {
+		fmt.Fprint(w, " (TRUNCATED: sanitizer degraded mid-run; report covers the prefix)")
+	}
+	fmt.Fprintln(w)
+	if len(r.Sites) == 0 {
+		return
+	}
+	sites := r.Sites
+	if n > 0 && len(sites) > n {
+		sites = sites[:n]
+	}
+	fmt.Fprintf(w, "  %-4s %-10s %-6s %9s %8s %9s %7s %6s %6s %11s\n",
+		"rank", "pc", "op", "samples", "maxlost", "meanlost", "cancel", "cbits", "depth", "width")
+	for i, s := range sites {
+		flag := ""
+		if s.Flagged {
+			flag = "  <-- FLAGGED"
+		}
+		fmt.Fprintf(w, "  %-4d 0x%08x %-6s %9d %8.2f %9.2f %7d %6d %6d %11.3g%s\n",
+			i+1, s.PC, s.Op, s.Samples, s.MaxLostBits, s.MeanLostBits,
+			s.Cancellations, s.MaxCancelBits, s.Depth, s.MaxWidth, flag)
+	}
+}
+
+// OutputStatus classifies one certify-mode output.
+type OutputStatus string
+
+const (
+	// StatusProved: the enclosure provably contains the architectural
+	// result (or both are NaN — the enclosure agrees the value is
+	// undefined along this path).
+	StatusProved OutputStatus = "proved"
+	// StatusIndeterminate: NaN on exactly one side; the enclosure neither
+	// contains nor excludes the result, so nothing is proven either way.
+	StatusIndeterminate OutputStatus = "indeterminate"
+	// StatusViolated: the architectural result falls outside its proven
+	// enclosure — a soundness failure.
+	StatusViolated OutputStatus = "violated"
+)
+
+// Output is one certified program output.
+type Output struct {
+	Value  float64 // the architectural (primary) output
+	Lo, Hi float64 // its interval enclosure
+	Width  float64
+	Status OutputStatus
+}
+
+// certified classifies an output against its enclosure.
+func certified(v float64, iv arith.Interval) Output {
+	o := Output{Value: v, Lo: iv.Lo, Hi: iv.Hi, Width: iv.Width()}
+	switch {
+	case math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi):
+		if math.IsNaN(v) {
+			o.Status = StatusProved
+		} else {
+			o.Status = StatusIndeterminate
+		}
+	case math.IsNaN(v):
+		o.Status = StatusIndeterminate
+	case iv.Lo <= v && v <= iv.Hi:
+		o.Status = StatusProved
+	default:
+		o.Status = StatusViolated
+	}
+	return o
+}
+
+// Certification is the certify-mode verdict: per-output enclosure checks
+// plus the run-level pass/fail.
+type Certification struct {
+	Outputs       []Output
+	Proved        int
+	Indeterminate int
+	Violated      int
+	// Dropped counts outputs beyond MaxOutputs, which were not certified.
+	Dropped uint64
+	// Truncated mirrors the report: a degraded sanitizer cannot certify
+	// outputs printed after the truncation point.
+	Truncated bool
+	// MaxWidth is the widest finite enclosure among recorded outputs.
+	MaxWidth float64
+}
+
+func (s *Sanitizer) certification() *Certification {
+	c := &Certification{Truncated: s.truncated, Dropped: s.outputsDropped}
+	c.Outputs = append([]Output(nil), s.outputs...)
+	for _, o := range c.Outputs {
+		switch o.Status {
+		case StatusProved:
+			c.Proved++
+		case StatusIndeterminate:
+			c.Indeterminate++
+		default:
+			c.Violated++
+		}
+		if !math.IsNaN(o.Width) && !math.IsInf(o.Width, 0) && o.Width > c.MaxWidth {
+			c.MaxWidth = o.Width
+		}
+	}
+	return c
+}
+
+// Pass reports whether the run is certified: every recorded output's
+// enclosure provably contains its architectural result, nothing was
+// dropped, and observation ran to completion.
+func (c *Certification) Pass() bool {
+	return c.Violated == 0 && c.Dropped == 0 && !c.Truncated
+}
+
+// Write renders the certification verdict and per-output table (capped at
+// 32 rows).
+func (c *Certification) Write(w io.Writer) {
+	verdict := "PASS"
+	if !c.Pass() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "certification: %s — %d outputs: %d proved, %d indeterminate, %d violated",
+		verdict, len(c.Outputs), c.Proved, c.Indeterminate, c.Violated)
+	if c.Dropped > 0 {
+		fmt.Fprintf(w, ", %d dropped past the cap", c.Dropped)
+	}
+	if c.Truncated {
+		fmt.Fprint(w, " (truncated)")
+	}
+	fmt.Fprintf(w, "; max width %.3g\n", c.MaxWidth)
+	const maxRows = 32
+	for i, o := range c.Outputs {
+		if i == maxRows {
+			fmt.Fprintf(w, "  ... and %d more outputs\n", len(c.Outputs)-maxRows)
+			break
+		}
+		fmt.Fprintf(w, "  out[%d] = %-22g in [%g, %g] width %.3g: %s\n",
+			i, o.Value, o.Lo, o.Hi, o.Width, o.Status)
+	}
+}

@@ -1,0 +1,88 @@
+package sanitize
+
+import "math"
+
+// RelError computes |got-ref| / max(|ref|, DBL_MIN-ish) with NaN/Inf
+// handling: agreeing NaNs and exactly equal bits are zero error; a NaN on
+// exactly one side, or disagreeing infinities, count as infinite error.
+// This is the single divergence metric shared by the differential oracle's
+// shadow sampler and the sanitizer's lost-bits accounting — one definition,
+// so a site the oracle calls divergent and a site the sanitizer flags are
+// measured on the same scale.
+func RelError(refBits, gotBits uint64) float64 {
+	if refBits == gotBits {
+		return 0
+	}
+	ref := math.Float64frombits(refBits)
+	got := math.Float64frombits(gotBits)
+	refNaN, gotNaN := math.IsNaN(ref), math.IsNaN(got)
+	switch {
+	case refNaN && gotNaN:
+		return 0 // same class; payload differences are not numerical error
+	case refNaN || gotNaN:
+		return math.Inf(1)
+	}
+	if math.IsInf(ref, 0) || math.IsInf(got, 0) {
+		if ref == got {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	d := math.Abs(got - ref)
+	den := math.Abs(ref)
+	if den < math.SmallestNonzeroFloat64*1e16 { // ref ~ 0: use absolute error
+		return d
+	}
+	return d / den
+}
+
+// LostBits converts a relative error into bits of binary64 precision lost:
+// 53 + log2(rel), clamped to [0, 53]. A correctly rounded result (rel about
+// 2^-53) loses ~0 bits; rel >= 1 (or an infinite error) means every
+// significand bit is garbage.
+func LostBits(rel float64) float64 {
+	if rel <= 0 {
+		return 0
+	}
+	if rel >= 1 || math.IsInf(rel, 1) {
+		return 53
+	}
+	lb := 53 + math.Log2(rel)
+	switch {
+	case lb < 0:
+		return 0
+	case lb > 53:
+		return 53
+	}
+	return lb
+}
+
+// Sample aggregates relative-error observations at one grain (per-op or
+// per-PC). The oracle's OpError and SiteError embed it; the sanitizer's
+// per-site accounting uses the same arithmetic.
+type Sample struct {
+	Count   uint64  // observations
+	Diverse uint64  // observations whose bit patterns differed
+	Max     float64 // worst relative error seen
+	Sum     float64 // running sum, for Mean
+}
+
+// Note records one observation.
+func (s *Sample) Note(rel float64, differs bool) {
+	s.Count++
+	if differs {
+		s.Diverse++
+	}
+	s.Sum += rel
+	if rel > s.Max {
+		s.Max = rel
+	}
+}
+
+// Mean returns the mean observed relative error.
+func (s *Sample) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}

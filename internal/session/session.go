@@ -29,6 +29,7 @@ import (
 	"fpvm/internal/isa"
 	"fpvm/internal/machine"
 	"fpvm/internal/patch"
+	"fpvm/internal/sanitize"
 	"fpvm/internal/telemetry"
 	"fpvm/internal/trap"
 )
@@ -78,6 +79,21 @@ type Config struct {
 	TelemetryRing int
 	// TopSites, when > 0, exports the N hottest trap sites into the Result.
 	TopSites int
+	// Sanitize arms the numerical sanitizer: the guest runs under
+	// Config.System wrapped with high-precision and interval shadows, and
+	// Result.Sanitize carries the ranked per-PC report. Architectural
+	// results and modeled cycles are unchanged (the wrapper delegates
+	// both), so a sanitized run is bit-identical to an unsanitized one.
+	Sanitize bool
+	// SanitizeThreshold is the lost-bits flagging threshold
+	// (0 = sanitize.DefaultThresholdBits).
+	SanitizeThreshold float64
+	// SanitizePrec is the high-precision shadow's mantissa bits
+	// (0 = sanitize.DefaultPrec).
+	SanitizePrec uint
+	// Certify additionally records every guest output's interval enclosure
+	// and its containment verdict (implies Sanitize).
+	Certify bool
 }
 
 // DefaultMaxInst bounds a run whose Config.MaxInst is zero: high enough for
@@ -116,6 +132,9 @@ type Result struct {
 	// TraceJSONL is the drained telemetry event trace (Config.Telemetry),
 	// one JSON object per line, ready to stream to a client.
 	TraceJSONL []byte
+	// Sanitize is the numerical sanitizer's report (Config.Sanitize or
+	// Config.Certify); a snapshot, valid after the session is pooled again.
+	Sanitize *sanitize.Report
 }
 
 // Session is one poolable execution context. The zero value is not usable;
@@ -124,6 +143,7 @@ type Session struct {
 	m     *machine.Machine
 	vm    *fpvm.VM
 	telem *telemetry.Collector
+	san   *sanitize.Sanitizer
 	out   bytes.Buffer
 	runs  uint64
 
@@ -217,6 +237,20 @@ func (s *Session) Run(prog *isa.Program, cfg Config) (Result, error) {
 		ArenaHardCap:   cfg.ArenaHardCap,
 		Inject:         cfg.Inject,
 	}
+	if cfg.Sanitize || cfg.Certify {
+		so := sanitize.Options{
+			Primary:       cfg.System,
+			Prec:          cfg.SanitizePrec,
+			ThresholdBits: cfg.SanitizeThreshold,
+			Certify:       cfg.Certify,
+		}
+		if s.san == nil {
+			s.san = sanitize.New(so)
+		} else {
+			s.san.Reset(so)
+		}
+		fcfg.Sanitize = s.san
+	}
 	if s.vm == nil {
 		s.vm = fpvm.Attach(s.m, fcfg)
 	} else {
@@ -258,6 +292,10 @@ func (s *Session) Run(prog *isa.Program, cfg Config) (Result, error) {
 		if werr := s.telem.WriteJSONL(&buf); werr == nil {
 			res.TraceJSONL = buf.Bytes()
 		}
+	}
+	if fcfg.Sanitize != nil {
+		rep := s.san.Snapshot()
+		res.Sanitize = &rep
 	}
 
 	s.runs++

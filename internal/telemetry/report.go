@@ -30,6 +30,11 @@ type SiteRank struct {
 	SBStitches      uint64 `json:"sb_stitches,omitempty"`
 	SBRetired       uint64 `json:"sb_retired,omitempty"`
 	SBInvalidations uint64 `json:"sb_invalidations,omitempty"`
+
+	// Numerical-sanitizer attribution (present when a sanitizer ran).
+	SanSamples uint64  `json:"san_samples,omitempty"`
+	SanFlagged bool    `json:"san_flagged,omitempty"`
+	SanMaxLost float64 `json:"san_max_lost_bits,omitempty"`
 }
 
 // TopSites returns the n hottest trap sites ranked by attributed modeled
@@ -59,6 +64,10 @@ func (c *Collector) TopSites(n int) []SiteRank {
 			SBStitches:      s.SBStitches,
 			SBRetired:       s.SBRetired,
 			SBInvalidations: s.SBInvalidations,
+
+			SanSamples: s.SanSamples,
+			SanFlagged: s.SanFlagged,
+			SanMaxLost: s.SanMaxLost,
 		}
 		if s.Traps > 0 {
 			r.MeanRun = s.MeanRun()

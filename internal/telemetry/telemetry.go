@@ -136,9 +136,13 @@ const (
 	// the sb-compile seam or an unexpected translate failure); the site keeps
 	// its classic per-trap path and is blacklisted from recompilation.
 	DegradeJIT
+	// DegradeSanitize: the numerical sanitizer's shadow bookkeeping failed
+	// (injected fault at the sanitize seam); the report is truncated and
+	// observation stops, but the guest run itself continues unharmed.
+	DegradeSanitize
 
 	// NumDegradeCauses sizes per-cause counter arrays.
-	NumDegradeCauses = int(DegradeJIT) + 1
+	NumDegradeCauses = int(DegradeSanitize) + 1
 )
 
 // String names the cause as it appears in JSONL traces and reports.
@@ -160,6 +164,8 @@ func (c DegradeCause) String() string {
 		return "storm"
 	case DegradeJIT:
 		return "jit-compile"
+	case DegradeSanitize:
+		return "sanitize"
 	default:
 		return "cause?"
 	}
@@ -230,6 +236,12 @@ type Site struct {
 	SBStitches      uint64 // entries served here via a stitch link (no patch dispatch)
 	SBRetired       uint64 // instructions retired by superblock entries here
 	SBInvalidations uint64 // superblocks discarded here
+
+	// Numerical-sanitizer attribution (internal/sanitize mirrors its per-PC
+	// observations here when a sanitizer runs with telemetry attached).
+	SanSamples uint64  // shadow-compared result lanes produced at this PC
+	SanFlagged bool    // a sample crossed the sanitizer's lost-bits threshold
+	SanMaxLost float64 // worst shadow-verified precision loss (bits, <= 53)
 }
 
 // MeanRun returns the mean coalesced-run length per FP delivery at this site
@@ -293,6 +305,31 @@ func (c *Collector) site(idx int, pc uint64, op isa.Op) *Site {
 // Sites returns the dense per-PC table (rows with zero hits are untouched
 // slots). The slice is the collector's own; callers must not mutate it.
 func (c *Collector) Sites() []Site { return c.sites }
+
+// SanitizeNote folds one numerical-sanitizer observation into the site
+// table: per-op observations count a sample, boundary crossings mark the
+// blamed site flagged. Unlike the trap paths it never overwrites the row's
+// Op: the sanitizer speaks abstract arith ops, and the trap that delivered
+// this instruction already recorded the mnemonic.
+func (c *Collector) SanitizeNote(idx int, pc uint64, lostBits float64, sample, flagged bool) {
+	if idx < 0 {
+		idx = 0
+	}
+	for idx >= len(c.sites) {
+		c.sites = append(c.sites, Site{})
+	}
+	s := &c.sites[idx]
+	s.PC = pc
+	if sample {
+		s.SanSamples++
+	}
+	if flagged {
+		s.SanFlagged = true
+	}
+	if lostBits > s.SanMaxLost {
+		s.SanMaxLost = lostBits
+	}
+}
 
 // TrapEnter records a trap delivery entering its handler.
 func (c *Collector) TrapEnter(cause Cause, idx int, pc uint64, op isa.Op, flags fpu.Flags, cycles uint64) {
