@@ -3,10 +3,10 @@ FUZZTIME ?= 30s
 # Minimum aggregate statement coverage (percent) over ./internal/...
 COVERFLOOR ?= 80
 
-.PHONY: ci fmt vet build test race cover oracle chaos bench-smoke bench-gate bench-record serve-smoke sanitize-smoke fuzz-smoke bench
+.PHONY: ci fmt vet build test race cover oracle chaos chaosload-smoke bench-smoke bench-gate bench-record serve-smoke sanitize-smoke fuzz-smoke bench
 
 # ci mirrors .github/workflows/ci.yml exactly.
-ci: fmt vet build test race cover oracle chaos bench-gate serve-smoke sanitize-smoke fuzz-smoke
+ci: fmt vet build test race cover oracle chaos bench-gate serve-smoke chaosload-smoke sanitize-smoke fuzz-smoke
 
 fmt:
 	@files=$$(gofmt -l .); \
@@ -43,10 +43,20 @@ oracle:
 
 # Chaos suite: every workload and example under seeded fault-injection
 # campaigns, enforcing the degradation invariants (no panics, termination,
-# error-tier bit-identity, no NaN-box leaks). Failures print the reproducing
-# seed; replay one with `fpvm-run -chaos -faults seed=N,...`.
+# error-tier bit-identity, no NaN-box leaks), plus the panic tier (injected
+# trap-handler panics contained as session quarantines) and the serving
+# stack's chaos-under-load campaign. Failures print the reproducing seed;
+# replay one with `fpvm-run -chaos -faults seed=N,...`.
 chaos:
 	$(GO) test -run '^TestChaosFull$$' -v ./internal/chaos
+	$(GO) run ./cmd/fpvm-serve -chaosload
+
+# Chaos-under-load smoke: an ephemeral-port server with fault injection
+# armed, concurrent healthy + hostile tenant streams, hard resilience
+# invariants (panics contained, breakers isolate hostile tenants, quarantine
+# ledger balances, clean drain).
+chaosload-smoke:
+	$(GO) run ./cmd/fpvm-serve -chaosload
 
 # Machine-readable bench records with the sequence-emulation and trace-JIT
 # ablations: exercises the -json path, the trap-coalescing runtime, and the

@@ -18,12 +18,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
+	"time"
 
 	"fpvm/internal/arith"
 	"fpvm/internal/asm"
@@ -93,6 +96,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		stats     = fs.Bool("stats", false, "print execution statistics")
 		list      = fs.Bool("list", false, "list available workloads")
 		maxInst   = fs.Uint64("max-inst", 0, "instruction budget (0 = unlimited)")
+		timeout   = fs.Duration("timeout", 0, "wall-clock deadline: the run is preempted at the next checkpoint, truncated at an instruction boundary with partial results and stats intact, and exits 0 (0 = none)")
 		spyMode   = fs.Bool("spy", false, "FPSpy mode: record FP events without changing results")
 		oracleRun = fs.Bool("oracle", false, "differential oracle: run native, FPVM+vanilla (must be bit-identical), and high-precision shadows, and report divergence")
 		seqemu    = fs.Bool("seqemu", false, "sequence emulation: coalesce straight-line FP runs into one trap delivery")
@@ -194,6 +198,17 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Errorf("unknown delivery model %q", *delivery))
 	}
 
+	// -timeout arms the same cooperative checkpoints the serving stack uses
+	// for request deadlines (DESIGN.md §13): a timer goroutine stores the
+	// flag, Run observes it at an instruction boundary, and the truncated
+	// run is harvested like a budget exhaustion rather than killed.
+	if *timeout > 0 {
+		cancel := new(atomic.Bool)
+		timer := time.AfterFunc(*timeout, func() { cancel.Store(true) })
+		defer timer.Stop()
+		m.Preempt = cancel
+	}
+
 	// Telemetry: attach the collector before any handler is installed so
 	// every delivery in the run is attributed.
 	var telem *telemetry.Collector
@@ -204,7 +219,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 
 	if *spyMode {
 		spy := fpvm.AttachSpy(m)
-		if err := m.Run(*maxInst); err != nil {
+		if err := runToDeadline(m, *maxInst, stderr); err != nil {
 			return fail(err)
 		}
 		spy.Report(stderr, 10)
@@ -257,7 +272,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if err := m.Run(*maxInst); err != nil {
+	if err := runToDeadline(m, *maxInst, stderr); err != nil {
 		return fail(err)
 	}
 
@@ -312,6 +327,22 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return rc
+}
+
+// runToDeadline runs the machine and degrades a deadline preemption the way
+// the serving stack degrades a request deadline: the truncated run keeps all
+// harvested state (output, stats, telemetry — consistent at an instruction
+// boundary), a note goes to stderr, and the exit code stays 0. Every other
+// error remains fatal.
+func runToDeadline(m *machine.Machine, maxInst uint64, stderr io.Writer) error {
+	err := m.Run(maxInst)
+	var dl *machine.DeadlineError
+	if errors.As(err, &dl) {
+		fmt.Fprintf(stderr, "fpvm-run: deadline exceeded at %#x after %d instructions; run truncated\n",
+			dl.RIP, dl.Instructions)
+		return nil
+	}
+	return err
 }
 
 // finishTelemetry renders the post-run telemetry artifacts: the hot-site
@@ -429,7 +460,14 @@ func runChaos(stdout, stderr io.Writer, workload string, inject *faultinject.Con
 	}
 	if inject != nil {
 		opts.BaseSeed = inject.Seed
-		for _, r := range inject.Rate {
+		for seam, r := range inject.Rate {
+			// run-panic is its own tier, not part of the uniform error
+			// sweep: it escapes the degradation engine by design, so its
+			// rate arms the panic tier instead of inflating the error rate.
+			if faultinject.Seam(seam) == faultinject.SeamRunPanic {
+				opts.PanicRate = r
+				continue
+			}
 			if r > opts.Rate {
 				opts.Rate = r
 			}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestChaosLoadEndToEnd runs the full chaos-under-load campaign through the
+// CLI entry point: a real server with fault injection armed, concurrent
+// healthy and hostile tenant streams, every resilience invariant, and a
+// clean drain — the same stage `make chaosload-smoke` runs in CI.
+func TestChaosLoadEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos-load campaign skipped in -short mode (run `make chaosload-smoke`)")
+	}
+	var out, errb bytes.Buffer
+	if code := Run([]string{"-chaosload"}, &out, &errb); code != 0 {
+		t.Fatalf("chaosload exited %d:\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "chaosload: PASS") {
+		t.Errorf("no PASS verdict:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "clean drain on shutdown") {
+		t.Errorf("no clean-drain confirmation:\n%s", out.String())
+	}
+}

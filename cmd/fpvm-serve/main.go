@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"fpvm/internal/arith"
+	"fpvm/internal/chaosload"
 	"fpvm/internal/fpvm"
 	"fpvm/internal/loadgen"
 	"fpvm/internal/oracle"
@@ -55,11 +56,19 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		arenaSoft = fs.Int("arena-soft", 0, "arena soft cap: forced GC above this many live shadows (0 = off)")
 		arenaHard = fs.Int("arena-hard", 0, "arena hard cap: degrade to native above this many live shadows (0 = off)")
 		storm     = fs.Uint64("storm", 0, "default trap-storm governor threshold (0 = off)")
+		maxRun    = fs.Duration("max-run-time", 0, "per-run wall-clock cap; expired runs are truncated and harvested with deadline_exceeded (0 = off)")
+		maxQueue  = fs.Int("max-queue", 0, "max requests waiting for a worker slot before shedding with 429 (0 = 4x workers)")
+		queueTO   = fs.Duration("queue-timeout", 0, "max wait for a worker slot before shedding with 429 (0 = 5s)")
+		brFaults  = fs.Int("breaker-faults", 0, "per-tenant faults (poisons, deadline-cap blowouts) within -breaker-window that open the circuit breaker (0 = 5)")
+		brWindow  = fs.Duration("breaker-window", 0, "circuit-breaker sliding window (0 = 30s)")
+		brCool    = fs.Duration("breaker-cooldown", 0, "how long an open breaker fast-fails a tenant with 503 (0 = 10s)")
+		allowF    = fs.Bool("allow-faults", false, "honor the request-level fault-injection spec (chaos harness only)")
 		noShared  = fs.Bool("no-shared-sb", false, "disable the server-wide warm superblock cache (per-request JIT compiles stay private)")
 		jit       = fs.Int("jit", 0, "trace-JIT threshold for -selftest sessions (0 = off)")
 		stitchD   = fs.Int("stitchdepth", 0, "superblock stitch depth for -selftest sessions (requires -jit)")
 		selftest  = fs.Bool("selftest", false, "run the in-process load harness instead of serving")
 		smoke     = fs.Bool("smoke", false, "smoke test: start the server on an ephemeral port, fire -sessions concurrent HTTP requests, assert all 200s and a clean shutdown")
+		chaosLd   = fs.Bool("chaosload", false, "chaos-under-load test: serve on an ephemeral port with fault injection armed, drive healthy and hostile tenant streams concurrently, and enforce the resilience invariants")
 		sessions  = fs.Int("sessions", 500, "total session runs for -selftest (-smoke defaults to 50)")
 		jobs      = fs.Int("j", 16, "concurrent workers for -selftest/-smoke")
 		target    = fs.String("workload", "FBench", "target for -selftest (oracle spelling)")
@@ -75,14 +84,21 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := serverConfig{
-		Workers:      *workers,
-		MaxInst:      *maxInst,
-		TenantQuota:  *quota,
-		MemSize:      *memKiB << 10,
-		ArenaSoftCap: *arenaSoft,
-		ArenaHardCap: *arenaHard,
-		Storm:        *storm,
-		NoSharedSB:   *noShared,
+		Workers:         *workers,
+		MaxInst:         *maxInst,
+		TenantQuota:     *quota,
+		MemSize:         *memKiB << 10,
+		ArenaSoftCap:    *arenaSoft,
+		ArenaHardCap:    *arenaHard,
+		Storm:           *storm,
+		MaxRunTime:      *maxRun,
+		MaxQueue:        *maxQueue,
+		QueueTimeout:    *queueTO,
+		BreakerFaults:   *brFaults,
+		BreakerWindow:   *brWindow,
+		BreakerCooldown: *brCool,
+		AllowFaults:     *allowF,
+		NoSharedSB:      *noShared,
 	}
 
 	if *selftest {
@@ -94,6 +110,9 @@ func Run(args []string, stdout, stderr io.Writer) int {
 			n = 50
 		}
 		return runSmoke(stdout, stderr, cfg, *target, *arithName, n, *jobs)
+	}
+	if *chaosLd {
+		return runChaosLoad(stdout, stderr)
 	}
 
 	srv := newServer(cfg)
@@ -173,6 +192,101 @@ func runSmoke(stdout, stderr io.Writer, cfg serverConfig, target, arithName stri
 	}
 	fmt.Fprintf(stdout, "serve-smoke: %d/%d requests returned 200, clean shutdown\n", rep.Sessions, rep.Sessions)
 	return 0
+}
+
+// runChaosLoad is the chaos-under-load CI stage: a real server on an
+// ephemeral port, armed for hostility (fault injection allowed, a tight
+// wall-clock cap, a fast breaker), driven by the chaosload harness's
+// concurrent healthy and hostile tenant streams. The harness checks the
+// client-observable invariants; this driver adds the last one — a clean
+// drain on shutdown after the storm.
+func runChaosLoad(stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "fpvm-serve:", err)
+		return 1
+	}
+	const chaosWorkers = 4
+	// The wall-clock cap must separate the hostile guests (unbounded spins
+	// only the cap can stop) from the healthy ones on whatever hardware the
+	// campaign lands on: a loaded CI runner or the race detector slows every
+	// run by an order of magnitude, and a healthy tenant blowing the cap is
+	// charged as a breaker fault — exactly the false positive the campaign
+	// forbids. So the cap is calibrated, not fixed: one solo run of the
+	// slowest healthy workload, scaled by the worker count (all workers can
+	// contend for one core) with 5x margin on top, floored at 500ms for
+	// idle hardware.
+	solo, err := timeHealthyRun()
+	if err != nil {
+		return fail(fmt.Errorf("calibrate wall-clock cap: %w", err))
+	}
+	runCap := 5 * chaosWorkers * solo
+	if runCap < 500*time.Millisecond {
+		runCap = 500 * time.Millisecond
+	}
+	fmt.Fprintf(stderr, "chaosload: wall-clock cap %s (solo Lorenz %s)\n", runCap, solo)
+	cfg := serverConfig{
+		Workers: chaosWorkers,
+		// The spin guests must hit the wall-clock cap, never the instruction
+		// budget — the campaign is about deadlines, not quotas.
+		MaxInst:         1 << 40,
+		MemSize:         256 << 10,
+		MaxRunTime:      runCap,
+		BreakerFaults:   3,
+		BreakerWindow:   time.Minute,
+		BreakerCooldown: time.Minute,
+		AllowFaults:     true,
+	}
+	srv := newServer(cfg)
+	httpSrv := &http.Server{Handler: srv.handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	rep := chaosload.Run(chaosload.Options{
+		URL: "http://" + ln.Addr().String(),
+		Log: stderr,
+	})
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fail(fmt.Errorf("drain after chaos campaign: %w", err))
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fail(err)
+	}
+	rep.WriteReport(stdout)
+	if !rep.Ok() {
+		return 1
+	}
+	fmt.Fprintln(stdout, "chaosload: clean drain on shutdown")
+	return 0
+}
+
+// timeHealthyRun measures one solo vanilla run of the chaos campaign's
+// slowest healthy workload (Lorenz, ~25ms on idle hardware) — the yardstick
+// runChaosLoad scales its wall-clock cap from.
+func timeHealthyRun() (time.Duration, error) {
+	t, err := oracle.Lookup("workload:Lorenz Attractor")
+	if err != nil {
+		return 0, err
+	}
+	prog, err := t.Build()
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if _, err := session.New().Run(prog, session.Config{
+		System:  arith.Vanilla{},
+		MaxInst: 1 << 40,
+		MemSize: 256 << 10,
+	}); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
 }
 
 // runSelftest drives the in-process load harness: N session runs of one

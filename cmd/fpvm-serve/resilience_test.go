@@ -1,0 +1,284 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// spinBody is a guest that never halts: only a deadline can stop it. The
+// server configs in this file raise MaxInst high enough that the instruction
+// budget never fires first.
+const spinBody = `{"asm":"\tmov r0, $0\nloop:\n\tinc r0\n\tjmp loop","timeout_ms":%d,"tenant":%q}`
+
+// bigQuota keeps the budget out of the deadline tests' way.
+const bigQuota = 1 << 40
+
+func TestServeDeadlineTruncatesAndHarvests(t *testing.T) {
+	_, ts := testServer(t, serverConfig{Workers: 2, MaxInst: bigQuota})
+	code, rr, raw := postRun(t, ts, fmt.Sprintf(spinBody, 30, "dl"), nil)
+	if code != http.StatusOK {
+		t.Fatalf("deadline run: %d %s", code, raw)
+	}
+	if !rr.DeadlineExceeded {
+		t.Fatalf("deadline_exceeded not set: %s", raw)
+	}
+	if rr.BudgetExhausted || rr.Fault != "" {
+		t.Errorf("deadline truncation misclassified: %+v", rr)
+	}
+	if rr.Instructions == 0 || rr.Cycles == 0 {
+		t.Errorf("deadline run harvested nothing: %+v", rr)
+	}
+}
+
+func TestServeMaxRunTimeCapsClientAsk(t *testing.T) {
+	// The client asks for 10 minutes; the operator cap is 30ms. The cap wins
+	// and the run still returns 200 with its partial harvest.
+	_, ts := testServer(t, serverConfig{Workers: 2, MaxInst: bigQuota, MaxRunTime: 30 * time.Millisecond})
+	start := time.Now()
+	code, rr, raw := postRun(t, ts, fmt.Sprintf(spinBody, 600_000, "cap"), nil)
+	if code != http.StatusOK {
+		t.Fatalf("capped run: %d %s", code, raw)
+	}
+	if !rr.DeadlineExceeded {
+		t.Fatalf("server cap did not truncate the run: %s", raw)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("capped run took %s; the 30ms cap is not binding", elapsed)
+	}
+}
+
+func TestServeFaultSpecRequiresOptIn(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	code, _, raw := postRun(t, ts, `{"workload":"FBench","faults":"run-panic=1"}`, nil)
+	if code != http.StatusForbidden {
+		t.Fatalf("faults without -allow-faults = %d %s, want 403", code, raw)
+	}
+}
+
+func TestServePoisonContainedAndQuarantined(t *testing.T) {
+	s, ts := testServer(t, serverConfig{AllowFaults: true})
+	code, _, raw := postRun(t, ts, `{"workload":"FBench","faults":"run-panic=1","tenant":"evil"}`, nil)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("poisoned run = %d %s, want 500", code, raw)
+	}
+	if !strings.Contains(raw, "quarantined") {
+		t.Errorf("poison response does not mention quarantine: %s", raw)
+	}
+
+	// The process survived and the pool healed: a clean run works.
+	code, rr, raw := postRun(t, ts, `{"workload":"FBench","tenant":"good"}`, nil)
+	if code != http.StatusOK || rr.Fault != "" {
+		t.Fatalf("clean run after poison: %d %s", code, raw)
+	}
+
+	ps := s.pool.Stats()
+	if ps.Poisoned != 1 || ps.Quarantined != 1 {
+		t.Errorf("pool ledger after poison: %+v, want poisoned=1 quarantined=1", ps)
+	}
+	if s.poisons.Load() != 1 {
+		t.Errorf("server poison counter = %d, want 1", s.poisons.Load())
+	}
+}
+
+func TestServeBreakerIsolatesHostileTenant(t *testing.T) {
+	s, ts := testServer(t, serverConfig{
+		AllowFaults:     true,
+		BreakerFaults:   2,
+		BreakerWindow:   time.Minute,
+		BreakerCooldown: time.Minute,
+	})
+	poison := `{"workload":"FBench","faults":"run-panic=1","tenant":"evil"}`
+	for i := 0; i < 2; i++ {
+		if code, _, raw := postRun(t, ts, poison, nil); code != http.StatusInternalServerError {
+			t.Fatalf("poison %d = %d %s, want 500", i, code, raw)
+		}
+	}
+
+	// Two faults inside the window: the breaker is open, and even a clean
+	// request from the hostile tenant fast-fails with 503 + Retry-After.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/run",
+		strings.NewReader(`{"workload":"FBench","tenant":"evil"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open-breaker request = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+
+	// Other tenants are untouched by evil's breaker.
+	if code, _, raw := postRun(t, ts, `{"workload":"FBench","tenant":"good"}`, nil); code != http.StatusOK {
+		t.Fatalf("innocent tenant caught in breaker: %d %s", code, raw)
+	}
+
+	if trips := s.breakerTrips.Load(); trips != 1 {
+		t.Errorf("breaker trips = %d, want 1", trips)
+	}
+	if fails := s.breakerFails.Load(); fails != 1 {
+		t.Errorf("breaker fast-fails = %d, want 1", fails)
+	}
+}
+
+func TestServeQueueShedsWith429(t *testing.T) {
+	s, ts := testServer(t, serverConfig{
+		Workers:      1,
+		MaxQueue:     1,
+		QueueTimeout: 30 * time.Millisecond,
+		MaxInst:      bigQuota,
+	})
+	// One slow run holds the single worker; a burst behind it must drain as
+	// at most (worker + queue slot) successes and the rest 429s.
+	const burst = 6
+	codes := make([]int, burst)
+	var wg sync.WaitGroup
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, _, _ := postRun(t, ts, fmt.Sprintf(spinBody, 300, "burst"), nil)
+			codes[i] = code
+		}(i)
+	}
+	wg.Wait()
+
+	ok, shed := 0, 0
+	for _, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Errorf("burst request returned %d; want 200 or 429", c)
+		}
+	}
+	if shed == 0 {
+		t.Fatalf("no requests shed (ok=%d); admission control not engaging", ok)
+	}
+	if ok == 0 {
+		t.Fatal("every request shed; the worker never served")
+	}
+	if got := s.shed.Load(); got != uint64(shed) {
+		t.Errorf("shed counter = %d, want %d", got, shed)
+	}
+
+	// Shed responses carry Retry-After: hold the worker with a long run,
+	// then watch a second request time out of the queue.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postRun(t, ts, fmt.Sprintf(spinBody, 300, "burst"), nil)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	resp, err := ts.Client().Post(ts.URL+"/run", "application/json",
+		strings.NewReader(fmt.Sprintf(spinBody, 300, "burst")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	<-done
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queued-out request = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+func TestServeHealthzOverloaded(t *testing.T) {
+	s, ts := testServer(t, serverConfig{Workers: 2, MaxQueue: 8})
+	get := func() map[string]any {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz = %d, want 200 even under overload", resp.StatusCode)
+		}
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if m := get(); m["status"] != "ok" {
+		t.Fatalf("idle healthz = %v", m)
+	}
+	// Simulate a deep queue; the probe must stay 200 but report overloaded.
+	s.queued.Store(s.queueHighWater())
+	defer s.queued.Store(0)
+	if m := get(); m["status"] != "overloaded" {
+		t.Fatalf("high-water healthz = %v, want overloaded", m)
+	}
+}
+
+// TestServeAbandonedRequestFreesWorker pins the context satellite: a client
+// that disconnects mid-run cancels the guest at the next preemption
+// checkpoint, so the worker slot comes back without any server-side timeout
+// configured.
+func TestServeAbandonedRequestFreesWorker(t *testing.T) {
+	s, ts := testServer(t, serverConfig{Workers: 1, MaxInst: bigQuota})
+	body := `{"asm":"\tmov r0, $0\nloop:\n\tinc r0\n\tjmp loop","tenant":"gone"}`
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := ts.Client().Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("expected the abandoned request to fail client-side")
+	}
+
+	// The guest is unbounded and no server cap is set: only the context
+	// cancellation can free the worker.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(s.sem) == 0 && s.deadlineHits.Load() >= 1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("worker not freed after client disconnect: in_flight=%d deadline_hits=%d",
+		len(s.sem), s.deadlineHits.Load())
+}
+
+// TestServeBreakerIgnoresClientAskedTimeouts pins the breaker's fault
+// definition: a truncation under the client's own narrower timeout_ms is
+// service working as intended, not a tenant fault — it must not open the
+// breaker no matter how often it happens.
+func TestServeBreakerIgnoresClientAskedTimeouts(t *testing.T) {
+	s, ts := testServer(t, serverConfig{
+		Workers:       2,
+		MaxInst:       bigQuota,
+		MaxRunTime:    10 * time.Second, // far above any ask below
+		BreakerFaults: 2,
+	})
+	for i := 0; i < 4; i++ {
+		code, rr, raw := postRun(t, ts, fmt.Sprintf(spinBody, 20, "asker"), nil)
+		if code != http.StatusOK || !rr.DeadlineExceeded {
+			t.Fatalf("asked-timeout run %d: %d %s", i, code, raw)
+		}
+	}
+	if trips := s.breakerTrips.Load(); trips != 0 {
+		t.Fatalf("client-asked timeouts tripped the breaker %d times", trips)
+	}
+	if code, _, raw := postRun(t, ts, `{"workload":"FBench","tenant":"asker"}`, nil); code != http.StatusOK {
+		t.Fatalf("tenant wrongly broken: %d %s", code, raw)
+	}
+}

@@ -1,14 +1,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fpvm/internal/arith"
 	"fpvm/internal/asm"
+	"fpvm/internal/faultinject"
 	"fpvm/internal/fpvm"
 	"fpvm/internal/isa"
 	"fpvm/internal/oracle"
@@ -41,6 +46,32 @@ type serverConfig struct {
 	ArenaHardCap int
 	// Storm is the default trap-storm governor threshold.
 	Storm uint64
+	// MaxRunTime caps each run's wall-clock execution (0 = no cap). The cap
+	// is enforced cooperatively: the machine checks a cancel flag at
+	// instruction-boundary checkpoints, so an expired run is truncated and
+	// harvested exactly like a budget exhaustion — HTTP 200 with
+	// deadline_exceeded, never a kill. A request's timeout_ms can only
+	// narrow this, never widen it.
+	MaxRunTime time.Duration
+	// MaxQueue bounds the number of requests waiting for a worker slot.
+	// Above it, new requests are shed immediately with 429 + Retry-After
+	// instead of piling onto the semaphore (0 = 4×Workers).
+	MaxQueue int
+	// QueueTimeout bounds how long an admitted request waits for a slot
+	// before being shed with 429 (0 = 5s).
+	QueueTimeout time.Duration
+	// BreakerFaults is the per-tenant circuit-breaker threshold: this many
+	// faults (contained panics, server-cap deadline blowouts) inside
+	// BreakerWindow open the tenant's breaker, fast-failing its requests
+	// with 503 for BreakerCooldown without touching other tenants.
+	// 0 = 5 faults over 30s with a 10s cooldown.
+	BreakerFaults   int
+	BreakerWindow   time.Duration
+	BreakerCooldown time.Duration
+	// AllowFaults honors the request-level "faults" injection spec — the
+	// chaos-load harness's hook. Off by default: injection is an operator
+	// decision, never a tenant's.
+	AllowFaults bool
 	// NoSharedSB disables the server-wide warm superblock cache. By default
 	// every request that arms the trace-JIT tier on a cached (bundled)
 	// workload shares compiled traces with every other tenant running the
@@ -64,7 +95,70 @@ func (c serverConfig) withDefaults() serverConfig {
 	if c.MemSize <= 0 {
 		c.MemSize = 1 << 20 // 1 MiB: every bundled target fits comfortably
 	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.Workers
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 5 * time.Second
+	}
+	if c.BreakerFaults <= 0 {
+		c.BreakerFaults = 5
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 30 * time.Second
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
 	return c
+}
+
+// breaker is a per-tenant sliding-window circuit breaker. Faults (contained
+// panics, server-cap deadline blowouts) are recorded with timestamps; when
+// the window holds the configured threshold the breaker opens and the
+// tenant's requests fast-fail with 503 until the cooldown elapses — without
+// a session checkout, so a hostile tenant stops costing workers.
+type breaker struct {
+	mu        sync.Mutex
+	faults    []time.Time
+	openUntil time.Time
+	trips     uint64
+}
+
+// allow reports whether the tenant may proceed; when the breaker is open it
+// returns the remaining cooldown for Retry-After.
+func (b *breaker) allow(now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now.Before(b.openUntil) {
+		return false, b.openUntil.Sub(now)
+	}
+	return true, 0
+}
+
+// record notes one fault and opens the breaker if the sliding window filled.
+func (b *breaker) record(now time.Time, threshold int, window, cooldown time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	keep := b.faults[:0]
+	for _, t := range b.faults {
+		if now.Sub(t) < window {
+			keep = append(keep, t)
+		}
+	}
+	b.faults = append(keep, now)
+	if len(b.faults) >= threshold {
+		b.openUntil = now.Add(cooldown)
+		b.trips++
+		b.faults = b.faults[:0]
+	}
+}
+
+// snapshot reads the breaker for /stats.
+func (b *breaker) snapshot(now time.Time) (open bool, trips uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return now.Before(b.openUntil), b.trips
 }
 
 // tenantState is the accounting row behind per-tenant quota decisions.
@@ -72,11 +166,16 @@ type tenantState struct {
 	requests     atomic.Uint64
 	instructions atomic.Uint64
 	budgetHits   atomic.Uint64 // runs truncated by the quota
+	deadlineHits atomic.Uint64 // runs truncated by a wall-clock deadline
+	poisons      atomic.Uint64 // runs that poisoned their session (contained panic)
+	rejected     atomic.Uint64 // requests fast-failed by the open breaker
 	sbCompiled   atomic.Uint64 // superblocks this tenant's runs compiled
 	sbHits       atomic.Uint64 // superblock entries this tenant's runs served
 	sbStitched   atomic.Uint64 // entries served through stitch links
 	sanitizeRuns atomic.Uint64 // runs with the sanitizer armed
 	certifyRuns  atomic.Uint64 // runs with interval certification armed
+
+	breaker breaker
 }
 
 // server is the multi-tenant execution service: a session pool, a bounded
@@ -101,6 +200,14 @@ type server struct {
 	sbCompiled atomic.Uint64
 	sbHits     atomic.Uint64
 	sbStitched atomic.Uint64
+
+	// Overload and resilience accounting.
+	queued       atomic.Int64  // requests currently waiting for a worker slot
+	shed         atomic.Uint64 // requests refused with 429 (queue full or wait timed out)
+	breakerFails atomic.Uint64 // requests fast-failed 503 by an open breaker
+	breakerTrips atomic.Uint64 // breaker open events across all tenants
+	deadlineHits atomic.Uint64 // runs truncated by a wall-clock deadline
+	poisons      atomic.Uint64 // contained run panics (sessions quarantined)
 
 	sanitizeRuns    atomic.Uint64 // runs with the sanitizer armed
 	sanitizeFlagged atomic.Uint64 // sanitized runs that flagged at least one site
@@ -172,6 +279,15 @@ type runRequest struct {
 	// reports whether every native output is proved contained (implies
 	// Sanitize).
 	Certify bool `json:"certify,omitempty"`
+	// TimeoutMS asks for a wall-clock deadline in milliseconds. It is capped
+	// by the server's -max-run-time; an expired run is truncated at an
+	// instruction boundary and harvested (HTTP 200, deadline_exceeded:true),
+	// never killed.
+	TimeoutMS uint64 `json:"timeout_ms,omitempty"`
+	// Faults is a faultinject spec (fpvm-run -faults syntax) armed on this
+	// run. Honored only when the server runs with -allow-faults — the
+	// chaos-load harness's hook; ordinary deployments reject it.
+	Faults string `json:"faults,omitempty"`
 	// Tenant is the accounting identity (default "anonymous"); the
 	// X-FPVM-Tenant header takes precedence.
 	Tenant string `json:"tenant,omitempty"`
@@ -193,6 +309,7 @@ type runResponse struct {
 	SBInvalidations  uint64               `json:"sb_invalidations,omitempty"`
 	BudgetGranted    uint64               `json:"budget_granted"`
 	BudgetExhausted  bool                 `json:"budget_exhausted"`
+	DeadlineExceeded bool                 `json:"deadline_exceeded,omitempty"`
 	Fault            string               `json:"fault,omitempty"`
 	SessionRuns      uint64               `json:"session_runs"`
 	Tenant           string               `json:"tenant"`
@@ -326,10 +443,23 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Circuit breaker: a tenant whose recent runs keep poisoning sessions or
+	// blowing the server deadline cap fast-fails here — no queue slot, no
+	// session checkout — until its cooldown elapses. Other tenants are
+	// untouched.
+	ts := s.tenant(tenant)
+	if ok, wait := ts.breaker.allow(time.Now()); !ok {
+		ts.rejected.Add(1)
+		s.breakerFails.Add(1)
+		w.Header().Set("Retry-After", retryAfter(wait))
+		httpError(w, http.StatusServiceUnavailable,
+			"tenant %q circuit breaker open (repeated faults); retry after %s", tenant, wait.Round(time.Millisecond))
+		return
+	}
+
 	// Quota: grant min(ask, tenant quota). The clamp is the degrade path —
 	// the run executes under the granted budget and reports truncation
 	// instead of being refused.
-	ts := s.tenant(tenant)
 	granted := req.MaxInst
 	if granted == 0 || granted > s.cfg.TenantQuota {
 		granted = s.cfg.TenantQuota
@@ -364,14 +494,77 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		cfg.SBCache = s.sbcache
 	}
 
-	// Bounded worker pool: block for an execution slot, but give up if the
-	// client disconnects while queued.
+	// Fault injection is an operator decision: the request-level spec is the
+	// chaos-load harness's hook and is rejected unless the server opted in.
+	if req.Faults != "" {
+		if !s.cfg.AllowFaults {
+			httpError(w, http.StatusForbidden, "fault injection disabled (server not started with -allow-faults)")
+			return
+		}
+		icfg, err := faultinject.ParseSpec(req.Faults)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		cfg.Inject = faultinject.New(icfg)
+	}
+
+	// Deadline lattice: the effective wall-clock cap is min(timeout_ms,
+	// -max-run-time); capApplied records whether the server's cap (not the
+	// client's narrower ask) is the binding constraint, because only a
+	// server-cap blowout is a tenant fault the breaker counts.
+	runTimeout := s.cfg.MaxRunTime
+	capApplied := runTimeout > 0
+	if req.TimeoutMS > 0 {
+		asked := time.Duration(req.TimeoutMS) * time.Millisecond
+		if runTimeout == 0 || asked < runTimeout {
+			runTimeout = asked
+			capApplied = false
+		}
+	}
+
+	// Admission control: a bounded wait-queue in front of the worker
+	// semaphore. Above -max-queue (or after -queue-timeout in line) the
+	// request is shed with 429 + Retry-After; shedding is cheaper than
+	// stalling every tenant behind an unbounded line.
+	if int(s.queued.Load()) >= s.cfg.MaxQueue {
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", retryAfter(s.cfg.QueueTimeout))
+		httpError(w, http.StatusTooManyRequests, "queue full (%d waiting); retry later", s.cfg.MaxQueue)
+		return
+	}
+	s.queued.Add(1)
+	qt := time.NewTimer(s.cfg.QueueTimeout)
 	select {
 	case s.sem <- struct{}{}:
+		qt.Stop()
+		s.queued.Add(-1)
+	case <-qt.C:
+		s.queued.Add(-1)
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", retryAfter(s.cfg.QueueTimeout))
+		httpError(w, http.StatusTooManyRequests, "no worker slot within %s; retry later", s.cfg.QueueTimeout)
+		return
 	case <-r.Context().Done():
+		qt.Stop()
+		s.queued.Add(-1)
 		httpError(w, http.StatusServiceUnavailable, "canceled while queued")
 		return
 	}
+
+	// Cooperative preemption: one cancel flag serves both the wall-clock cap
+	// and the request context, so an abandoned request stops burning its
+	// worker at the next checkpoint just like an expired one.
+	var cancel atomic.Bool
+	stopCtx := context.AfterFunc(r.Context(), func() { cancel.Store(true) })
+	defer stopCtx()
+	if runTimeout > 0 {
+		timer := time.AfterFunc(runTimeout, func() { cancel.Store(true) })
+		defer timer.Stop()
+	}
+	cfg.Cancel = &cancel
+
+	start := time.Now()
 	sess := s.pool.Get()
 	res, err := sess.Run(prog, cfg)
 	runs := sess.Runs()
@@ -382,6 +575,17 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ts.requests.Add(1)
 	if err != nil {
 		s.errors.Add(1)
+		var pe *session.PoisonedError
+		if errors.As(err, &pe) {
+			// The panic was contained and the session quarantined; the
+			// request is the tenant's breaker fault, the process is fine.
+			s.poisons.Add(1)
+			ts.poisons.Add(1)
+			s.recordBreakerFault(ts)
+			httpError(w, http.StatusInternalServerError,
+				"run poisoned its session (contained panic: %s); session quarantined", pe.PanicValue)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "run: %v", err)
 		return
 	}
@@ -389,13 +593,22 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if res.BudgetExhausted {
 		ts.budgetHits.Add(1)
 	}
+	if res.DeadlineExceeded {
+		s.deadlineHits.Add(1)
+		ts.deadlineHits.Add(1)
+		// Blowing the operator's cap (not the client's narrower ask, not a
+		// dropped connection) is a tenant fault: enough open the breaker.
+		if capApplied && time.Since(start) >= runTimeout {
+			s.recordBreakerFault(ts)
+		}
+	}
 	ts.sbCompiled.Add(res.Machine.SBCompiled)
 	ts.sbHits.Add(res.Machine.SBHits)
 	ts.sbStitched.Add(res.Machine.SBStitched)
 	s.sbCompiled.Add(res.Machine.SBCompiled)
 	s.sbHits.Add(res.Machine.SBHits)
 	s.sbStitched.Add(res.Machine.SBStitched)
-	if res.BudgetExhausted || res.VM.Degradations > 0 || res.VM.StormPatches > 0 {
+	if res.BudgetExhausted || res.DeadlineExceeded || res.VM.Degradations > 0 || res.VM.StormPatches > 0 {
 		s.degraded.Add(1)
 	}
 	var sanSummary *sanitizeSummary
@@ -430,6 +643,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		SBInvalidations:  res.Machine.SBInvalidations,
 		BudgetGranted:    granted,
 		BudgetExhausted:  res.BudgetExhausted,
+		DeadlineExceeded: res.DeadlineExceeded,
 		Fault:            res.Fault,
 		SessionRuns:      runs,
 		Tenant:           tenant,
@@ -471,6 +685,27 @@ func (s *server) program(req runRequest) (prog *isa.Program, pooled bool, err er
 	}
 }
 
+// recordBreakerFault charges one fault to the tenant's breaker and rolls the
+// trip count up into the service counter when this fault opened it.
+func (s *server) recordBreakerFault(ts *tenantState) {
+	now := time.Now()
+	_, before := ts.breaker.snapshot(now)
+	ts.breaker.record(now, s.cfg.BreakerFaults, s.cfg.BreakerWindow, s.cfg.BreakerCooldown)
+	if _, after := ts.breaker.snapshot(now); after > before {
+		s.breakerTrips.Add(1)
+	}
+}
+
+// retryAfter renders a duration as a Retry-After header value: whole
+// seconds, at least 1.
+func retryAfter(d time.Duration) string {
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
 func (s *server) tenant(name string) *tenantState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -482,8 +717,28 @@ func (s *server) tenant(name string) *tenantState {
 	return ts
 }
 
+// queueHighWater is the /healthz overload threshold: three quarters of the
+// admission queue. Above it the probe still answers 200 (the process is
+// healthy) but reports "overloaded" so load balancers can steer away before
+// the queue starts shedding.
+func (s *server) queueHighWater() int64 {
+	hw := int64(s.cfg.MaxQueue) * 3 / 4
+	if hw < 1 {
+		hw = 1
+	}
+	return hw
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	status := "ok"
+	if s.queued.Load() >= s.queueHighWater() {
+		status = "overloaded"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":     true,
+		"status": status,
+		"queued": s.queued.Load(),
+	})
 }
 
 // statsResponse is the GET /stats body.
@@ -493,6 +748,17 @@ type statsResponse struct {
 	Degraded uint64 `json:"degraded"`
 	Workers  int    `json:"workers"`
 	InFlight int    `json:"in_flight"`
+	// Overload and resilience counters: current queue depth, requests shed
+	// with 429, breaker fast-fails (503) and open events, deadline-truncated
+	// runs, and contained run panics (each of which quarantined a session —
+	// the pool block carries the matching quarantined/replaced figures).
+	Queued       int64  `json:"queued"`
+	MaxQueue     int    `json:"max_queue"`
+	Shed         uint64 `json:"shed"`
+	BreakerFails uint64 `json:"breaker_fails"`
+	BreakerTrips uint64 `json:"breaker_trips"`
+	DeadlineHits uint64 `json:"deadline_hits"`
+	Poisons      uint64 `json:"poisons"`
 	// Service-wide superblock counters aggregated over every completed run.
 	SBCompiled uint64 `json:"sb_compiled"`
 	SBHits     uint64 `json:"sb_hits"`
@@ -526,6 +792,11 @@ type tenantStats struct {
 	Requests     uint64 `json:"requests"`
 	Instructions uint64 `json:"instructions"`
 	BudgetHits   uint64 `json:"budget_hits"`
+	DeadlineHits uint64 `json:"deadline_hits,omitempty"`
+	Poisons      uint64 `json:"poisons,omitempty"`
+	Rejected     uint64 `json:"rejected,omitempty"`
+	BreakerOpen  bool   `json:"breaker_open,omitempty"`
+	BreakerTrips uint64 `json:"breaker_trips,omitempty"`
 	SBCompiled   uint64 `json:"sb_compiled"`
 	SBHits       uint64 `json:"sb_hits"`
 	SBStitched   uint64 `json:"sb_stitched"`
@@ -540,6 +811,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Degraded:        s.degraded.Load(),
 		Workers:         s.cfg.Workers,
 		InFlight:        len(s.sem),
+		Queued:          s.queued.Load(),
+		MaxQueue:        s.cfg.MaxQueue,
+		Shed:            s.shed.Load(),
+		BreakerFails:    s.breakerFails.Load(),
+		BreakerTrips:    s.breakerTrips.Load(),
+		DeadlineHits:    s.deadlineHits.Load(),
+		Poisons:         s.poisons.Load(),
 		SBCompiled:      s.sbCompiled.Load(),
 		SBHits:          s.sbHits.Load(),
 		SBStitched:      s.sbStitched.Load(),
@@ -565,12 +843,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.SharedSB = sb
 	}
+	now := time.Now()
 	s.mu.Lock()
 	for name, ts := range s.tenants {
+		open, trips := ts.breaker.snapshot(now)
 		resp.Tenants[name] = tenantStats{
 			Requests:     ts.requests.Load(),
 			Instructions: ts.instructions.Load(),
 			BudgetHits:   ts.budgetHits.Load(),
+			DeadlineHits: ts.deadlineHits.Load(),
+			Poisons:      ts.poisons.Load(),
+			Rejected:     ts.rejected.Load(),
+			BreakerOpen:  open,
+			BreakerTrips: trips,
 			SBCompiled:   ts.sbCompiled.Load(),
 			SBHits:       ts.sbHits.Load(),
 			SBStitched:   ts.sbStitched.Load(),

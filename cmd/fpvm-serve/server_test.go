@@ -177,12 +177,12 @@ func TestServeHealthzAndStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var health map[string]bool
+	var health map[string]any
 	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if !health["ok"] {
+	if health["ok"] != true || health["status"] != "ok" {
 		t.Fatalf("healthz = %v", health)
 	}
 

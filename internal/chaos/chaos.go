@@ -22,6 +22,7 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"fpvm/internal/arith"
 	"fpvm/internal/faultinject"
 	"fpvm/internal/oracle"
+	"fpvm/internal/session"
 )
 
 // Options tunes a chaos sweep.
@@ -61,6 +63,15 @@ type Options struct {
 	// ArenaSoftCap / ArenaHardCap exercise arena-pressure handling (0 = off).
 	ArenaSoftCap int
 	ArenaHardCap int
+	// PanicRate arms the panic tier (0 leaves it off): every target also runs
+	// through a shared session.Pool with the run-panic seam firing at this
+	// per-crossing probability. The seam panics inside the trap handler — a
+	// failure shape the degradation engine cannot classify — so the tier's
+	// invariants live one layer up: the panic never escapes the session's
+	// containment (it surfaces as a typed *session.PoisonedError), the pool
+	// quarantines every poisoned session and never re-pools one, and the
+	// pool's traffic ledger balances exactly at the end of the sweep.
+	PanicRate float64
 	// Sanitize attaches the numerical sanitizer to the error tier, exposing
 	// the sanitize seam: an injected sanitizer failure must truncate the
 	// report (typed degradation) while the guest run — still gated on full
@@ -102,7 +113,12 @@ type Summary struct {
 	SanitizeDegradations uint64
 	SanitizeTruncated    uint64
 	SanitizeSamples      uint64
-	Failures             []Failure
+	// Panic-tier accounting (Options.PanicRate > 0): injected trap-handler
+	// panics contained as PoisonedError, and the pool's quarantine ledger.
+	PanicContained uint64
+	Poisoned       uint64
+	Quarantined    uint64
+	Failures       []Failure
 }
 
 // Ok reports whether every run upheld every invariant.
@@ -128,6 +144,12 @@ func Run(o Options) *Summary {
 	}
 
 	s := &Summary{}
+	// One pool shared by the whole panic tier, so later targets exercise the
+	// post-quarantine replacement path, not just a fresh pool each run.
+	var pool *session.Pool
+	if o.PanicRate > 0 {
+		pool = &session.Pool{}
+	}
 	for _, t := range targets {
 		for i := 0; i < o.Seeds; i++ {
 			seed := o.BaseSeed + uint64(i)
@@ -163,9 +185,103 @@ func Run(o Options) *Summary {
 				corCfg := faultinject.Config{Seed: seed, CorruptRate: o.CorruptRate}
 				s.runOne(t, "corrupt", seed, corCfg, o, false)
 			}
+
+			// Panic tier: trap-handler panics contained by the session layer.
+			if pool != nil {
+				s.runPanicTier(t, seed, pool, o)
+			}
+		}
+	}
+	if pool != nil {
+		ps := pool.Stats()
+		s.Poisoned, s.Quarantined = ps.Poisoned, ps.Quarantined
+		if ps.Gets != ps.Puts+ps.Quarantined {
+			s.Failures = append(s.Failures, Failure{
+				Target: "(pool)", Tier: "panic", Seed: o.BaseSeed,
+				Invariant: "quarantine-ledger",
+				Detail: fmt.Sprintf("gets=%d != puts=%d + quarantined=%d",
+					ps.Gets, ps.Puts, ps.Quarantined),
+			})
+		}
+		if ps.Poisoned != s.PanicContained {
+			s.Failures = append(s.Failures, Failure{
+				Target: "(pool)", Tier: "panic", Seed: o.BaseSeed,
+				Invariant: "poison-accounting",
+				Detail: fmt.Sprintf("pool saw %d poisoned sessions, tier contained %d panics",
+					ps.Poisoned, s.PanicContained),
+			})
 		}
 	}
 	return s
+}
+
+// runPanicTier executes one seeded run with the run-panic seam armed,
+// through the shared pool. Three outcomes are legal: the seam never fired
+// and the run is clean; the seam fired and the panic surfaced as a typed
+// *session.PoisonedError; or — never — anything else.
+func (s *Summary) runPanicTier(t oracle.Target, seed uint64, pool *session.Pool, o Options) {
+	s.Runs++
+	fail := func(invariant, detail string) {
+		s.Failures = append(s.Failures, Failure{
+			Target: t.Name, Tier: "panic", Seed: seed,
+			Invariant: invariant, Detail: detail,
+		})
+	}
+
+	prog, err := t.Build()
+	if err != nil {
+		fail("build", err.Error())
+		return
+	}
+	icfg := faultinject.Config{Seed: seed}
+	icfg.Rate[faultinject.SeamRunPanic] = o.PanicRate
+	inj := faultinject.New(icfg)
+
+	res, runErr, escaped := func() (res session.Result, err error, escaped string) {
+		defer func() {
+			if r := recover(); r != nil {
+				escaped = fmt.Sprint(r)
+			}
+		}()
+		res, err = pool.Run(prog, session.Config{
+			System:  arith.Vanilla{},
+			MaxInst: o.MaxInst,
+			Inject:  inj,
+		})
+		return
+	}()
+
+	verdict := "ok"
+	switch {
+	case escaped != "":
+		// The one unforgivable outcome: the session containment leaked.
+		fail("no-panic-escape", fmt.Sprintf("panic escaped pool.Run: %s", escaped))
+		verdict = "FAIL"
+	case runErr != nil:
+		var pe *session.PoisonedError
+		if errors.As(runErr, &pe) {
+			s.PanicContained++
+			verdict = "contained"
+		} else {
+			fail("panic-classified", fmt.Sprintf("unexpected error: %v", runErr))
+			verdict = "FAIL"
+		}
+	case inj.Fired[faultinject.SeamRunPanic] > 0:
+		// The seam fired but the run reported success — containment must
+		// never silently swallow a poisoned run's harvest as healthy.
+		fail("panic-classified", fmt.Sprintf(
+			"run-panic fired %d times yet the run returned no error",
+			inj.Fired[faultinject.SeamRunPanic]))
+		verdict = "FAIL"
+	case res.Fault != "":
+		fail("panic-tier-clean", fmt.Sprintf("unfired run faulted: %s", res.Fault))
+		verdict = "FAIL"
+	}
+
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, "chaos %-34s tier=panic   seed=%-4d inject[%s] %s\n",
+			t.Name, seed, inj.Summary(), verdict)
+	}
 }
 
 // runOne executes one seeded campaign and checks its tier's invariants.
@@ -273,5 +389,9 @@ func (s *Summary) WriteReport(w io.Writer) {
 	if s.SanitizeDegradations > 0 || s.SanitizeTruncated > 0 {
 		fmt.Fprintf(w, "chaos: sanitize — %d samples, %d injected faults truncated %d reports (guest runs unharmed)\n",
 			s.SanitizeSamples, s.SanitizeDegradations, s.SanitizeTruncated)
+	}
+	if s.PanicContained > 0 || s.Quarantined > 0 {
+		fmt.Fprintf(w, "chaos: panic tier — %d trap-handler panics contained, %d sessions poisoned, %d quarantined (process uninterrupted)\n",
+			s.PanicContained, s.Poisoned, s.Quarantined)
 	}
 }

@@ -132,6 +132,49 @@ func TestChaosStitch(t *testing.T) {
 	}
 }
 
+// TestChaosPanic arms the run-panic seam: injected trap-handler panics must
+// be contained by the session layer as typed PoisonedErrors — never escaping
+// to the test process — and the shared pool must quarantine every poisoned
+// session with a balancing traffic ledger. The tier proves the paper's
+// worst-case story: a runtime bug the degradation engine cannot classify
+// costs one session, not the service.
+func TestChaosPanic(t *testing.T) {
+	var targets []oracle.Target
+	for _, name := range []string{
+		"example:quickstart/harmonic",
+		"workload:FBench",
+		"workload:Lorenz Attractor",
+	} {
+		tg, err := oracle.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets = append(targets, tg)
+	}
+	var log bytes.Buffer
+	s := Run(Options{
+		Targets:     targets,
+		Seeds:       3,
+		Rate:        1e-3,
+		CorruptRate: -1, // focus the sweep on the error and panic tiers
+		PanicRate:   0.02,
+		Log:         &log,
+	})
+	if !s.Ok() {
+		s.WriteReport(&log)
+		t.Fatalf("chaos invariants violated with run-panic armed:\n%s", log.String())
+	}
+	if s.PanicContained == 0 {
+		t.Fatal("no injected panics contained — the run-panic seam is not under chaos")
+	}
+	if s.Poisoned != s.PanicContained {
+		t.Fatalf("poisoned sessions (%d) != contained panics (%d)", s.Poisoned, s.PanicContained)
+	}
+	if s.Quarantined < s.Poisoned {
+		t.Fatalf("quarantined (%d) < poisoned (%d): a poisoned session escaped the ledger", s.Quarantined, s.Poisoned)
+	}
+}
+
 // TestChaosFull is the acceptance sweep: every workload and example, enough
 // seeds for 50+ runs, with the full jit+stitch tier armed so the compile and
 // chain-link seams stay under fire across the whole target set. Skipped under
@@ -145,6 +188,7 @@ func TestChaosFull(t *testing.T) {
 		Seeds:          2,
 		Rate:           5e-4,
 		CorruptRate:    1e-4,
+		PanicRate:      0.01,
 		StormThreshold: 2000,
 		JITThreshold:   4,
 		StitchDepth:    4,

@@ -1,0 +1,324 @@
+// Package chaosload is the serving stack's chaos-under-load harness: it
+// drives concurrent tenant streams — healthy workloads, a tenant whose runs
+// panic inside the trap handler, a tenant whose guests spin past the server's
+// wall-clock cap — against a running fpvm-serve armed with fault injection,
+// and checks the service-level resilience invariants from the outside, the
+// way a client would observe them:
+//
+//   - the process survives every injected panic (each surfaces as a typed
+//     500, and later requests keep succeeding);
+//   - the hostile tenants' circuit breakers open (503 + Retry-After) while
+//     healthy tenants keep getting 200s with bounded latency;
+//   - overload is shed with 429, never with a hung or killed request;
+//   - the pool's quarantine ledger balances: every checkout is returned or
+//     quarantined, and quarantined sessions are replaced, never reused.
+//
+// The harness is URL-driven so the same invariants hold against an
+// in-process httptest server (the `fpvm-serve -chaosload` CI mode) or a real
+// deployment being soak-tested.
+package chaosload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"fpvm/internal/loadgen"
+)
+
+// Options shapes one chaos-load campaign.
+type Options struct {
+	// URL is the base URL of a running fpvm-serve started with -allow-faults
+	// and a -max-run-time cap (required).
+	URL string
+	// HealthyTenants is the number of concurrent well-behaved tenant streams
+	// (default 2); Healthy is the number of requests per stream (default 40).
+	HealthyTenants int
+	Healthy        int
+	// Hostile is the number of requests each hostile stream sends
+	// (default 12): one stream injecting run-panics, one running an
+	// unbounded spin guest that blows the server's wall-clock cap.
+	Hostile int
+	// Workers is the per-stream client concurrency (default 2 hostile,
+	// 4 healthy).
+	Workers int
+	// Seed salts the injected-fault streams so campaigns are reproducible.
+	Seed uint64
+	// MaxHealthyP99 bounds the healthy streams' 99th-percentile latency
+	// (0 = 10s — generous, but proof the hostile tenants cannot starve the
+	// healthy ones indefinitely).
+	MaxHealthyP99 time.Duration
+	// Log receives one line per stream when non-nil.
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.HealthyTenants <= 0 {
+		o.HealthyTenants = 2
+	}
+	if o.Healthy <= 0 {
+		o.Healthy = 40
+	}
+	if o.Hostile <= 0 {
+		o.Hostile = 12
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.MaxHealthyP99 <= 0 {
+		o.MaxHealthyP99 = 10 * time.Second
+	}
+	return o
+}
+
+// Report is the harvest of one campaign.
+type Report struct {
+	// Healthy holds each well-behaved stream's load report, keyed by tenant.
+	Healthy map[string]*loadgen.Report
+	// Panic and Spin are the hostile streams' reports.
+	Panic *loadgen.Report
+	Spin  *loadgen.Report
+	// Stats is the server's /stats snapshot taken after the waves drained.
+	Stats ServerStats
+	// Failures lists every violated invariant (empty = campaign passed).
+	Failures []string
+}
+
+// Ok reports whether every invariant held.
+func (r *Report) Ok() bool { return len(r.Failures) == 0 }
+
+// ServerStats is the subset of fpvm-serve's /stats body the invariants read.
+type ServerStats struct {
+	Requests     uint64 `json:"requests"`
+	Shed         uint64 `json:"shed"`
+	BreakerFails uint64 `json:"breaker_fails"`
+	BreakerTrips uint64 `json:"breaker_trips"`
+	DeadlineHits uint64 `json:"deadline_hits"`
+	Poisons      uint64 `json:"poisons"`
+	Pool         struct {
+		Gets        uint64 `json:"gets"`
+		Puts        uint64 `json:"puts"`
+		News        uint64 `json:"news"`
+		Poisoned    uint64 `json:"poisoned"`
+		Quarantined uint64 `json:"quarantined"`
+		Replaced    uint64 `json:"replaced"`
+	} `json:"pool"`
+}
+
+// spinAsm is the hostile guest: an unbounded loop only the server's
+// wall-clock cap can stop.
+const spinAsm = "\tmov r0, $0\nloop:\n\tinc r0\n\tjmp loop"
+
+// Run executes the campaign: all streams concurrently, then the post-wave
+// server-side ledger checks.
+func Run(o Options) *Report {
+	o = o.withDefaults()
+	rep := &Report{Healthy: make(map[string]*loadgen.Report)}
+	fail := func(format string, args ...any) {
+		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	runURL := o.URL + "/run"
+
+	in := func(set ...int) func(int) bool {
+		return func(status int) bool {
+			for _, s := range set {
+				if status == s {
+					return true
+				}
+			}
+			return false
+		}
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+
+	// Healthy streams: bundled FP workloads under distinct tenants. 200 is
+	// success; 429 is the service legitimately shedding overload; anything
+	// else (500, 503, transport failure) means a hostile tenant's blast
+	// radius reached an innocent one.
+	for i := 0; i < o.HealthyTenants; i++ {
+		tenant := fmt.Sprintf("healthy-%d", i)
+		// Both healthy workloads finish comfortably inside any sane
+		// -max-run-time cap (FBench ~5ms, Lorenz ~25ms), so a healthy tenant
+		// can only be harmed by another tenant's blast radius — which is
+		// exactly what the invariants forbid.
+		workload := "FBench"
+		if i%2 == 1 {
+			workload = "workload:Lorenz Attractor"
+		}
+		body := fmt.Sprintf(`{"workload":%q,"tenant":%q}`, workload, tenant)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := loadgen.RunHTTP(client, runURL, []byte(body), loadgen.Options{
+				Sessions: o.Healthy, Workers: o.Workers,
+				Accept: in(http.StatusOK, http.StatusTooManyRequests),
+			})
+			mu.Lock()
+			rep.Healthy[tenant] = r
+			mu.Unlock()
+		}()
+	}
+
+	// Hostile stream 1: every run injects a trap-handler panic. Legal
+	// outcomes: 500 (panic contained, session quarantined) until the
+	// breaker opens, then 503 fast-fails; 429 under queue pressure.
+	panicBody := fmt.Sprintf(`{"workload":"FBench","tenant":"hostile-panic","faults":"seed=%d,run-panic=1"}`, o.Seed+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rep.Panic = loadgen.RunHTTP(client, runURL, []byte(panicBody), loadgen.Options{
+			Sessions: o.Hostile, Workers: 2,
+			Accept: in(http.StatusInternalServerError, http.StatusServiceUnavailable, http.StatusTooManyRequests),
+		})
+	}()
+
+	// Hostile stream 2: unbounded spin guests with no timeout ask. The
+	// server's -max-run-time truncates each (200 + deadline_exceeded) and
+	// counts the cap blowout as a breaker fault, so the stream degrades
+	// into 503 fast-fails.
+	spinReq := fmt.Sprintf(`{"asm":%q,"tenant":"hostile-spin"}`, spinAsm)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rep.Spin = loadgen.RunHTTP(client, runURL, []byte(spinReq), loadgen.Options{
+			Sessions: o.Hostile, Workers: 2,
+			Accept: in(http.StatusOK, http.StatusServiceUnavailable, http.StatusTooManyRequests),
+		})
+	}()
+	wg.Wait()
+
+	// Stream-level invariants.
+	for tenant, r := range rep.Healthy {
+		if r.Errors > 0 {
+			fail("healthy tenant %s: %d of %d requests failed (statuses %v) — hostile blast radius reached an innocent tenant",
+				tenant, r.Errors, r.Sessions, r.Statuses)
+		}
+		if r.Statuses[http.StatusOK] == 0 {
+			fail("healthy tenant %s: no request succeeded (statuses %v)", tenant, r.Statuses)
+		}
+		if r.P99 > o.MaxHealthyP99 {
+			fail("healthy tenant %s: p99 %s exceeds bound %s while hostile tenants active", tenant, r.P99, o.MaxHealthyP99)
+		}
+		logStream(o.Log, tenant, r)
+	}
+	if r := rep.Panic; r != nil {
+		if r.Errors > 0 {
+			fail("panic stream: %d unexpected outcomes (statuses %v; want only 500/503/429)", r.Errors, r.Statuses)
+		}
+		if r.Statuses[http.StatusInternalServerError] == 0 {
+			fail("panic stream: no 500s — injected panics never reached a run (statuses %v)", r.Statuses)
+		}
+		if r.Statuses[http.StatusServiceUnavailable] == 0 {
+			fail("panic stream: breaker never opened (statuses %v)", r.Statuses)
+		}
+		logStream(o.Log, "hostile-panic", r)
+	}
+	if r := rep.Spin; r != nil {
+		if r.Errors > 0 {
+			fail("spin stream: %d unexpected outcomes (statuses %v; want only 200/503/429)", r.Errors, r.Statuses)
+		}
+		if r.Statuses[http.StatusOK] == 0 {
+			fail("spin stream: no capped 200s — the wall-clock cap never truncated a run (statuses %v)", r.Statuses)
+		}
+		if r.Statuses[http.StatusServiceUnavailable] == 0 {
+			fail("spin stream: breaker never opened on cap blowouts (statuses %v)", r.Statuses)
+		}
+		logStream(o.Log, "hostile-spin", r)
+	}
+
+	// Server-side ledger, read the way an operator would.
+	st, err := fetchStats(client, o.URL)
+	if err != nil {
+		fail("stats: %v", err)
+		return rep
+	}
+	rep.Stats = st
+	if st.Poisons == 0 {
+		fail("server contained no panics; the run-panic seam never fired")
+	}
+	if st.Pool.Poisoned != st.Poisons {
+		fail("pool poisoned=%d != server poisons=%d", st.Pool.Poisoned, st.Poisons)
+	}
+	if st.Pool.Quarantined < st.Pool.Poisoned {
+		fail("pool quarantined=%d < poisoned=%d: a poisoned session escaped quarantine",
+			st.Pool.Quarantined, st.Pool.Poisoned)
+	}
+	if st.Pool.Gets != st.Pool.Puts+st.Pool.Quarantined {
+		fail("pool ledger does not balance after drain: gets=%d puts=%d quarantined=%d",
+			st.Pool.Gets, st.Pool.Puts, st.Pool.Quarantined)
+	}
+	if st.BreakerTrips == 0 {
+		fail("no breaker trips recorded server-side")
+	}
+	if st.DeadlineHits == 0 {
+		fail("no deadline truncations recorded server-side")
+	}
+
+	// Liveness after the storm: the process must still answer.
+	if err := checkHealthz(client, o.URL); err != nil {
+		fail("healthz after campaign: %v", err)
+	}
+	return rep
+}
+
+func logStream(w io.Writer, name string, r *loadgen.Report) {
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, "chaosload %-14s %d requests, statuses %v, p99 %s, %d errors\n",
+		name, r.Sessions, r.Statuses, r.P99, r.Errors)
+}
+
+func fetchStats(client *http.Client, base string) (ServerStats, error) {
+	var st ServerStats
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("GET /stats = %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func checkHealthz(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /healthz = %d", resp.StatusCode)
+	}
+	var h struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return err
+	}
+	if !h.OK {
+		return fmt.Errorf("healthz not ok after campaign")
+	}
+	return nil
+}
+
+// WriteReport renders the campaign outcome.
+func (r *Report) WriteReport(w io.Writer) {
+	for _, f := range r.Failures {
+		fmt.Fprintf(w, "FAIL %s\n", f)
+	}
+	verdict := "PASS"
+	if !r.Ok() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "chaosload: %s — %d requests served; %d panics contained, %d sessions quarantined (%d replaced), %d breaker trips, %d deadline truncations, %d shed\n",
+		verdict, r.Stats.Requests, r.Stats.Poisons, r.Stats.Pool.Quarantined,
+		r.Stats.Pool.Replaced, r.Stats.BreakerTrips, r.Stats.DeadlineHits, r.Stats.Shed)
+}

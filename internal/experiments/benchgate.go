@@ -28,6 +28,14 @@ const (
 	// current document: the shared-cache session-load record must beat the
 	// cold-pool record's sessions/sec by at least this factor.
 	gateWarmPoolSpeedup = 1.2
+
+	// gateShedFloor is the resilience-overhead bar, checked within the
+	// current document: the session-load record with deadline checkpoints
+	// armed (never fired) must hold at least this fraction of the unarmed
+	// record's sessions/sec. The unfired-flag contract says checkpoints are
+	// modeled-cycle free; this bounds their wall-clock cost too, with slack
+	// for host scheduling noise.
+	gateShedFloor = 0.5
 )
 
 // gateStitchWorkloads are the branchy targets on which the jit+stitch rung
@@ -179,6 +187,27 @@ func GateBench(base, cur *BenchDoc) []string {
 		}
 	} else if base.SessionLoadShared != nil && cur.SessionLoadShared == nil {
 		bad = append(bad, "warm session-load record disappeared from the bench")
+	}
+	// Shed bar, within-document: armed-but-unfired deadline checkpoints over
+	// the quarantine ledger must be clean (no errors, no quarantines under
+	// fault-free load) and close to free in wall clock.
+	if shed := cur.SessionLoadShed; shed != nil {
+		if shed.Errors > 0 {
+			bad = append(bad, fmt.Sprintf("shed session load: %d of %d sessions failed",
+				shed.Errors, shed.Sessions))
+		}
+		if shed.Quarantined > 0 {
+			bad = append(bad, fmt.Sprintf(
+				"shed session load quarantined %d sessions under fault-free load — the health ledger is misfiring",
+				shed.Quarantined))
+		}
+		if cold := cur.SessionLoad; cold != nil && shed.PerSec < cold.PerSec*gateShedFloor {
+			bad = append(bad, fmt.Sprintf(
+				"armed deadline checkpoints cost too much: %.0f sessions/sec vs %.0f unarmed (<%.0f%% floor)",
+				shed.PerSec, cold.PerSec, gateShedFloor*100))
+		}
+	} else if base.SessionLoadShed != nil {
+		bad = append(bad, "shed session-load record disappeared from the bench")
 	}
 	return bad
 }

@@ -158,3 +158,48 @@ func TestReadBenchDocRejectsGarbage(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+func TestGateBenchSessionLoadShed(t *testing.T) {
+	shedDoc := func() *BenchDoc {
+		d := gateDoc()
+		d.SessionLoadShed = &SessionLoad{Workload: "FBench/", System: "vanilla",
+			Sessions: 500, Workers: 16, PerSec: 380}
+		return d
+	}
+	if bad := GateBench(shedDoc(), shedDoc()); len(bad) != 0 {
+		t.Fatalf("identical shed records failed the gate: %v", bad)
+	}
+
+	base, cur := shedDoc(), shedDoc()
+	cur.SessionLoadShed.Errors = 2
+	if bad := GateBench(base, cur); len(bad) != 1 || !strings.Contains(bad[0], "shed session load") {
+		t.Fatalf("shed errors not caught: %v", bad)
+	}
+
+	cur = shedDoc()
+	cur.SessionLoadShed.Quarantined = 1
+	if bad := GateBench(base, cur); len(bad) != 1 || !strings.Contains(bad[0], "misfiring") {
+		t.Fatalf("clean-load quarantine not caught: %v", bad)
+	}
+
+	cur = shedDoc()
+	cur.SessionLoadShed.PerSec = 100 // < 0.5 * the unarmed record's 400
+	if bad := GateBench(base, cur); len(bad) != 1 || !strings.Contains(bad[0], "cost too much") {
+		t.Fatalf("checkpoint overhead not caught: %v", bad)
+	}
+
+	cur = shedDoc()
+	cur.SessionLoadShed = nil
+	if bad := GateBench(base, cur); len(bad) != 1 || !strings.Contains(bad[0], "disappeared") {
+		t.Fatalf("missing shed record not caught: %v", bad)
+	}
+
+	// The shed bars are within-document: a current document carrying the
+	// record is held to them even when the baseline predates it.
+	base.SessionLoadShed = nil
+	cur = shedDoc()
+	cur.SessionLoadShed.Quarantined = 3
+	if bad := GateBench(base, cur); len(bad) != 1 || !strings.Contains(bad[0], "misfiring") {
+		t.Fatalf("pre-shed baseline should not disable the within-document bars: %v", bad)
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"sync/atomic"
 
 	"fpvm/internal/arith"
 	"fpvm/internal/fpvm"
@@ -184,6 +185,11 @@ type SessionLoad struct {
 	P99Ns    int64   `json:"p99_ns"`
 	Errors   int     `json:"errors"`
 	Fresh    uint64  `json:"fresh_sessions"` // pool misses (constructions)
+	// Quarantined counts sessions the pool destroyed instead of re-pooling
+	// (poisoned or chronically degrading). On every session-load record this
+	// must be zero: no fault injection is armed, so a non-zero count means
+	// the health ledger is misfiring under clean load.
+	Quarantined uint64 `json:"quarantined"`
 	// SBCompiled sums superblock compiles across all runs. On the shared
 	// warm-cache record this stays at the program's distinct-entry count
 	// (only the first checkout compiles); on the cold record it scales with
@@ -204,6 +210,14 @@ type BenchDoc struct {
 	// only): same workload, geometry, and concurrency, but only the first
 	// checkout compiles traces — the warm-pool column of the record.
 	SessionLoadShared *SessionLoad `json:"session_load_shared,omitempty"`
+	// SessionLoadShed repeats the session-load run with the serving stack's
+	// resilience machinery armed the way fpvm-serve arms it per request: a
+	// cooperative-preemption flag on every run (armed but never fired, so
+	// deadline checkpoints are taken at full rate) over the pool's always-on
+	// quarantine ledger. The record prices the robustness layer under clean
+	// load — the gate holds it to zero errors, zero quarantines, and
+	// throughput comparable to the unarmed record.
+	SessionLoadShed *SessionLoad `json:"session_load_shed,omitempty"`
 }
 
 // BenchDocData assembles the full bench document: the per-workload rows and,
@@ -227,18 +241,23 @@ func BenchDocData(o Options) (*BenchDoc, error) {
 	}
 	doc.Options.Stitch = o.StitchDepth
 	if o.Sessions > 0 {
-		sl, err := sessionLoadRecord(o, false)
+		sl, err := sessionLoadRecord(o, false, false)
 		if err != nil {
 			return nil, err
 		}
 		doc.SessionLoad = sl
 		if o.JITThreshold > 0 {
-			warm, err := sessionLoadRecord(o, true)
+			warm, err := sessionLoadRecord(o, true, false)
 			if err != nil {
 				return nil, err
 			}
 			doc.SessionLoadShared = warm
 		}
+		shed, err := sessionLoadRecord(o, false, true)
+		if err != nil {
+			return nil, err
+		}
+		doc.SessionLoadShed = shed
 	}
 	return doc, nil
 }
@@ -264,10 +283,14 @@ const sessionLoadMemSize = 256 << 10
 // records always share this exact configuration.
 const sessionLoadJIT = 2
 
-// sessionLoadRecord measures pooled-session throughput; with shared set it
+// sessionLoadRecord measures pooled-session throughput. With shared set it
 // attaches a fresh shared superblock cache so every checkout after the first
 // adopts the published traces instead of re-warming and recompiling them.
-func sessionLoadRecord(o Options, shared bool) (*SessionLoad, error) {
+// With shed set it arms the resilience seams the serving stack arms per
+// request — a cooperative-preemption flag that never fires, over the pool's
+// quarantine ledger — so the record prices deadline checkpoints under clean
+// load (the unfired-flag contract says they must be free).
+func sessionLoadRecord(o Options, shared, shed bool) (*SessionLoad, error) {
 	w, ok := workloads.Get(sessionLoadWorkload)
 	if !ok {
 		return nil, fmt.Errorf("session load: unknown workload %q", sessionLoadWorkload)
@@ -293,22 +316,28 @@ func sessionLoadRecord(o Options, shared bool) (*SessionLoad, error) {
 	if shared {
 		cfg.SBCache = fpvm.NewSBCache()
 	}
+	if shed {
+		// Armed but never fired: one flag shared read-only across every
+		// concurrent run, exactly how fpvm-serve wires a request deadline.
+		cfg.Cancel = new(atomic.Bool)
+	}
 	var pool session.Pool
 	rep := loadgen.Run(&pool, prog, cfg, loadgen.Options{
 		Sessions: o.Sessions,
 		Workers:  o.LoadWorkers,
 	})
 	return &SessionLoad{
-		Workload:   sessionLoadWorkload,
-		System:     sys.Name(),
-		Sessions:   rep.Sessions,
-		Workers:    rep.Workers,
-		PerSec:     rep.PerSec,
-		P50Ns:      rep.P50.Nanoseconds(),
-		P99Ns:      rep.P99.Nanoseconds(),
-		Errors:     rep.Errors,
-		Fresh:      rep.Pool.News,
-		SBCompiled: rep.SBCompiled,
+		Workload:    sessionLoadWorkload,
+		System:      sys.Name(),
+		Sessions:    rep.Sessions,
+		Workers:     rep.Workers,
+		PerSec:      rep.PerSec,
+		P50Ns:       rep.P50.Nanoseconds(),
+		P99Ns:       rep.P99.Nanoseconds(),
+		Errors:      rep.Errors,
+		Fresh:       rep.Pool.News,
+		Quarantined: rep.Pool.Quarantined,
+		SBCompiled:  rep.SBCompiled,
 	}, nil
 }
 

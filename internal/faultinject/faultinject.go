@@ -61,13 +61,21 @@ const (
 	// seam is only crossed when a sanitizer is attached, so campaigns
 	// without one see identical injection streams.
 	SeamSanitize
+	// SeamRunPanic is not an error seam: when it fires, the FPVM trap
+	// handler PANICS instead of returning a degradable error — the shape of
+	// a runtime bug the VM's own escape hatches cannot classify. Nothing
+	// below the session layer recovers it by design; the seam exists to
+	// prove the session-level containment story (recover → typed
+	// PoisonedError → pool quarantine) under the chaos-load harness. It is
+	// excluded from UniformRate and never fires unless armed explicitly.
+	SeamRunPanic
 
 	// NumSeams is the number of named seams.
-	NumSeams = int(SeamSanitize) + 1
+	NumSeams = int(SeamRunPanic) + 1
 )
 
 var seamNames = [NumSeams]string{
-	"decode", "bind", "emulate", "arena", "gc-scan", "mem-access", "sb-compile", "sb-stitch", "sanitize",
+	"decode", "bind", "emulate", "arena", "gc-scan", "mem-access", "sb-compile", "sb-stitch", "sanitize", "run-panic",
 }
 
 // String names the seam as it appears in specs, stats, and telemetry.
@@ -108,9 +116,14 @@ type Config struct {
 }
 
 // UniformRate returns a copy of c with every error seam's rate set to r.
-// Corruption is separate: set CorruptRate explicitly.
+// Corruption is separate: set CorruptRate explicitly. The run-panic seam is
+// also excluded — it deliberately escapes the VM's degradation engine (the
+// session layer contains it), so it only fires when armed by name.
 func (c Config) UniformRate(r float64) Config {
 	for i := range c.Rate {
+		if Seam(i) == SeamRunPanic {
+			continue
+		}
 		c.Rate[i] = r
 	}
 	return c

@@ -10,6 +10,7 @@ package fpvm
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 
 	"fpvm/internal/arith"
@@ -373,6 +374,14 @@ func (vm *VM) handleFPTrap(f *machine.TrapFrame) error {
 	}
 	if vm.inject != nil {
 		vm.injectPC = f.Inst.Addr
+		// The run-panic seam models a runtime bug the degradation engine
+		// cannot classify: it escapes the VM on purpose. Only the session
+		// layer's recover() stands between this panic and the process — that
+		// containment (and the pool quarantine behind it) is what the seam
+		// exists to prove.
+		if vm.inject.Fire(faultinject.SeamRunPanic, f.Inst.Addr) {
+			panic(fmt.Sprintf("fpvm: injected run-panic at %#x (%s)", f.Inst.Addr, f.Inst.Op))
+		}
 	}
 	if vm.san != nil {
 		vm.sanNote(f.M, f.Idx, f.Inst)

@@ -28,6 +28,10 @@ type Options struct {
 	// owns one checkout at a time, so Workers is also the peak number of
 	// simultaneously live sessions.
 	Workers int
+	// Accept, when non-nil, decides which HTTP status codes count as success
+	// for RunHTTP (default: only 200). A chaos-load client driving a shedding
+	// server accepts 429/503 as correct service behavior, not errors.
+	Accept func(status int) bool
 }
 
 func (o Options) withDefaults() Options {
@@ -53,6 +57,10 @@ type Report struct {
 	P50      time.Duration // median per-session latency
 	P99      time.Duration // 99th-percentile per-session latency
 	Pool     session.PoolStats
+	// Statuses counts HTTP responses by status code (RunHTTP only; transport
+	// errors count under status 0). Chaos-load invariants read it to tell
+	// shed (429), breaker (503), and poison (500) traffic apart.
+	Statuses map[int]int
 	// SBCompiled sums superblock compiles across all runs. Under a shared
 	// warm SBCache this stays near the distinct-entry count of the program
 	// (only the first tenant compiles); without one it scales with Sessions.
@@ -110,9 +118,12 @@ func Run(pool *session.Pool, prog *isa.Program, cfg session.Config, opts Options
 	rep.SBCompiled = sbCompiled.Load()
 	after := pool.Stats()
 	rep.Pool = session.PoolStats{
-		Gets: after.Gets - before.Gets,
-		Puts: after.Puts - before.Puts,
-		News: after.News - before.News,
+		Gets:        after.Gets - before.Gets,
+		Puts:        after.Puts - before.Puts,
+		News:        after.News - before.News,
+		Poisoned:    after.Poisoned - before.Poisoned,
+		Quarantined: after.Quarantined - before.Quarantined,
+		Replaced:    after.Replaced - before.Replaced,
 	}
 	return rep
 }
@@ -125,7 +136,12 @@ func RunHTTP(client *http.Client, url string, body []byte, opts Options) *Report
 	if client == nil {
 		client = http.DefaultClient
 	}
+	accept := opts.Accept
+	if accept == nil {
+		accept = func(status int) bool { return status == http.StatusOK }
+	}
 	durs := make([]time.Duration, opts.Sessions)
+	statuses := make([]int, opts.Sessions)
 	var next, errs atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -142,10 +158,12 @@ func RunHTTP(client *http.Client, url string, body []byte, opts Options) *Report
 				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 				if err != nil {
 					errs.Add(1)
+					// statuses[i] stays 0: transport failure.
 				} else {
 					_, _ = io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
-					if resp.StatusCode != http.StatusOK {
+					statuses[i] = resp.StatusCode
+					if !accept(resp.StatusCode) {
 						errs.Add(1)
 					}
 				}
@@ -154,7 +172,12 @@ func RunHTTP(client *http.Client, url string, body []byte, opts Options) *Report
 		}()
 	}
 	wg.Wait()
-	return summarize(durs, time.Since(start), opts, int(errs.Load()))
+	rep := summarize(durs, time.Since(start), opts, int(errs.Load()))
+	rep.Statuses = make(map[int]int)
+	for _, st := range statuses {
+		rep.Statuses[st]++
+	}
+	return rep
 }
 
 func summarize(durs []time.Duration, elapsed time.Duration, opts Options, errs int) *Report {

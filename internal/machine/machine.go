@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"fpvm/internal/fpu"
 	"fpvm/internal/isa"
@@ -165,6 +166,19 @@ type Machine struct {
 	Cycles              uint64
 	Stats               Stats
 
+	// Preempt, when non-nil, is the cooperative-preemption flag: Run re-checks
+	// it every PreemptEvery retired instructions (a checkpoint, not a per-step
+	// poll) and returns a typed *DeadlineError when it is set. Another
+	// goroutine — a deadline timer, a canceled request context — stores true
+	// to stop the run at the next checkpoint with all state harvestable at an
+	// instruction boundary, exactly like a budget truncation. A nil flag is
+	// the default and costs nothing: the dispatch loop is unchanged.
+	Preempt *atomic.Bool
+	// PreemptEvery is the checkpoint interval in retired instructions
+	// (0 = DefaultPreemptEvery). Smaller intervals bound preemption latency
+	// tighter at the cost of more atomic loads per run.
+	PreemptEvery uint64
+
 	Out    io.Writer
 	halted bool
 }
@@ -241,6 +255,8 @@ func (m *Machine) Reset(prog *isa.Program, out io.Writer, memSize int) error {
 	m.TrapOnNaNLoad = false
 	m.OutFilter = nil
 	m.Telem = nil
+	m.Preempt = nil
+	m.PreemptEvery = 0
 
 	m.Cost = DefaultCostModel()
 	m.Profile = &trap.R815
@@ -372,16 +388,58 @@ func (e *BudgetError) Error() string {
 	return fmt.Sprintf("machine fault at %#x: instruction budget exceeded (%d)", e.RIP, e.Budget)
 }
 
-// Run executes until halt, a fault, or maxInstructions retirements
-// (0 = unlimited). It returns nil on a clean halt and *BudgetError when the
-// instruction budget ran out first.
+// DefaultPreemptEvery is the deadline checkpoint interval when
+// Machine.PreemptEvery is zero: frequent enough that a preempted run stops
+// within microseconds of wall clock, rare enough that the atomic load
+// vanishes against the per-instruction dispatch cost.
+const DefaultPreemptEvery = 10_000
+
+// DeadlineError is returned by Run when the cooperative-preemption flag was
+// observed set at a checkpoint. Like BudgetError — and unlike a FaultError —
+// it does not mean the guest died: the machine stopped at an instruction
+// boundary with registers, memory, stats, and modeled cycles all consistent
+// and harvestable, which is what lets a serving layer turn a deadline or a
+// canceled request into a truncated result instead of a kill.
+type DeadlineError struct {
+	RIP          uint64
+	Instructions uint64 // retirements when the flag was observed
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("machine fault at %#x: deadline exceeded (%d instructions retired)", e.RIP, e.Instructions)
+}
+
+// Run executes until halt, a fault, maxInstructions retirements
+// (0 = unlimited), or — when Preempt is armed — a deadline checkpoint that
+// observes the flag set. It returns nil on a clean halt, *BudgetError when
+// the instruction budget ran out first, and *DeadlineError when preempted.
+//
+// Preemption is cooperative: the flag is re-checked every PreemptEvery
+// retired instructions, never mid-instruction, so a preempted run is always
+// left at an instruction boundary. Checkpoints charge no modeled cycles —
+// an armed-but-never-fired flag leaves the run bit- and cycle-identical to
+// an unarmed one.
 func (m *Machine) Run(maxInstructions uint64) error {
+	every := m.PreemptEvery
+	if every == 0 {
+		every = DefaultPreemptEvery
+	}
+	var checkpoint uint64
+	if m.Preempt != nil {
+		checkpoint = m.Stats.Instructions + every
+	}
 	for !m.halted {
 		if err := m.Step(); err != nil {
 			return err
 		}
 		if maxInstructions > 0 && m.Stats.Instructions >= maxInstructions {
 			return &BudgetError{RIP: m.RIP, Budget: maxInstructions}
+		}
+		if checkpoint != 0 && m.Stats.Instructions >= checkpoint {
+			if m.Preempt.Load() {
+				return &DeadlineError{RIP: m.RIP, Instructions: m.Stats.Instructions}
+			}
+			checkpoint = m.Stats.Instructions + every
 		}
 	}
 	return nil

@@ -22,6 +22,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"runtime/debug"
+	"sync/atomic"
 
 	"fpvm/internal/arith"
 	"fpvm/internal/faultinject"
@@ -45,6 +47,19 @@ type Config struct {
 	// boundary, Result.BudgetExhausted is set, and everything executed so
 	// far is harvested. 0 means DefaultMaxInst.
 	MaxInst uint64
+	// Cancel, when non-nil, is the cooperative-preemption flag: the machine
+	// re-checks it every PreemptEvery retired instructions and, on observing
+	// it set, stops at that instruction boundary with
+	// Result.DeadlineExceeded and everything retired so far harvested —
+	// exactly the BudgetExhausted contract, driven by a deadline timer or a
+	// canceled request context instead of an instruction count. The flag may
+	// be shared read-only across concurrent sessions (one timer canceling a
+	// whole load wave) or owned per run (one request's deadline).
+	Cancel *atomic.Bool
+	// PreemptEvery is the deadline checkpoint interval in retired
+	// instructions (0 = machine.DefaultPreemptEvery). Only consulted when
+	// Cancel is non-nil.
+	PreemptEvery uint64
 	// MemSize is the machine's memory size in bytes (0 = the machine
 	// default, 4 MiB). Modeled GC cycles scale with writable memory, so
 	// results are only comparable across runs with equal geometry.
@@ -123,6 +138,10 @@ type Result struct {
 	// The rest of the Result still describes everything retired before the
 	// budget ran out — quota pressure degrades a run, it never kills it.
 	BudgetExhausted bool
+	// DeadlineExceeded reports that the run was truncated by Config.Cancel
+	// firing (deadline, canceled request). Same harvest contract as
+	// BudgetExhausted: everything retired before the checkpoint is valid.
+	DeadlineExceeded bool
 	// Fault holds the machine fault that ended the run, "" for a clean halt
 	// (or a budget truncation, which Fault does not cover). A faulted run
 	// is still fully harvested.
@@ -137,6 +156,28 @@ type Result struct {
 	Sanitize *sanitize.Report
 }
 
+// PoisonedError reports that a panic escaped the emulation stack during a
+// run. The panic was contained — the process survives, the caller gets this
+// typed error — but the session that produced it is poisoned: the panic may
+// have fired mid-emulation, leaving the machine, shadow arena, or NaN-box
+// key sequence in a state no Reset contract covers. A poisoned session
+// refuses further runs, and Pool.Put quarantines (destroys) it instead of
+// pooling it, so its state can never leak into a later tenant's run.
+type PoisonedError struct {
+	// PanicValue is the recovered panic rendered as text.
+	PanicValue string
+	// Stack is the goroutine stack at the recovery point.
+	Stack string
+}
+
+func (e *PoisonedError) Error() string {
+	return fmt.Sprintf("session poisoned: panic during run: %s", e.PanicValue)
+}
+
+// errPoisonedReuse is returned by Run on a session already poisoned — a
+// defense-in-depth check; the pool never hands one out.
+var errPoisonedReuse = errors.New("session: poisoned session cannot run again")
+
 // Session is one poolable execution context. The zero value is not usable;
 // call New.
 type Session struct {
@@ -146,6 +187,13 @@ type Session struct {
 	san   *sanitize.Sanitizer
 	out   bytes.Buffer
 	runs  uint64
+
+	// poisoned latches after a contained panic; the session never runs again.
+	poisoned bool
+	// degradedStreak counts consecutive runs that needed the degradation
+	// engine; the pool's health ledger quarantines chronically degrading
+	// sessions (a possible slow corruption no single run proves).
+	degradedStreak int
 
 	// patched caches the static-analysis result for patchedProg. Programs
 	// are immutable and the analysis is deterministic, so re-running it for
@@ -163,6 +211,15 @@ func New() *Session { return &Session{} }
 // reusing retained allocations rather than making them.
 func (s *Session) Runs() uint64 { return s.runs }
 
+// Poisoned reports whether a panic escaped a run on this session. A poisoned
+// session refuses further runs and must be destroyed, not pooled.
+func (s *Session) Poisoned() bool { return s.poisoned }
+
+// DegradedStreak reports how many consecutive completed runs engaged the
+// degradation engine. The pool's health ledger uses it to quarantine
+// chronically degrading sessions.
+func (s *Session) DegradedStreak() int { return s.degradedStreak }
+
 // Machine exposes the session's machine for post-run inspection (tests
 // compare full architectural state against fresh runs). The machine is only
 // valid until the next Run or pool checkout.
@@ -175,7 +232,31 @@ func (s *Session) VM() *fpvm.VM { return s.vm }
 // the result. Passing the same *isa.Program pointer as the previous run
 // skips the predecode pass entirely (program images are immutable); the
 // session is reset to fresh-machine state either way.
-func (s *Session) Run(prog *isa.Program, cfg Config) (Result, error) {
+//
+// Run never lets a panic from the emulation stack escape: a panic anywhere
+// on the run path is recovered into a typed *PoisonedError and the session
+// latches poisoned — it refuses further runs, and Pool.Put destroys it
+// instead of pooling it. This is the fault-domain boundary: one guest's
+// worst case costs one session, never the process.
+func (s *Session) Run(prog *isa.Program, cfg Config) (res Result, err error) {
+	if s.poisoned {
+		return Result{}, errPoisonedReuse
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.poisoned = true
+			res = Result{}
+			err = &PoisonedError{
+				PanicValue: fmt.Sprint(r),
+				Stack:      string(debug.Stack()),
+			}
+		}
+	}()
+	return s.run(prog, cfg)
+}
+
+// run is the unprotected run path; Run wraps it in the panic containment.
+func (s *Session) run(prog *isa.Program, cfg Config) (Result, error) {
 	if cfg.System == nil {
 		return Result{}, errors.New("session: Config.System is required")
 	}
@@ -197,6 +278,12 @@ func (s *Session) Run(prog *isa.Program, cfg Config) (Result, error) {
 	if cfg.Delivery != trap.DeliverUserSignal {
 		s.m.Delivery = cfg.Delivery
 		s.m.CorrectnessDelivery = cfg.Delivery
+	}
+	// Arm cooperative preemption for this run. Reset cleared the previous
+	// tenant's flag, so an unarmed run carries no stale deadline.
+	if cfg.Cancel != nil {
+		s.m.Preempt = cfg.Cancel
+		s.m.PreemptEvery = cfg.PreemptEvery
 	}
 
 	// Step 2: static analysis + correctness patching (§4.2), exactly as the
@@ -276,9 +363,13 @@ func (s *Session) Run(prog *isa.Program, cfg Config) (Result, error) {
 	}
 	if err != nil {
 		var be *machine.BudgetError
-		if errors.As(err, &be) {
+		var de *machine.DeadlineError
+		switch {
+		case errors.As(err, &be):
 			res.BudgetExhausted = true
-		} else {
+		case errors.As(err, &de):
+			res.DeadlineExceeded = true
+		default:
 			res.Fault = err.Error()
 		}
 	}
@@ -296,6 +387,14 @@ func (s *Session) Run(prog *isa.Program, cfg Config) (Result, error) {
 	if fcfg.Sanitize != nil {
 		rep := s.san.Snapshot()
 		res.Sanitize = &rep
+	}
+
+	// Health ledger input: a run that needed the degradation engine extends
+	// the streak; a clean one clears it.
+	if res.VM.Degradations > 0 {
+		s.degradedStreak++
+	} else {
+		s.degradedStreak = 0
 	}
 
 	s.runs++
